@@ -1,0 +1,34 @@
+//! Baseline join algorithms the MPSM paper compares against (§2, §5, §6).
+//!
+//! * [`wisconsin`] — the **Wisconsin hash join** (Blanas, Li, Patel,
+//!   SIGMOD 2011 \[1\]): a single shared hash table built concurrently by
+//!   all workers and probed randomly across NUMA partitions. It violates
+//!   commandments C2 and C3 by design — that is the paper's point
+//!   (Figure 2a) — and this implementation keeps the violations
+//!   (CAS-latched shared buckets, random remote probes).
+//! * [`radix`] — the **radix join** pioneered by MonetDB \[19\] and tuned
+//!   by Kim et al. \[17\]: histogram-based multi-pass partitioning of both
+//!   inputs into cache-sized fragments, then per-fragment hash joins.
+//!   This is the algorithm family behind Vectorwise's join engine, and
+//!   serves as this repository's stand-in for the paper's Vectorwise
+//!   contender (see DESIGN.md §3.7).
+//! * [`sort_merge_classic`] — the classic sort-merge join with a global
+//!   merge phase, the strawman MPSM explicitly avoids ("we refrain from
+//!   merging the sorted runs [...] as doing so would heavily reduce the
+//!   parallelization power").
+//! * [`nested_loop`] — an independent O(|R|·|S|) oracle (plus a faster
+//!   sort-count oracle) used by the test suites of every crate.
+//!
+//! All baselines implement [`mpsm_core::join::JoinAlgorithm`], so the
+//! benchmark harness can swap them freely.
+
+pub mod hash_table;
+pub mod nested_loop;
+pub mod parallel_merge;
+pub mod radix;
+pub mod sort_merge_classic;
+pub mod wisconsin;
+
+pub use radix::RadixJoin;
+pub use sort_merge_classic::ClassicSortMergeJoin;
+pub use wisconsin::WisconsinHashJoin;

@@ -1,0 +1,120 @@
+//! Reference joins used as test oracles.
+//!
+//! Two independent implementations with different failure modes:
+//!
+//! * [`nested_loop_count`] / [`nested_loop_collect`] — the textbook
+//!   O(|R|·|S|) nested loop; unbeatable as ground truth, usable only on
+//!   small inputs;
+//! * [`oracle_count`] — sort both key columns with the *standard
+//!   library* sort (not this repository's sort) and multiply duplicate
+//!   group sizes; O(n log n), shares no code with the algorithms under
+//!   test.
+
+use mpsm_core::Tuple;
+
+/// O(|R|·|S|) match count.
+pub fn nested_loop_count(r: &[Tuple], s: &[Tuple]) -> u64 {
+    r.iter().map(|rt| s.iter().filter(|st| st.key == rt.key).count() as u64).sum()
+}
+
+/// O(|R|·|S|) materialized result: `(key, r.payload, s.payload)` rows in
+/// deterministic (r-major) order.
+pub fn nested_loop_collect(r: &[Tuple], s: &[Tuple]) -> Vec<(u64, u64, u64)> {
+    let mut out = Vec::new();
+    for rt in r {
+        for st in s {
+            if rt.key == st.key {
+                out.push((rt.key, rt.payload, st.payload));
+            }
+        }
+    }
+    out
+}
+
+/// O(n log n) match count via std-sorted key columns and duplicate-group
+/// multiplication.
+pub fn oracle_count(r: &[Tuple], s: &[Tuple]) -> u64 {
+    let mut rk: Vec<u64> = r.iter().map(|t| t.key).collect();
+    let mut sk: Vec<u64> = s.iter().map(|t| t.key).collect();
+    rk.sort_unstable();
+    sk.sort_unstable();
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0u64);
+    while i < rk.len() && j < sk.len() {
+        if rk[i] < sk[j] {
+            i += 1;
+        } else if rk[i] > sk[j] {
+            j += 1;
+        } else {
+            let key = rk[i];
+            let i0 = i;
+            while i < rk.len() && rk[i] == key {
+                i += 1;
+            }
+            let j0 = j;
+            while j < sk.len() && sk[j] == key {
+                j += 1;
+            }
+            count += ((i - i0) as u64) * ((j - j0) as u64);
+        }
+    }
+    count
+}
+
+/// The paper's benchmark aggregate computed naively (oracle for
+/// `max_payload_sum`).
+pub fn oracle_max_payload_sum(r: &[Tuple], s: &[Tuple]) -> Option<u64> {
+    let mut max = None;
+    for rt in r {
+        for st in s {
+            if rt.key == st.key {
+                let v = rt.payload.wrapping_add(st.payload);
+                max = Some(max.map_or(v, |m: u64| m.max(v)));
+            }
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keyed(keys: &[u64]) -> Vec<Tuple> {
+        keys.iter().enumerate().map(|(i, &k)| Tuple::new(k, i as u64)).collect()
+    }
+
+    #[test]
+    fn oracles_agree_on_random_input() {
+        let mut state = 77u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 55
+        };
+        let r: Vec<Tuple> = (0..400).map(|i| Tuple::new(next(), i)).collect();
+        let s: Vec<Tuple> = (0..600).map(|i| Tuple::new(next(), i)).collect();
+        assert_eq!(nested_loop_count(&r, &s), oracle_count(&r, &s));
+    }
+
+    #[test]
+    fn collect_matches_count() {
+        let r = keyed(&[1, 2, 2]);
+        let s = keyed(&[2, 2, 3]);
+        assert_eq!(nested_loop_collect(&r, &s).len() as u64, nested_loop_count(&r, &s));
+        assert_eq!(oracle_count(&r, &s), 4);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(oracle_count(&[], &[]), 0);
+        assert_eq!(nested_loop_count(&keyed(&[1]), &[]), 0);
+        assert_eq!(oracle_max_payload_sum(&[], &keyed(&[1])), None);
+    }
+
+    #[test]
+    fn max_payload_sum_oracle() {
+        let r = keyed(&[5, 6]); // payloads 0, 1
+        let s = keyed(&[6, 5]); // payloads 0, 1
+        // Matches: (5: 0+1), (6: 1+0) → max 1.
+        assert_eq!(oracle_max_payload_sum(&r, &s), Some(1));
+    }
+}

@@ -1,0 +1,65 @@
+//! Criterion bench: latched shared hash table vs. unsynchronized local
+//! table — the micro-cost behind the Wisconsin baseline's build phase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpsm_baselines::hash_table::{LocalChainedTable, SharedChainedTable};
+use mpsm_core::worker::chunk_ranges;
+use mpsm_core::Tuple;
+use mpsm_workload::unique_keys;
+
+fn dataset(n: usize) -> Vec<Tuple> {
+    unique_keys(n, 17).into_iter().enumerate().map(|(i, k)| Tuple::new(k, i as u64)).collect()
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let n = 1usize << 18;
+    let data = dataset(n);
+    let mut group = c.benchmark_group("hash_table_build");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(20);
+
+    group.bench_function("local_unsynchronized", |b| {
+        b.iter(|| LocalChainedTable::build(&data))
+    });
+
+    for &workers in &[1usize, 4, 8] {
+        group.bench_function(BenchmarkId::new("shared_latched", workers), |b| {
+            b.iter(|| {
+                let mut table = SharedChainedTable::new(n);
+                let ranges = chunk_ranges(n, workers);
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let windows = table.carve_windows(&sizes);
+                std::thread::scope(|s| {
+                    for (mut win, range) in windows.into_iter().zip(ranges.iter()) {
+                        let chunk = &data[range.clone()];
+                        s.spawn(move || {
+                            for t in chunk {
+                                win.insert(*t);
+                            }
+                        });
+                    }
+                });
+                table.contention_events()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hash_table_probe");
+    group.throughput(Throughput::Elements(n as u64));
+    let local = LocalChainedTable::build(&data);
+    let probes = dataset(n);
+    group.bench_function("local_probe", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for p in &probes {
+                local.probe(p.key, |_| hits += 1);
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench: radix histogram computation across granularities —
+//! the micro version of Figure 9 ("higher precision of
+//! radix-histogramming comes at no additional cost").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpsm_core::histogram::{compute_histogram, RadixDomain};
+use mpsm_core::Tuple;
+use mpsm_workload::unique_keys;
+
+fn bench_histogram(c: &mut Criterion) {
+    let n = 1usize << 20;
+    let data: Vec<Tuple> =
+        unique_keys(n, 13).into_iter().enumerate().map(|(i, k)| Tuple::new(k, i as u64)).collect();
+    let mut group = c.benchmark_group("histogram");
+    group.throughput(Throughput::Elements(n as u64));
+    for &bits in &[5u32, 7, 9, 11] {
+        let domain = RadixDomain::from_range(0, (1 << 32) - 1, bits);
+        group.bench_function(BenchmarkId::from_parameter(1usize << bits), |b| {
+            b.iter(|| compute_histogram(&data, &domain))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_histogram);
+criterion_main!(benches);

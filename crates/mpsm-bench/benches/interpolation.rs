@@ -1,0 +1,47 @@
+//! Criterion bench: interpolation search vs. binary search vs. linear
+//! scan for the merge-join start points (§3.2.2, Figure 7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpsm_core::interpolation::interpolation_lower_bound;
+use mpsm_core::Tuple;
+use mpsm_workload::unique_keys;
+
+fn sorted_run(n: usize) -> Vec<Tuple> {
+    let mut v: Vec<Tuple> = unique_keys(n, 3).into_iter().map(|k| Tuple::new(k, 0)).collect();
+    v.sort_unstable_by_key(|t| t.key);
+    v
+}
+
+fn probes() -> Vec<u64> {
+    unique_keys(256, 99)
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("start_point_search");
+    for &n in &[1usize << 16, 1 << 20] {
+        let run = sorted_run(n);
+        let keys = probes();
+        group.bench_with_input(BenchmarkId::new("interpolation", n), &run, |b, run| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for &k in &keys {
+                    acc = acc.wrapping_add(interpolation_lower_bound(run, k));
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("binary", n), &run, |b, run| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for &k in &keys {
+                    acc = acc.wrapping_add(run.partition_point(|t| t.key < k));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

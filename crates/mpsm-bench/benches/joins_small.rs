@@ -1,0 +1,33 @@
+//! Criterion bench: end-to-end joins of all contenders at a small,
+//! CI-friendly scale (the figure binaries cover the full-scale runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpsm_bench::Contender;
+use mpsm_core::sink::ChecksumSink;
+use mpsm_workload::fk_uniform;
+
+fn bench_joins(c: &mut Criterion) {
+    let w = fk_uniform(1 << 17, 4, 42);
+    let total = (w.r.len() + w.s.len()) as u64;
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+
+    let mut group = c.benchmark_group("join_small_scale");
+    group.throughput(Throughput::Elements(total));
+    group.sample_size(10);
+    for contender in [
+        Contender::Mpsm,
+        Contender::BMpsm,
+        Contender::DMpsm,
+        Contender::Radix,
+        Contender::Wisconsin,
+        Contender::ClassicSmj,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(contender.name()), |b| {
+            b.iter(|| contender.run::<ChecksumSink>(threads, &w.r, &w.s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

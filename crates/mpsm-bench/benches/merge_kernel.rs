@@ -1,0 +1,61 @@
+//! Criterion bench: the merge-join kernel over different match rates
+//! and duplicate densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpsm_core::merge::merge_join;
+use mpsm_core::sink::{ChecksumSink, JoinSink};
+use mpsm_core::Tuple;
+use mpsm_workload::unique_keys;
+
+fn sorted(keys: Vec<u64>) -> Vec<Tuple> {
+    let mut v: Vec<Tuple> =
+        keys.into_iter().enumerate().map(|(i, k)| Tuple::new(k, i as u64)).collect();
+    v.sort_unstable_by_key(|t| t.key);
+    v
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let n = 1usize << 19;
+    let mut group = c.benchmark_group("merge_kernel");
+    group.throughput(Throughput::Elements(2 * n as u64));
+
+    // Disjoint: zero matches, pure scan speed.
+    let r0 = sorted((0..n as u64).map(|k| k * 2).collect());
+    let s0 = sorted((0..n as u64).map(|k| k * 2 + 1).collect());
+    group.bench_function(BenchmarkId::new("match_rate", "0pct"), |b| {
+        b.iter(|| {
+            let mut sink = ChecksumSink::default();
+            merge_join(&r0, &s0, &mut sink);
+            sink.finish()
+        })
+    });
+
+    // FK 1:1 — every key matches once.
+    let keys = unique_keys(n, 5);
+    let r1 = sorted(keys.clone());
+    let s1 = sorted(keys);
+    group.bench_function(BenchmarkId::new("match_rate", "100pct"), |b| {
+        b.iter(|| {
+            let mut sink = ChecksumSink::default();
+            merge_join(&r1, &s1, &mut sink);
+            sink.finish()
+        })
+    });
+
+    // Duplicate-heavy: each key 16 times on each side (16×16 groups).
+    let dup: Vec<u64> = (0..n as u64).map(|i| i / 16).collect();
+    let r2 = sorted(dup.clone());
+    let s2 = sorted(dup);
+    group.bench_function(BenchmarkId::new("match_rate", "16x16_groups"), |b| {
+        b.iter(|| {
+            let mut sink = ChecksumSink::default();
+            merge_join(&r2, &s2, &mut sink);
+            sink.finish()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

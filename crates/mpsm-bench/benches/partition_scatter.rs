@@ -1,0 +1,40 @@
+//! Criterion bench: the synchronization-free scatter (§3.2.1) across
+//! worker counts and histogram granularities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpsm_core::histogram::{combine_histograms, compute_histogram, RadixDomain};
+use mpsm_core::partition::range_partition;
+use mpsm_core::splitter::equi_height_splitters;
+use mpsm_core::worker::chunk_ranges;
+use mpsm_core::Tuple;
+use mpsm_workload::unique_keys;
+
+fn dataset(n: usize) -> Vec<Tuple> {
+    unique_keys(n, 11).into_iter().enumerate().map(|(i, k)| Tuple::new(k, i as u64)).collect()
+}
+
+fn bench_scatter(c: &mut Criterion) {
+    let n = 1usize << 20;
+    let data = dataset(n);
+    let mut group = c.benchmark_group("partition_scatter");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(20);
+    for &workers in &[1usize, 4, 8] {
+        for &bits in &[6u32, 10] {
+            let domain = RadixDomain::from_range(0, (1 << 32) - 1, bits);
+            let ranges = chunk_ranges(data.len(), workers);
+            let chunks: Vec<&[Tuple]> = ranges.iter().map(|r| &data[r.clone()]).collect();
+            let hist = combine_histograms(
+                &chunks.iter().map(|ch| compute_histogram(ch, &domain)).collect::<Vec<_>>(),
+            );
+            let splitters = equi_height_splitters(&hist, workers);
+            group.bench_function(BenchmarkId::new(format!("B{bits}"), workers), |b| {
+                b.iter(|| range_partition(&chunks, &domain, &splitters))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scatter);
+criterion_main!(benches);

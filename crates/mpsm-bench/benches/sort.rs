@@ -1,0 +1,64 @@
+//! Criterion bench: the paper's three-phase sort vs. std sort vs.
+//! introsort-only (§2.3 ablation).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use mpsm_core::sort::{introsort_only, three_phase_sort, three_phase_sort_bitonic};
+use mpsm_core::Tuple;
+use mpsm_workload::unique_keys;
+
+fn dataset(n: usize) -> Vec<Tuple> {
+    unique_keys(n, 7).into_iter().enumerate().map(|(i, k)| Tuple::new(k, i as u64)).collect()
+}
+
+fn bench_sorts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort");
+    group.sample_size(20);
+    for &n in &[1usize << 14, 1 << 17, 1 << 20] {
+        let data = dataset(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("three_phase", n), &data, |b, data| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| {
+                    three_phase_sort(&mut d);
+                    d
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("std_unstable", n), &data, |b, data| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| {
+                    d.sort_unstable_by_key(|t| t.key);
+                    d
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("introsort_only", n), &data, |b, data| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| {
+                    introsort_only(&mut d);
+                    d
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("three_phase_bitonic", n), &data, |b, data| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| {
+                    three_phase_sort_bitonic(&mut d);
+                    d
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorts);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Experiment E1 — Figure 1: NUMA-affine vs. NUMA-agnostic processing.
+//!
+//! Reproduces the three micro-benchmarks that motivate the paper's
+//! commandments. Penalties that need physical NUMA distance (remote
+//! memory) are *modeled* via the calibrated cost model; the
+//! synchronization experiment (2) and the NUMA-affine variants are also
+//! *measured* for real. See `mpsm-numa::microbench`.
+//!
+//! Paper reference values (32 workers × 50M tuples):
+//!   (1) sort          12 946 ms local     vs. 41 734 ms global   (3.22×)
+//!   (2) partitioning   7 440 ms prefix    vs. 22 756 ms sync     (3.06×)
+//!   (3) merge join       837 ms local     vs.  1 000 ms remote   (1.19×)
+
+use mpsm_bench::{parse_args, TableBuilder};
+use mpsm_numa::microbench::{figure1, MicrobenchConfig};
+use mpsm_numa::Topology;
+
+fn main() {
+    let args = parse_args();
+    let workers = args.threads;
+    let cfg = MicrobenchConfig {
+        topology: Topology::paper_machine(),
+        workers,
+        tuples_per_worker: (args.scale / workers).max(1 << 12),
+        seed: args.seed,
+        ..MicrobenchConfig::default()
+    };
+    println!(
+        "Figure 1 — NUMA-affine vs. NUMA-agnostic ({} workers × {} tuples, paper topology 4×8×2)\n",
+        cfg.workers, cfg.tuples_per_worker
+    );
+
+    let paper: &[(&str, f64, f64)] = &[
+        ("(1) sort", 12_946.0, 41_734.0),
+        ("(2) partitioning", 7_440.0, 22_756.0),
+        ("(3) merge join", 837.0, 1_000.0),
+    ];
+
+    let results = figure1(&cfg);
+    let mut table = TableBuilder::new(&[
+        "experiment",
+        "variant",
+        "modeled ms",
+        "measured ms",
+        "modeled ratio",
+        "paper ratio",
+    ]);
+    for (res, &(_, p_aff, p_agn)) in results.iter().zip(paper) {
+        let paper_ratio = p_agn / p_aff;
+        for (variant, is_affine) in [(&res.affine, true), (&res.agnostic, false)] {
+            table.row(&[
+                if is_affine { res.name.to_string() } else { String::new() },
+                variant.label.to_string(),
+                format!("{:.1}", variant.modeled_ms),
+                variant.measured_ms.map_or("-".into(), |m| format!("{m:.1}")),
+                if is_affine { String::new() } else { format!("{:.2}x", res.modeled_ratio()) },
+                if is_affine { String::new() } else { format!("{paper_ratio:.2}x") },
+            ]);
+        }
+    }
+    table.print();
+
+    println!("\nAccess-pattern summary (why the agnostic variants lose):");
+    for res in &results {
+        println!(
+            "  {:<18} agnostic: {:>5.1}% remote, {:>5.1}% random, {} sync events",
+            res.name,
+            res.agnostic.counters.remote_fraction() * 100.0,
+            res.agnostic.counters.random_fraction() * 100.0,
+            res.agnostic.counters.syncs()
+        );
+    }
+}

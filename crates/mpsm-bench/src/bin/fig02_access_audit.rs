@@ -1,0 +1,63 @@
+//! Experiment E11 — Figure 2: access-pattern audit of the three join
+//! families.
+//!
+//! Figure 2 of the paper is a qualitative diagram: Wisconsin builds and
+//! probes a global hash table randomly across NUMA partitions, the
+//! radix join scatters both inputs across partitions, MPSM writes only
+//! locally and reads remote runs sequentially. This binary makes the
+//! diagram quantitative: per-worker access counts by category
+//! (local/remote × sequential/random) and synchronization events,
+//! priced with the calibrated cost model (including interconnect
+//! saturation on random remote traffic) — see `mpsm_bench::audit`.
+
+use mpsm_bench::audit::{modeled_ms, profile};
+use mpsm_bench::{parse_args, Contender, TableBuilder};
+use mpsm_numa::{AccessKind, Topology};
+
+fn main() {
+    let args = parse_args();
+    let topo = Topology::paper_machine();
+    let t = 32u64; // audit at the paper's parallelism on the paper machine
+    let r = args.scale as u64;
+    let s = r * 4;
+
+    println!(
+        "Figure 2 — access-pattern audit (paper machine, T = {t}, |R| = {r}, |S| = {s} = 4·|R|)\n"
+    );
+
+    let rows: &[(Contender, &str)] = &[
+        (Contender::Mpsm, "none"),
+        (Contender::BMpsm, "none (but joins all of S)"),
+        (Contender::Radix, "C1 (pass-1 scatter)"),
+        (Contender::Wisconsin, "C1+C2 (random remote build/probe), C3 (latches)"),
+    ];
+
+    let mut table = TableBuilder::new(&[
+        "algorithm",
+        "local seq",
+        "local rand",
+        "remote seq",
+        "remote rand",
+        "syncs",
+        "modeled ms/worker",
+        "violates",
+    ]);
+    for &(c, violations) in rows {
+        let counters = profile(c, &topo, r, s, t);
+        table.row(&[
+            c.name().to_string(),
+            counters.accesses(AccessKind::LocalSeq).to_string(),
+            counters.accesses(AccessKind::LocalRand).to_string(),
+            counters.accesses(AccessKind::RemoteSeq).to_string(),
+            counters.accesses(AccessKind::RemoteRand).to_string(),
+            counters.syncs().to_string(),
+            format!("{:.1}", modeled_ms(c, r, s, t)),
+            violations.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\n(the diagram of Figure 2, quantified: MPSM's only remote traffic is sequential; \
+         the contenders pay saturated random remote latencies and — Wisconsin — latches)"
+    );
+}

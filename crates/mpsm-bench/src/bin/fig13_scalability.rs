@@ -1,0 +1,60 @@
+//! Experiment E5 — Figure 13: scalability in the number of cores.
+//!
+//! MPSM (P-MPSM) and the radix join (Vectorwise stand-in) over a thread
+//! sweep; the paper sweeps 2…64 on a 32-physical-core box and sees MPSM
+//! scale almost linearly up to 32, then flatten under hyperthreading.
+//! We sweep past the host's physical cores to reproduce the flattening.
+
+use mpsm_bench::audit::modeled_ms;
+use mpsm_bench::{parse_args, Contender, TableBuilder};
+use mpsm_bench::table::fmt_ms;
+use mpsm_core::sink::MaxAggSink;
+use mpsm_workload::fk_uniform;
+
+fn main() {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut sweep: Vec<usize> = vec![1, 2, 4, 8, 16];
+    if cores > 16 {
+        sweep.push(cores.min(32));
+    }
+    sweep.push(cores);
+    sweep.push(cores * 2); // past physical cores: expect flattening
+    sweep.dedup();
+
+    println!(
+        "Figure 13 — scalability (|R| = {}, multiplicity 4, host has {} cores)\n",
+        args.scale, cores
+    );
+    let w = fk_uniform(args.scale, 4, args.seed);
+
+    let mut table = TableBuilder::new(&[
+        "threads",
+        "MPSM ms",
+        "MPSM speedup",
+        "VW(radix) ms",
+        "VW speedup",
+        "model MPSM",
+        "model VW",
+    ]);
+    let mut base = (0.0f64, 0.0f64);
+    for (i, &t) in sweep.iter().enumerate() {
+        let (_, mpsm_stats) = Contender::Mpsm.run::<MaxAggSink>(t, &w.r, &w.s);
+        let (_, radix_stats) = Contender::Radix.run::<MaxAggSink>(t, &w.r, &w.s);
+        let (m_ms, v_ms) = (mpsm_stats.wall_ms(), radix_stats.wall_ms());
+        if i == 0 {
+            base = (m_ms, v_ms);
+        }
+        table.row(&[
+            t.to_string(),
+            fmt_ms(m_ms),
+            format!("{:.2}x", base.0 / m_ms),
+            fmt_ms(v_ms),
+            format!("{:.2}x", base.1 / v_ms),
+            fmt_ms(modeled_ms(Contender::Mpsm, w.r.len() as u64, w.s.len() as u64, t as u64)),
+            fmt_ms(modeled_ms(Contender::Radix, w.r.len() as u64, w.s.len() as u64, t as u64)),
+        ]);
+    }
+    table.print();
+    println!("\n(paper: MPSM scales ~linearly to 32 physical cores, flat at 64 HT contexts)");
+}

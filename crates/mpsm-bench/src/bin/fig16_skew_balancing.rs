@@ -1,0 +1,51 @@
+//! Experiment E8 — Figure 16: negatively correlated 80:20 skew and the
+//! splitter computation.
+//!
+//! R has 80% of its keys in the high 20% of the domain, S the opposite
+//! (multiplicity 4). Equi-height R partitioning (Figure 16b) balances
+//! the blue sort bars but ruins the green join bars; the cost-balanced
+//! splitters (Figure 16c) balance `sort + join` per worker. Histograms
+//! at B = 10 (granularity 1024), as in the paper.
+
+use mpsm_bench::{parse_args, TableBuilder};
+use mpsm_bench::table::fmt_ms;
+use mpsm_core::join::p_mpsm::{PMpsmJoin, SplitterPolicy};
+use mpsm_core::join::{JoinAlgorithm, JoinConfig};
+use mpsm_core::sink::MaxAggSink;
+use mpsm_workload::skewed_negative_correlation;
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "Figure 16 — negatively correlated skew (|R| = {}, m = 4, threads = {}, B = 10)\n",
+        args.scale, args.threads
+    );
+    let w = skewed_negative_correlation(args.scale, 4, 1 << 32, args.seed);
+    let cfg = JoinConfig::with_threads(args.threads).radix_bits(10);
+
+    for (policy, label) in [
+        (SplitterPolicy::EquiHeight, "equi-height R partitioning (Figure 16b)"),
+        (SplitterPolicy::CostBalanced, "equi-cost R-and-S splitters (Figure 16c)"),
+    ] {
+        let join = PMpsmJoin::new(cfg.clone()).with_splitter_policy(policy);
+        let (max, stats) = join.join_with_sink::<MaxAggSink>(&w.r, &w.s);
+        println!("{label}: total {} ms, result {max:?}", fmt_ms(stats.wall_ms()));
+        println!("  imbalance (slowest worker / average): {:.2}", stats.imbalance());
+        let mut table =
+            TableBuilder::new(&["worker", "phase1", "phase2", "phase3", "phase4", "total"]);
+        for (wk, phases) in stats.per_worker.iter().enumerate() {
+            let ms: Vec<f64> = phases.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+            table.row(&[
+                format!("W{wk}"),
+                fmt_ms(ms[0]),
+                fmt_ms(ms[1]),
+                fmt_ms(ms[2]),
+                fmt_ms(ms[3]),
+                fmt_ms(ms.iter().sum()),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+    println!("(paper: equi-height shows badly unbalanced join bars; splitters even them out)");
+}

@@ -1,0 +1,53 @@
+//! Internal: per-phase timing of the three-phase sort (development aid).
+use std::time::Instant;
+use mpsm_core::sort::{insertion, intro, radix, INSERTION_CUTOFF};
+use mpsm_core::Tuple;
+use mpsm_workload::unique_keys;
+
+fn main() {
+    let n = 1 << 23;
+    let data: Vec<Tuple> =
+        unique_keys(n, 7).into_iter().enumerate().map(|(i, k)| Tuple::new(k, i as u64)).collect();
+
+    let mut d = data.clone();
+    let t0 = Instant::now();
+    let bounds = radix::msd_radix_partition(&mut d);
+    let radix_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    for w in bounds.windows(2) {
+        let bucket = &mut d[w[0]..w[1]];
+        if bucket.len() > INSERTION_CUTOFF {
+            intro::introsort_coarse(bucket, INSERTION_CUTOFF);
+        }
+    }
+    let intro_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    insertion::insertion_sort(&mut d);
+    let ins_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(mpsm_core::tuple::is_key_sorted(&d));
+
+    let mut d2 = data.clone();
+    let t0 = Instant::now();
+    intro::introsort_coarse(&mut d2, 0);
+    let full_intro_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(mpsm_core::tuple::is_key_sorted(&d2));
+
+    let mut d3 = data.clone();
+    let t0 = Instant::now();
+    d3.sort_unstable_by_key(|t| t.key);
+    let std_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut d4 = data.clone();
+    let t0 = Instant::now();
+    intro::heapsort(&mut d4);
+    let heap_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    println!("radix pass:      {radix_ms:8.1} ms");
+    println!("per-bucket intro:{intro_ms:8.1} ms");
+    println!("insertion pass:  {ins_ms:8.1} ms");
+    println!("full introsort:  {full_intro_ms:8.1} ms");
+    println!("heapsort:        {heap_ms:8.1} ms");
+    println!("std pdqsort:     {std_ms:8.1} ms");
+}

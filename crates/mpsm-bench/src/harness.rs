@@ -1,0 +1,157 @@
+//! Command-line handling and the contender registry shared by all
+//! figure binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! ```text
+//! --scale N      |R| in tuples (default 1M = 2^20; paper: 1600M)
+//! --threads N    worker threads (default: all physical cores)
+//! --seed N       workload seed (default 42)
+//! --quick        divide the default scale by 8 (CI-friendly)
+//! ```
+//!
+//! so `EXPERIMENTS.md` can state one canonical invocation per figure.
+
+use mpsm_core::join::b_mpsm::BMpsmJoin;
+use mpsm_core::join::d_mpsm::DMpsmJoin;
+use mpsm_core::join::p_mpsm::PMpsmJoin;
+use mpsm_core::join::{JoinAlgorithm, JoinConfig};
+use mpsm_core::sink::JoinSink;
+use mpsm_core::stats::JoinStats;
+use mpsm_core::Tuple;
+use mpsm_baselines::{ClassicSortMergeJoin, RadixJoin, WisconsinHashJoin};
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// `|R|` in tuples.
+    pub scale: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            scale: 1 << 20,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            seed: 42,
+        }
+    }
+}
+
+/// Parse `std::env::args()`; panics with a usage message on bad input.
+pub fn parse_args() -> BenchArgs {
+    let mut args = BenchArgs::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--scale needs a number"));
+            }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--threads needs a number"));
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--seed needs a number"));
+            }
+            "--quick" => {
+                args.scale /= 8;
+            }
+            other => panic!("unknown flag {other}; supported: --scale --threads --seed --quick"),
+        }
+    }
+    assert!(args.scale > 0 && args.threads > 0);
+    args
+}
+
+/// The contenders of Figure 12, uniformly dispatchable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Contender {
+    /// P-MPSM (the paper's main algorithm).
+    Mpsm,
+    /// B-MPSM (no range partitioning).
+    BMpsm,
+    /// D-MPSM on the simulated disk array.
+    DMpsm,
+    /// Radix join (Vectorwise stand-in).
+    Radix,
+    /// Wisconsin no-partitioning hash join.
+    Wisconsin,
+    /// Classic sort-merge join with global merge.
+    ClassicSmj,
+}
+
+impl Contender {
+    /// Display name matching the paper's labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Contender::Mpsm => "MPSM",
+            Contender::BMpsm => "B-MPSM",
+            Contender::DMpsm => "D-MPSM",
+            Contender::Radix => "VW(radix)",
+            Contender::Wisconsin => "Wisconsin",
+            Contender::ClassicSmj => "ClassicSMJ",
+        }
+    }
+
+    /// Run the contender with sink `S`.
+    pub fn run<S: JoinSink>(
+        self,
+        threads: usize,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> (S::Result, JoinStats) {
+        let cfg = JoinConfig::with_threads(threads);
+        match self {
+            Contender::Mpsm => PMpsmJoin::new(cfg).join_with_sink::<S>(r, s),
+            Contender::BMpsm => BMpsmJoin::new(cfg).join_with_sink::<S>(r, s),
+            Contender::DMpsm => DMpsmJoin::with_join_config(cfg).join_with_sink::<S>(r, s),
+            Contender::Radix => RadixJoin::new(cfg).join_with_sink::<S>(r, s),
+            Contender::Wisconsin => WisconsinHashJoin::new(cfg).join_with_sink::<S>(r, s),
+            Contender::ClassicSmj => ClassicSortMergeJoin::new(cfg).join_with_sink::<S>(r, s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsm_core::sink::CountSink;
+
+    #[test]
+    fn default_args_are_positive() {
+        let a = BenchArgs::default();
+        assert!(a.scale > 0);
+        assert!(a.threads > 0);
+    }
+
+    #[test]
+    fn all_contenders_agree_on_a_small_join() {
+        let r: Vec<Tuple> = (0..200u64).map(|k| Tuple::new(k % 64, k)).collect();
+        let s: Vec<Tuple> = (0..600u64).map(|k| Tuple::new(k % 64, k)).collect();
+        let expected = mpsm_baselines::nested_loop::oracle_count(&r, &s);
+        for c in [
+            Contender::Mpsm,
+            Contender::BMpsm,
+            Contender::DMpsm,
+            Contender::Radix,
+            Contender::Wisconsin,
+            Contender::ClassicSmj,
+        ] {
+            let (count, _) = c.run::<CountSink>(4, &r, &s);
+            assert_eq!(count, expected, "{}", c.name());
+        }
+    }
+}

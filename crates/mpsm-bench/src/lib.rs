@@ -1,0 +1,11 @@
+//! Shared infrastructure of the benchmark harness: scale handling,
+//! table rendering, and contender registry. The figure binaries under
+//! `src/bin/` and the criterion micro-benchmarks under `benches/` build
+//! on this.
+
+pub mod audit;
+pub mod harness;
+pub mod table;
+
+pub use harness::{parse_args, BenchArgs, Contender};
+pub use table::TableBuilder;

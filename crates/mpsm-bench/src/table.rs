@@ -1,0 +1,118 @@
+//! Plain-text table rendering for the figure binaries.
+//!
+//! Every experiment binary prints the rows/series the corresponding
+//! paper figure reports; a small right-aligned table keeps the output
+//! diff-able and easy to paste into EXPERIMENTS.md.
+
+/// Builder for an aligned text table.
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableBuilder {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TableBuilder { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience: append a row of displayable cells.
+    pub fn row_display<D: std::fmt::Display>(&mut self, cells: &[D]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Render with aligned columns (first column left, rest right).
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if i == 0 {
+                        format!("{:<width$}", c, width = widths[i])
+                    } else {
+                        format!("{:>width$}", c, width = widths[i])
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format milliseconds with sensible precision.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 100.0 {
+        format!("{ms:.0}")
+    } else if ms >= 1.0 {
+        format!("{ms:.1}")
+    } else {
+        format!("{ms:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TableBuilder::new(&["name", "ms"]);
+        t.row(&["alpha".into(), "12".into()]);
+        t.row(&["b".into(), "12345".into()]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].ends_with("   12"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = TableBuilder::new(&["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(fmt_ms(1234.7), "1235");
+        assert_eq!(fmt_ms(12.34), "12.3");
+        assert_eq!(fmt_ms(0.1234), "0.123");
+    }
+}

@@ -1,0 +1,242 @@
+//! Global S-distribution CDF from local equi-height histograms (§4.1).
+//!
+//! After phase 1 every worker holds a *sorted* public run `S_i`, so an
+//! equi-height histogram of the run costs almost nothing: pick `f · T`
+//! evenly spaced elements. The local bounds of all workers are merged
+//! into a global cumulative distribution function; between the merged
+//! step points the paper interpolates linearly ("the diagonal
+//! connections between steps", Figure 8). The splitter computation then
+//! probes this CDF with candidate R partition bounds to estimate how
+//! much S data a partition would have to process.
+
+use crate::tuple::Tuple;
+
+/// Equi-height bounds of one sorted run: `count` keys splitting the run
+/// into equal-cardinality parts. Bound `j` is the key at the end of the
+/// `(j+1)`-th part, so each bound "represents" `len / count` tuples.
+pub fn equi_height_bounds(sorted: &[Tuple], count: usize) -> Vec<u64> {
+    assert!(count > 0, "need at least one bound");
+    if sorted.is_empty() {
+        return Vec::new();
+    }
+    debug_assert!(crate::tuple::is_key_sorted(sorted));
+    let n = sorted.len();
+    (1..=count)
+        .map(|j| sorted[(j * n / count).saturating_sub(1).min(n - 1)].key)
+        .collect()
+}
+
+/// A merged, monotone step function `key → cumulative tuple count`, with
+/// linear interpolation between steps.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    /// `(key, cumulative count ≤ key)`, strictly increasing in both.
+    points: Vec<(u64, f64)>,
+    total: f64,
+}
+
+impl Cdf {
+    /// Merge per-worker equi-height bounds into a global CDF.
+    ///
+    /// `locals` holds, per worker, the bound keys and the run length
+    /// they summarize. Every bound of worker `i` contributes a step of
+    /// `len_i / bounds_i.len()` tuples at its key.
+    pub fn from_local_bounds(locals: &[(Vec<u64>, usize)]) -> Self {
+        let mut steps: Vec<(u64, f64)> = Vec::new();
+        for (bounds, len) in locals {
+            if bounds.is_empty() {
+                continue;
+            }
+            let weight = *len as f64 / bounds.len() as f64;
+            for &key in bounds {
+                steps.push((key, weight));
+            }
+        }
+        steps.sort_unstable_by_key(|&(k, _)| k);
+        // Accumulate, merging equal keys.
+        let mut points: Vec<(u64, f64)> = Vec::with_capacity(steps.len());
+        let mut cum = 0.0;
+        for (key, w) in steps {
+            cum += w;
+            match points.last_mut() {
+                Some(last) if last.0 == key => last.1 = cum,
+                _ => points.push((key, cum)),
+            }
+        }
+        Cdf { total: cum, points }
+    }
+
+    /// Build the exact CDF of a set of sorted runs (each bound = one
+    /// tuple). Used by tests as ground truth and available for callers
+    /// with small inputs.
+    pub fn exact(runs: &[&[Tuple]]) -> Self {
+        let locals: Vec<(Vec<u64>, usize)> = runs
+            .iter()
+            .map(|r| (r.iter().map(|t| t.key).collect(), r.len()))
+            .collect();
+        Self::from_local_bounds(&locals)
+    }
+
+    /// Total tuple count represented.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Estimated number of tuples with key `≤ key` (linear interpolation
+    /// between steps, clamped to `[0, total]`).
+    pub fn estimate(&self, key: u64) -> f64 {
+        match self.points.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => self.points[i].1,
+            Err(0) => {
+                // Before the first step: interpolate from (min_key, 0)…
+                // we do not know min_key, so clamp to 0 (the paper's CDF
+                // likewise starts at the first collected bound).
+                match self.points.first() {
+                    Some(&(k0, c0)) if k0 > 0 => {
+                        // Interpolate from origin for smoothness.
+                        c0 * key as f64 / k0 as f64
+                    }
+                    _ => 0.0,
+                }
+            }
+            Err(i) if i == self.points.len() => self.total,
+            Err(i) => {
+                let (k0, c0) = self.points[i - 1];
+                let (k1, c1) = self.points[i];
+                let frac = (key - k0) as f64 / (k1 - k0) as f64;
+                c0 + frac * (c1 - c0)
+            }
+        }
+    }
+
+    /// Estimated number of tuples with key in `[lo, hi)`.
+    pub fn estimate_range(&self, lo: u64, hi: u64) -> f64 {
+        if hi <= lo {
+            return 0.0;
+        }
+        let below_lo = if lo == 0 { 0.0 } else { self.estimate(lo - 1) };
+        (self.estimate(hi - 1) - below_lo).max(0.0)
+    }
+
+    /// The merged step points (for inspection and plotting).
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_tuples(keys: &[u64]) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = keys.iter().map(|&k| Tuple::new(k, 0)).collect();
+        v.sort_unstable_by_key(|t| t.key);
+        v
+    }
+
+    #[test]
+    fn paper_figure_8_example() {
+        // Four runs of 8 tuples each, skewed small; 4 local bounds per
+        // worker (f·T = 4).
+        let s1 = sorted_tuples(&[1, 7, 10, 15, 22, 31, 66, 81]);
+        let s2 = sorted_tuples(&[2, 12, 17, 25, 33, 42, 78, 90]);
+        let s3 = sorted_tuples(&[4, 9, 13, 30, 37, 48, 54, 75]);
+        let s4 = sorted_tuples(&[5, 13, 28, 44, 49, 56, 77, 100]);
+        let b1 = equi_height_bounds(&s1, 4);
+        let b2 = equi_height_bounds(&s2, 4);
+        let b3 = equi_height_bounds(&s3, 4);
+        let b4 = equi_height_bounds(&s4, 4);
+        assert_eq!(b1, vec![7, 15, 31, 81], "paper's b11..b14");
+        assert_eq!(b2, vec![12, 25, 42, 90]);
+        assert_eq!(b3, vec![9, 30, 48, 75]);
+        assert_eq!(b4, vec![13, 44, 56, 100]);
+
+        let cdf = Cdf::from_local_bounds(&[(b1, 8), (b2, 8), (b3, 8), (b4, 8)]);
+        assert_eq!(cdf.total(), 32.0);
+        // Half of the distribution sits at/below the 8th bound.
+        let mid = cdf.estimate(31);
+        assert!((mid - 16.0).abs() <= 2.0, "≈ half at key 31, got {mid}");
+        assert_eq!(cdf.estimate(100), 32.0);
+        assert_eq!(cdf.estimate(u64::MAX), 32.0);
+    }
+
+    #[test]
+    fn equi_height_bounds_of_empty_run() {
+        assert!(equi_height_bounds(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn equi_height_bounds_more_bounds_than_tuples() {
+        let run = sorted_tuples(&[5, 6]);
+        let b = equi_height_bounds(&run, 8);
+        assert_eq!(b.len(), 8);
+        assert_eq!(*b.last().unwrap(), 6, "last bound is the run max");
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let runs = [sorted_tuples(&[1, 5, 9, 20, 21, 22, 90, 99])];
+        let cdf = Cdf::from_local_bounds(&[(equi_height_bounds(&runs[0], 8), 8)]);
+        let mut prev = -1.0;
+        for key in 0..120 {
+            let e = cdf.estimate(key);
+            assert!(e >= prev, "CDF must be monotone at key {key}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn exact_cdf_counts_precisely() {
+        let run = sorted_tuples(&[10, 20, 30, 40]);
+        let cdf = Cdf::exact(&[&run]);
+        assert_eq!(cdf.estimate(10), 1.0);
+        assert_eq!(cdf.estimate(25) as i64, 2);
+        assert_eq!(cdf.estimate(40), 4.0);
+        assert_eq!(cdf.estimate(5) as i64, 0);
+    }
+
+    #[test]
+    fn estimate_interpolates_between_steps() {
+        let cdf = Cdf::from_local_bounds(&[(vec![10, 20], 10)]);
+        // Steps: (10, 5), (20, 10). Midpoint interpolates.
+        let mid = cdf.estimate(15);
+        assert!((mid - 7.5).abs() < 1e-9, "expected 7.5, got {mid}");
+    }
+
+    #[test]
+    fn finer_local_histograms_improve_precision() {
+        // Ground truth: 1000 uniform keys.
+        let keys: Vec<u64> = (0..1000u64).map(|i| i * 1000).collect();
+        let run = sorted_tuples(&keys);
+        let exact = Cdf::exact(&[&run]);
+        let coarse = Cdf::from_local_bounds(&[(equi_height_bounds(&run, 4), 1000)]);
+        let fine = Cdf::from_local_bounds(&[(equi_height_bounds(&run, 64), 1000)]);
+        let probe = 333_333u64;
+        let err_coarse = (coarse.estimate(probe) - exact.estimate(probe)).abs();
+        let err_fine = (fine.estimate(probe) - exact.estimate(probe)).abs();
+        assert!(err_fine <= err_coarse + 1.0, "finer bounds must not be worse");
+    }
+
+    #[test]
+    fn empty_cdf_estimates_zero() {
+        let cdf = Cdf::from_local_bounds(&[]);
+        assert_eq!(cdf.total(), 0.0);
+        assert_eq!(cdf.estimate(12345), 0.0);
+    }
+
+    #[test]
+    fn skewed_distribution_shape() {
+        // 80% of mass at low keys: CDF must rise steeply early.
+        let mut keys = Vec::new();
+        for i in 0..800u64 {
+            keys.push(i); // low band
+        }
+        for i in 0..200u64 {
+            keys.push(10_000 + i); // high band
+        }
+        let run = sorted_tuples(&keys);
+        let cdf = Cdf::from_local_bounds(&[(equi_height_bounds(&run, 32), 1000)]);
+        let low = cdf.estimate(800);
+        assert!(low > 700.0, "≈ 800 tuples below key 800, got {low}");
+    }
+}

@@ -1,0 +1,237 @@
+//! B-MPSM: the basic massively parallel sort-merge join (§2.1, Figure 3).
+//!
+//! Three phases, `T` workers:
+//!
+//! 1. chunk the public input `S`; every worker sorts its chunk into a
+//!    run `S_i` (local memory only — commandment C1);
+//! 2. chunk the private input `R`; every worker sorts its chunk into a
+//!    run `R_i`;
+//! 3. every worker merge-joins its own `R_i` against **all** public runs
+//!    `S_1 … S_T` (sequential scans only — commandment C2).
+//!
+//! There is a single synchronization point — public runs must exist
+//! before the join phase — and no shared mutable state (commandment C3).
+//! Because no range partitioning happens, B-MPSM is "absolutely
+//! insensitive to any kind of skew": every worker touches exactly
+//! `|R|/T + |S|` tuples in phase 3 no matter how the keys are
+//! distributed. The price is that the join phase does not shrink as `T`
+//! grows — the motivation for P-MPSM (§2.2).
+
+use crate::join::variant::{band_merge_join, emit_variant_rows, merge_join_mark, JoinVariant};
+use crate::join::{JoinAlgorithm, JoinConfig};
+use crate::merge::merge_join;
+use crate::sink::JoinSink;
+use crate::sort::three_phase_sort;
+use crate::stats::{JoinStats, Phase};
+use crate::tuple::Tuple;
+use crate::worker::{chunk_ranges, run_parallel_timed};
+
+/// The basic MPSM join.
+#[derive(Debug, Clone)]
+pub struct BMpsmJoin {
+    config: JoinConfig,
+}
+
+impl BMpsmJoin {
+    /// Create a B-MPSM join with the given configuration.
+    pub fn new(config: JoinConfig) -> Self {
+        BMpsmJoin { config }
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &JoinConfig {
+        &self.config
+    }
+}
+
+impl BMpsmJoin {
+    /// Run a non-inner variant (left-outer / left-semi / left-anti on
+    /// the private side).
+    pub fn join_variant_with_sink<S: JoinSink>(
+        &self,
+        variant: JoinVariant,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> (S::Result, JoinStats) {
+        self.execute::<S>(Kernel::Variant(variant), r, s)
+    }
+
+    /// Band (non-equi) join: all pairs with `|r.key − s.key| ≤ delta`.
+    /// B-MPSM's topology — every worker scans all of S — makes band
+    /// predicates correct without partition-boundary replication.
+    pub fn band_join_with_sink<S: JoinSink>(
+        &self,
+        delta: u64,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> (S::Result, JoinStats) {
+        self.execute::<S>(Kernel::Band(delta), r, s)
+    }
+}
+
+/// Which merge kernel phase 3 runs.
+#[derive(Debug, Clone, Copy)]
+enum Kernel {
+    Variant(JoinVariant),
+    Band(u64),
+}
+
+impl JoinAlgorithm for BMpsmJoin {
+    fn name(&self) -> &'static str {
+        "B-MPSM"
+    }
+
+    fn join_with_sink<S: JoinSink>(&self, r: &[Tuple], s: &[Tuple]) -> (S::Result, JoinStats) {
+        self.execute::<S>(Kernel::Variant(JoinVariant::Inner), r, s)
+    }
+}
+
+impl BMpsmJoin {
+    fn execute<S: JoinSink>(&self, kernel: Kernel, r: &[Tuple], s: &[Tuple]) -> (S::Result, JoinStats) {
+        let t = self.config.threads;
+        let (r, s, _swapped) = self.config.assign_roles(r, s);
+        let wall = std::time::Instant::now();
+        let mut stats = JoinStats::new(t);
+
+        // Phase 1: sorted public runs (copy to worker-local storage,
+        // sort there — the copy is the paper's "redistribute, then work
+        // locally").
+        let s_ranges = chunk_ranges(s.len(), t);
+        let (s_runs, d1) = run_parallel_timed(t, |w| {
+            let mut run = s[s_ranges[w].clone()].to_vec();
+            three_phase_sort(&mut run);
+            run
+        });
+        stats.record_phase(Phase::One, &d1);
+
+        // Phase 2: sorted private runs.
+        let r_ranges = chunk_ranges(r.len(), t);
+        let (r_runs, d2) = run_parallel_timed(t, |w| {
+            let mut run = r[r_ranges[w].clone()].to_vec();
+            three_phase_sort(&mut run);
+            run
+        });
+        stats.record_phase(Phase::Two, &d2);
+
+        // Phase 3: every worker joins its private run with all public
+        // runs. The own run is re-scanned per public run (T times),
+        // which the complexity analysis of §2.2 accounts as T · |R|/T.
+        let (partials, d3) = run_parallel_timed(t, |w| {
+            let mut sink = S::default();
+            let run = &r_runs[w];
+            match kernel {
+                Kernel::Variant(JoinVariant::Inner) => {
+                    for s_run in &s_runs {
+                        merge_join(run, s_run, &mut sink);
+                    }
+                }
+                Kernel::Variant(variant) => {
+                    let mut matched = vec![false; run.len()];
+                    for s_run in &s_runs {
+                        merge_join_mark(run, s_run, &mut matched, variant.emits_pairs(), &mut sink);
+                    }
+                    emit_variant_rows(variant, run, &matched, &mut sink);
+                }
+                Kernel::Band(delta) => {
+                    for s_run in &s_runs {
+                        band_merge_join(run, s_run, delta, &mut sink);
+                    }
+                }
+            }
+            sink.finish()
+        });
+        stats.record_phase(Phase::Three, &d3);
+
+        stats.wall = wall.elapsed();
+        (S::combine_all(partials), stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CollectSink, CountSink};
+
+    fn keyed(keys: &[u64]) -> Vec<Tuple> {
+        keys.iter().enumerate().map(|(i, &k)| Tuple::new(k, i as u64)).collect()
+    }
+
+    fn nested_loop_count(r: &[Tuple], s: &[Tuple]) -> u64 {
+        r.iter().map(|rt| s.iter().filter(|st| st.key == rt.key).count() as u64).sum()
+    }
+
+    #[test]
+    fn joins_small_relations() {
+        let r = keyed(&[1, 5, 9, 5]);
+        let s = keyed(&[5, 5, 2, 9]);
+        let join = BMpsmJoin::new(JoinConfig::with_threads(2));
+        assert_eq!(join.count(&r, &s), nested_loop_count(&r, &s));
+    }
+
+    #[test]
+    fn matches_oracle_on_random_input_all_thread_counts() {
+        let mut state = 11u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 54
+        };
+        let r: Vec<Tuple> = (0..700).map(|i| Tuple::new(next(), i)).collect();
+        let s: Vec<Tuple> = (0..1900).map(|i| Tuple::new(next(), i)).collect();
+        let expected = nested_loop_count(&r, &s);
+        for threads in [1, 2, 3, 7, 16] {
+            let join = BMpsmJoin::new(JoinConfig::with_threads(threads));
+            assert_eq!(join.count(&r, &s), expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let join = BMpsmJoin::new(JoinConfig::with_threads(4));
+        assert_eq!(join.count(&[], &[]), 0);
+        assert_eq!(join.count(&keyed(&[1]), &[]), 0);
+        assert_eq!(join.count(&[], &keyed(&[1])), 0);
+    }
+
+    #[test]
+    fn more_threads_than_tuples() {
+        let r = keyed(&[3, 4]);
+        let s = keyed(&[4, 3, 4]);
+        let join = BMpsmJoin::new(JoinConfig::with_threads(16));
+        assert_eq!(join.count(&r, &s), 3);
+    }
+
+    #[test]
+    fn collects_correct_pairs() {
+        let r = keyed(&[2, 4]);
+        let s = keyed(&[4, 2]);
+        let join = BMpsmJoin::new(JoinConfig::with_threads(2));
+        let (mut rows, _) = join.join_with_sink::<CollectSink>(&r, &s);
+        rows.sort_unstable();
+        assert_eq!(rows, vec![(2, 0, 1), (4, 1, 0)]);
+    }
+
+    #[test]
+    fn stats_report_three_phases() {
+        let r = keyed(&(0..3000).map(|i| i % 97).collect::<Vec<_>>());
+        let s = keyed(&(0..3000).map(|i| i % 89).collect::<Vec<_>>());
+        let join = BMpsmJoin::new(JoinConfig::with_threads(4));
+        let (_, stats) = join.join_with_sink::<CountSink>(&r, &s);
+        assert_eq!(stats.per_worker.len(), 4);
+        assert!(stats.wall_ms() > 0.0);
+        assert_eq!(stats.phase_ms(Phase::Four), 0.0, "B-MPSM has no phase 4");
+    }
+
+    #[test]
+    fn skewed_input_still_correct() {
+        // All R keys identical: the worst case for partitioned joins is
+        // business as usual for B-MPSM.
+        let r = keyed(&vec![42u64; 500]);
+        let mut s_keys = vec![42u64; 100];
+        s_keys.extend(0..400u64);
+        let s = keyed(&s_keys);
+        let join = BMpsmJoin::new(JoinConfig::with_threads(8));
+        // 42 appears 100 times in the band plus once in 0..400.
+        assert_eq!(join.count(&r, &s), 500 * 101);
+        assert_eq!(join.count(&r, &s), nested_loop_count(&r, &s));
+    }
+}

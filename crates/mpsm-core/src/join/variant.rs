@@ -1,0 +1,244 @@
+//! Non-inner join variants (paper §7 future work: "outer, semi, and
+//! non-equi joins").
+//!
+//! The MPSM structure makes one-sided variants natural on the *private*
+//! side: every worker owns a complete private run `R_i` and scans all
+//! public runs, so after the merge phase it knows, per private tuple,
+//! whether a partner existed *anywhere* in `S`. A per-run `matched`
+//! bitmap (worker-local, commandment C3 intact) carries that knowledge
+//! across the `T` public runs:
+//!
+//! * **left outer** — inner pairs plus [`crate::sink::JoinSink::on_private`]
+//!   for every unmatched private tuple;
+//! * **left semi** — each matched private tuple once (no pairs);
+//! * **left anti** — each unmatched private tuple once.
+//!
+//! Non-equi **band joins** (`|r.key − s.key| ≤ delta`) are provided for
+//! the B-MPSM topology, where every worker sees all of `S` so no
+//! partition-boundary replication is needed ([`band_merge_join`]).
+
+use crate::sink::JoinSink;
+use crate::tuple::Tuple;
+
+/// The supported join variants (the private side is the "left").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinVariant {
+    /// Plain equi-join: all matching pairs.
+    #[default]
+    Inner,
+    /// All pairs plus one single-sided row per unmatched private tuple.
+    LeftOuter,
+    /// One single-sided row per private tuple with ≥ 1 partner.
+    LeftSemi,
+    /// One single-sided row per private tuple with no partner.
+    LeftAnti,
+}
+
+impl JoinVariant {
+    /// Whether the variant emits matching pairs.
+    pub fn emits_pairs(self) -> bool {
+        matches!(self, JoinVariant::Inner | JoinVariant::LeftOuter)
+    }
+}
+
+/// Merge-join `r` against one public run `s`, marking matched private
+/// tuples in `matched` (same length as `r`) and emitting pairs into
+/// `sink` if `emit_pairs`. Called once per public run; the bitmap
+/// accumulates across calls.
+pub fn merge_join_mark<S: JoinSink>(
+    r: &[Tuple],
+    s: &[Tuple],
+    matched: &mut [bool],
+    emit_pairs: bool,
+    sink: &mut S,
+) {
+    debug_assert_eq!(r.len(), matched.len());
+    debug_assert!(crate::tuple::is_key_sorted(r));
+    debug_assert!(crate::tuple::is_key_sorted(s));
+    let mut i = 0;
+    let mut j = 0;
+    while i < r.len() && j < s.len() {
+        let rk = r[i].key;
+        let sk = s[j].key;
+        if rk < sk {
+            i += 1;
+        } else if rk > sk {
+            j += 1;
+        } else {
+            let i_end = group_end(r, i);
+            let j_end = group_end(s, j);
+            for (rt, m) in r[i..i_end].iter().zip(matched[i..i_end].iter_mut()) {
+                *m = true;
+                if emit_pairs {
+                    for st in &s[j..j_end] {
+                        sink.on_match(*rt, *st);
+                    }
+                }
+            }
+            i = i_end;
+            j = j_end;
+        }
+    }
+}
+
+/// Finish a variant after all public runs were merged: emit the
+/// single-sided rows the variant calls for.
+pub fn emit_variant_rows<S: JoinSink>(
+    variant: JoinVariant,
+    r: &[Tuple],
+    matched: &[bool],
+    sink: &mut S,
+) {
+    match variant {
+        JoinVariant::Inner => {}
+        JoinVariant::LeftOuter | JoinVariant::LeftAnti => {
+            for (t, &m) in r.iter().zip(matched) {
+                if !m {
+                    sink.on_private(*t);
+                }
+            }
+        }
+        JoinVariant::LeftSemi => {
+            for (t, &m) in r.iter().zip(matched) {
+                if m {
+                    sink.on_private(*t);
+                }
+            }
+        }
+    }
+}
+
+/// Band merge join: emit all pairs with `|r.key − s.key| ≤ delta` from
+/// two key-sorted runs. Forward-only on both runs (a sliding window on
+/// `s`), so remote scans stay sequential (commandment C2).
+pub fn band_merge_join<S: JoinSink>(r: &[Tuple], s: &[Tuple], delta: u64, sink: &mut S) {
+    debug_assert!(crate::tuple::is_key_sorted(r));
+    debug_assert!(crate::tuple::is_key_sorted(s));
+    let mut window_start = 0usize;
+    for rt in r {
+        let lo = rt.key.saturating_sub(delta);
+        let hi = rt.key.saturating_add(delta);
+        while window_start < s.len() && s[window_start].key < lo {
+            window_start += 1;
+        }
+        let mut j = window_start;
+        while j < s.len() && s[j].key <= hi {
+            sink.on_match(*rt, s[j]);
+            j += 1;
+        }
+    }
+}
+
+#[inline]
+fn group_end(run: &[Tuple], start: usize) -> usize {
+    let key = run[start].key;
+    let mut end = start + 1;
+    while end < run.len() && run[end].key == key {
+        end += 1;
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CollectSink, CountSink, NULL_PAYLOAD};
+
+    fn sorted(keys: &[(u64, u64)]) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = keys.iter().map(|&(k, p)| Tuple::new(k, p)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn marking_accumulates_across_runs() {
+        let r = sorted(&[(1, 0), (2, 0), (3, 0)]);
+        let s1 = sorted(&[(1, 10)]);
+        let s2 = sorted(&[(3, 30)]);
+        let mut matched = vec![false; r.len()];
+        let mut sink = CountSink::default();
+        merge_join_mark(&r, &s1, &mut matched, true, &mut sink);
+        merge_join_mark(&r, &s2, &mut matched, true, &mut sink);
+        assert_eq!(matched, vec![true, false, true]);
+        assert_eq!(sink.finish(), 2);
+    }
+
+    #[test]
+    fn outer_rows_pad_unmatched() {
+        let r = sorted(&[(1, 11), (2, 22)]);
+        let s = sorted(&[(1, 100)]);
+        let mut matched = vec![false; r.len()];
+        let mut sink = CollectSink::default();
+        merge_join_mark(&r, &s, &mut matched, true, &mut sink);
+        emit_variant_rows(JoinVariant::LeftOuter, &r, &matched, &mut sink);
+        let mut rows = sink.finish();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![(1, 11, 100), (2, 22, NULL_PAYLOAD)]);
+    }
+
+    #[test]
+    fn semi_and_anti_partition_the_private_input() {
+        let r = sorted(&[(1, 0), (2, 0), (3, 0), (3, 1)]);
+        let s = sorted(&[(3, 0), (3, 9), (5, 0)]);
+        let mut matched = vec![false; r.len()];
+        let mut probe = CountSink::default();
+        merge_join_mark(&r, &s, &mut matched, false, &mut probe);
+        assert_eq!(probe.finish(), 0, "semi/anti must not emit pairs");
+
+        let mut semi = CountSink::default();
+        emit_variant_rows(JoinVariant::LeftSemi, &r, &matched, &mut semi);
+        let mut anti = CountSink::default();
+        emit_variant_rows(JoinVariant::LeftAnti, &r, &matched, &mut anti);
+        assert_eq!(semi.finish(), 2, "both key-3 tuples matched");
+        assert_eq!(anti.finish(), 2, "keys 1 and 2 unmatched");
+    }
+
+    #[test]
+    fn duplicate_groups_mark_every_member_and_emit_cross_products() {
+        let r = sorted(&[(7, 0), (7, 1)]);
+        let s = sorted(&[(7, 10), (7, 11), (7, 12)]);
+        let mut matched = vec![false; 2];
+        let mut sink = CountSink::default();
+        merge_join_mark(&r, &s, &mut matched, true, &mut sink);
+        assert_eq!(sink.finish(), 6);
+        assert_eq!(matched, vec![true, true]);
+    }
+
+    #[test]
+    fn band_join_window() {
+        let r = sorted(&[(10, 0), (20, 1)]);
+        let s = sorted(&[(7, 0), (9, 1), (12, 2), (18, 3), (25, 4)]);
+        let mut sink = CollectSink::default();
+        band_merge_join(&r, &s, 2, &mut sink);
+        let mut rows = sink.finish();
+        rows.sort_unstable();
+        // 10 matches 9 and 12 (|Δ|≤2); 20 matches 18.
+        assert_eq!(rows, vec![(10, 0, 1), (10, 0, 2), (20, 1, 3)]);
+    }
+
+    #[test]
+    fn band_join_delta_zero_is_equi() {
+        let r = sorted(&[(5, 0), (6, 0)]);
+        let s = sorted(&[(5, 1), (7, 1)]);
+        let mut sink = CountSink::default();
+        band_merge_join(&r, &s, 0, &mut sink);
+        assert_eq!(sink.finish(), 1);
+    }
+
+    #[test]
+    fn band_join_saturates_at_domain_edges() {
+        let r = sorted(&[(0, 0), (u64::MAX, 1)]);
+        let s = sorted(&[(1, 0), (u64::MAX - 1, 1)]);
+        let mut sink = CountSink::default();
+        band_merge_join(&r, &s, 5, &mut sink);
+        assert_eq!(sink.finish(), 2, "no overflow at either end");
+    }
+
+    #[test]
+    fn variant_pair_emission_flags() {
+        assert!(JoinVariant::Inner.emits_pairs());
+        assert!(JoinVariant::LeftOuter.emits_pairs());
+        assert!(!JoinVariant::LeftSemi.emits_pairs());
+        assert!(!JoinVariant::LeftAnti.emits_pairs());
+    }
+}

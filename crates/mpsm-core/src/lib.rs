@@ -1,0 +1,57 @@
+//! # mpsm-core — Massively Parallel Sort-Merge joins
+//!
+//! From-scratch implementation of the MPSM join suite from *"Massively
+//! Parallel Sort-Merge Joins in Main Memory Multi-Core Database
+//! Systems"* (Albutiu, Kemper, Neumann; PVLDB 5(10), 2012):
+//!
+//! * [`join::b_mpsm`] — **B-MPSM**, the basic, absolutely skew-immune
+//!   variant (§2.1): every worker sorts a private and a public chunk,
+//!   then merge-joins its private run against *all* public runs.
+//! * [`join::p_mpsm`] — **P-MPSM**, the range-partitioned main-memory
+//!   variant (§3.2): a prologue range-partitions the private input with
+//!   synchronization-free scatter so each worker only touches `1/T` of
+//!   the key domain of the public input. Skew resilience via CDF +
+//!   cost-balanced splitters (§4).
+//! * [`join::d_mpsm`] — **D-MPSM**, the memory-constrained disk variant
+//!   (§3.1): runs are spooled through `mpsm-storage`, and workers move
+//!   synchronously through the key domain behind a page index, ahead of
+//!   which an asynchronous prefetcher loads pages and behind which pages
+//!   are released.
+//!
+//! Supporting machinery, each in its own module and usable on its own:
+//! the paper's three-phase [`sort`] (§2.3), radix [`histogram`]s and
+//! prefix sums (§3.2.1), the public-input [`cdf`] (§4.1), cost-balanced
+//! [`splitter`]s (§4.2–4.3), [`interpolation`] search (§3.2.2), the
+//! duplicate-correct [`merge`] join kernel, pluggable result [`sink`]s,
+//! and per-phase [`stats`].
+//!
+//! ## Design rules (the paper's NUMA "commandments")
+//!
+//! * **C1** — no random writes to remote memory: all sorting happens on
+//!   worker-local chunks; the only cross-worker writes (the scatter of
+//!   phase 2) go *sequentially* into precomputed disjoint windows.
+//! * **C2** — remote reads only sequentially: the join phase scans runs;
+//!   the only non-sequential probes are the `O(log log)` interpolation
+//!   search steps per (worker, run) pair.
+//! * **C3** — no fine-grained synchronization: there are no atomics or
+//!   latches in any hot loop; workers synchronize only at phase
+//!   boundaries.
+
+pub mod adapter;
+pub mod cdf;
+pub mod histogram;
+pub mod interpolation;
+pub mod join;
+pub mod merge;
+pub mod partition;
+pub mod sink;
+pub mod sort;
+pub mod splitter;
+pub mod stats;
+pub mod tuple;
+pub mod worker;
+
+pub use histogram::RadixDomain;
+pub use join::{JoinAlgorithm, JoinConfig, Role};
+pub use stats::{JoinStats, Phase};
+pub use tuple::Tuple;

@@ -1,0 +1,149 @@
+//! The merge-join kernel.
+//!
+//! Joins two key-sorted runs with full duplicate semantics: for every
+//! group of equal keys the cross product of the two groups is emitted
+//! (an equi-join must produce `|G_r| × |G_s|` pairs). The kernel is the
+//! inner loop of all three MPSM variants — phase 3 of B-MPSM and phase 4
+//! of P-MPSM call it once per `(private run, public run)` pair, D-MPSM
+//! streams it over paged runs.
+//!
+//! Both runs are only ever scanned forward, which is what makes the
+//! remote reads of the join phase sequential (commandment C2).
+
+use crate::sink::JoinSink;
+use crate::tuple::Tuple;
+
+/// Merge-join two key-sorted runs into `sink`.
+/// `r` is the private input (first argument of `on_match`).
+pub fn merge_join<S: JoinSink>(r: &[Tuple], s: &[Tuple], sink: &mut S) {
+    debug_assert!(crate::tuple::is_key_sorted(r), "private run must be sorted");
+    debug_assert!(crate::tuple::is_key_sorted(s), "public run must be sorted");
+    let mut i = 0;
+    let mut j = 0;
+    while i < r.len() && j < s.len() {
+        let rk = r[i].key;
+        let sk = s[j].key;
+        if rk < sk {
+            // Skip ahead over the non-matching r group.
+            i += 1;
+            while i < r.len() && r[i].key < sk {
+                i += 1;
+            }
+        } else if rk > sk {
+            j += 1;
+            while j < s.len() && s[j].key < rk {
+                j += 1;
+            }
+        } else {
+            // Equal keys: emit the cross product of both groups.
+            let i_end = group_end(r, i);
+            let j_end = group_end(s, j);
+            for rt in &r[i..i_end] {
+                for st in &s[j..j_end] {
+                    sink.on_match(*rt, *st);
+                }
+            }
+            i = i_end;
+            j = j_end;
+        }
+    }
+}
+
+/// One-past-the-end of the duplicate group starting at `start`.
+#[inline]
+fn group_end(run: &[Tuple], start: usize) -> usize {
+    let key = run[start].key;
+    let mut end = start + 1;
+    while end < run.len() && run[end].key == key {
+        end += 1;
+    }
+    end
+}
+
+/// Merge-join counting matches only (convenience used by tests and the
+/// complexity experiments).
+pub fn merge_join_count(r: &[Tuple], s: &[Tuple]) -> u64 {
+    let mut sink = crate::sink::CountSink::default();
+    merge_join(r, s, &mut sink);
+    sink.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CollectSink, CountSink};
+
+    fn sorted(keys: &[(u64, u64)]) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = keys.iter().map(|&(k, p)| Tuple::new(k, p)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn nested_loop_count(r: &[Tuple], s: &[Tuple]) -> u64 {
+        r.iter().map(|rt| s.iter().filter(|st| st.key == rt.key).count() as u64).sum()
+    }
+
+    #[test]
+    fn joins_simple_runs() {
+        let r = sorted(&[(1, 10), (3, 30), (5, 50)]);
+        let s = sorted(&[(2, 2), (3, 3), (5, 5), (7, 7)]);
+        let mut sink = CollectSink::default();
+        merge_join(&r, &s, &mut sink);
+        assert_eq!(sink.finish(), vec![(3, 30, 3), (5, 50, 5)]);
+    }
+
+    #[test]
+    fn duplicate_groups_emit_cross_products() {
+        let r = sorted(&[(4, 1), (4, 2), (4, 3)]);
+        let s = sorted(&[(4, 10), (4, 20)]);
+        assert_eq!(merge_join_count(&r, &s), 6, "3 × 2 pairs");
+        let mut sink = CollectSink::default();
+        merge_join(&r, &s, &mut sink);
+        let rows = sink.finish();
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|&(k, _, _)| k == 4));
+    }
+
+    #[test]
+    fn disjoint_runs_join_empty() {
+        let r = sorted(&[(1, 0), (2, 0)]);
+        let s = sorted(&[(10, 0), (20, 0)]);
+        assert_eq!(merge_join_count(&r, &s), 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r = sorted(&[(1, 0)]);
+        assert_eq!(merge_join_count(&r, &[]), 0);
+        assert_eq!(merge_join_count(&[], &r), 0);
+        assert_eq!(merge_join_count(&[], &[]), 0);
+    }
+
+    #[test]
+    fn matches_nested_loop_on_random_input() {
+        let mut state = 3u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 56 // narrow domain → many duplicates
+        };
+        let r = sorted(&(0..300).map(|i| (next(), i)).collect::<Vec<_>>());
+        let s = sorted(&(0..500).map(|i| (next(), i)).collect::<Vec<_>>());
+        assert_eq!(merge_join_count(&r, &s), nested_loop_count(&r, &s));
+    }
+
+    #[test]
+    fn interleaved_gaps_are_skipped() {
+        let r = sorted(&[(1, 0), (100, 0), (200, 0), (300, 0)]);
+        let s = sorted(&[(50, 0), (100, 0), (150, 0), (250, 0), (300, 0)]);
+        let mut sink = CountSink::default();
+        merge_join(&r, &s, &mut sink);
+        assert_eq!(sink.finish(), 2); // 100 and 300
+    }
+
+    #[test]
+    fn all_equal_keys_is_full_cross_product() {
+        let r = sorted(&(0..50u64).map(|i| (9, i)).collect::<Vec<_>>());
+        let s = sorted(&(0..40u64).map(|i| (9, i)).collect::<Vec<_>>());
+        assert_eq!(merge_join_count(&r, &s), 50 * 40);
+    }
+}

@@ -1,0 +1,199 @@
+//! Synchronization-free range partitioning of the private input
+//! (P-MPSM phase 2.3, Figure 6 / Figure 10).
+//!
+//! Every worker scatters its chunk into the target runs through the
+//! indirection of the splitter vector:
+//!
+//! ```text
+//! memcpy(ps_i[sp[t.key >> (64 − B)]]++, t, t.size)
+//! ```
+//!
+//! The prefix sums give every worker a *dedicated index range in each
+//! target run* into which it writes sequentially — "orders of magnitude
+//! more efficient than synchronized writing" (Figure 1 (2)) and immune
+//! to cache-coherency overhead. In Rust the disjoint windows are
+//! materialized as `&mut [Tuple]` slices carved with `split_at_mut`, so
+//! the compiler proves what the paper argues: no two workers can touch
+//! the same element.
+
+use crate::histogram::{compute_histogram, fold_histogram, partition_sizes, prefix_sums, RadixDomain};
+use crate::splitter::Splitters;
+use crate::tuple::Tuple;
+use crate::worker::run_parallel;
+
+/// Range-partition `chunks` (one per worker) into
+/// `splitters.parts()` target runs. Returns the unsorted target runs;
+/// within each run, worker sub-partitions appear in worker order, each
+/// in original chunk order (exactly the paper's Figure 6 layout).
+pub fn range_partition(
+    chunks: &[&[Tuple]],
+    domain: &RadixDomain,
+    splitters: &Splitters,
+) -> Vec<Vec<Tuple>> {
+    let workers = chunks.len();
+    let parts = splitters.parts();
+    if workers == 0 {
+        return vec![Vec::new(); parts];
+    }
+
+    // Local histograms over *partitions* (bucket histogram folded
+    // through the splitter assignment), in parallel.
+    let histograms: Vec<Vec<usize>> = run_parallel(workers, |w| {
+        let bucket_hist = compute_histogram(chunks[w], domain);
+        fold_histogram(&bucket_hist, splitters.assignment(), parts)
+    });
+
+    let sizes = partition_sizes(&histograms);
+    let ps = prefix_sums(&histograms);
+
+    // Allocate target runs and carve per-worker windows. `windows[w][p]`
+    // is worker w's disjoint slice of partition p, starting at ps[w][p].
+    let mut partitions: Vec<Vec<Tuple>> =
+        sizes.iter().map(|&sz| vec![Tuple::default(); sz]).collect();
+    let mut windows: Vec<Vec<&mut [Tuple]>> = (0..workers).map(|_| Vec::with_capacity(parts)).collect();
+    {
+        let mut remaining: Vec<&mut [Tuple]> =
+            partitions.iter_mut().map(|p| p.as_mut_slice()).collect();
+        for (w, row) in windows.iter_mut().enumerate() {
+            for (p, rem) in remaining.iter_mut().enumerate() {
+                debug_assert_eq!(
+                    sizes[p] - rem.len(),
+                    ps[w][p],
+                    "window carving must follow the prefix sums"
+                );
+                let take = histograms[w][p];
+                let slot = std::mem::take(rem);
+                let (head, tail) = slot.split_at_mut(take);
+                row.push(head);
+                *rem = tail;
+            }
+        }
+        debug_assert!(remaining.iter().all(|r| r.is_empty()), "windows must cover the runs");
+    }
+
+    // Parallel scatter: sequential writes into precomputed windows, no
+    // synchronization (commandments C1 + C3).
+    std::thread::scope(|scope| {
+        for (w, mut row) in windows.into_iter().enumerate() {
+            let chunk = chunks[w];
+            scope.spawn(move || {
+                let mut cursors = vec![0usize; row.len()];
+                for t in chunk {
+                    let p = splitters.partition_of_bucket(domain.bucket_of(t.key));
+                    row[p][cursors[p]] = *t;
+                    cursors[p] += 1;
+                }
+            });
+        }
+    });
+
+    partitions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::splitter::equi_height_splitters;
+
+    fn tuples(keys: &[u64]) -> Vec<Tuple> {
+        keys.iter().map(|&k| Tuple::new(k, k * 100)).collect()
+    }
+
+    #[test]
+    fn paper_figure_6_scatter() {
+        // B = 1, keys in [0, 32), two workers.
+        let domain = RadixDomain::from_range(0, 31, 1);
+        let sp = Splitters::from_assignment(vec![0, 1], 2);
+        let c1 = tuples(&[19, 7, 3, 21, 1, 17, 4]);
+        let c2 = tuples(&[2, 23, 4, 31, 8, 20, 26]);
+        let runs = range_partition(&[&c1, &c2], &domain, &sp);
+        let keys = |r: &[Tuple]| r.iter().map(|t| t.key).collect::<Vec<_>>();
+        // Figure 6: R1 = W1's small keys in order, then W2's.
+        assert_eq!(keys(&runs[0]), vec![7, 3, 1, 4, 2, 4, 8]);
+        assert_eq!(keys(&runs[1]), vec![19, 21, 17, 23, 31, 20, 26]);
+    }
+
+    #[test]
+    fn partitions_respect_key_ranges() {
+        let domain = RadixDomain::from_range(0, 4095, 6);
+        let chunks_data: Vec<Vec<Tuple>> = (0..4)
+            .map(|w| (0..1000u64).map(|i| Tuple::new((i * 37 + w * 13) % 4096, i)).collect())
+            .collect();
+        let chunks: Vec<&[Tuple]> = chunks_data.iter().map(|c| c.as_slice()).collect();
+        let hist = crate::histogram::combine_histograms(
+            &chunks.iter().map(|c| compute_histogram(c, &domain)).collect::<Vec<_>>(),
+        );
+        let sp = equi_height_splitters(&hist, 4);
+        let runs = range_partition(&chunks, &domain, &sp);
+        assert_eq!(runs.len(), 4);
+        for (p, run) in runs.iter().enumerate() {
+            for t in run {
+                assert_eq!(
+                    sp.partition_of_bucket(domain.bucket_of(t.key)),
+                    p,
+                    "tuple {t:?} in wrong partition"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_is_a_permutation() {
+        let domain = RadixDomain::from_range(0, 999, 4);
+        let chunks_data: Vec<Vec<Tuple>> =
+            (0..3).map(|w| (0..500u64).map(|i| Tuple::new((i * 7 + w) % 1000, i + w * 1000)).collect()).collect();
+        let chunks: Vec<&[Tuple]> = chunks_data.iter().map(|c| c.as_slice()).collect();
+        let hist = crate::histogram::combine_histograms(
+            &chunks.iter().map(|c| compute_histogram(c, &domain)).collect::<Vec<_>>(),
+        );
+        let sp = equi_height_splitters(&hist, 3);
+        let runs = range_partition(&chunks, &domain, &sp);
+
+        let mut before: Vec<(u64, u64)> = chunks_data
+            .iter()
+            .flat_map(|c| c.iter().map(|t| (t.key, t.payload)))
+            .collect();
+        let mut after: Vec<(u64, u64)> =
+            runs.iter().flat_map(|r| r.iter().map(|t| (t.key, t.payload))).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after, "partitioning must not lose or duplicate tuples");
+    }
+
+    #[test]
+    fn empty_chunks_produce_empty_partitions() {
+        let domain = RadixDomain::from_range(0, 100, 2);
+        let sp = Splitters::from_assignment(vec![0, 1, 2, 3], 4);
+        let empty: [&[Tuple]; 2] = [&[], &[]];
+        let runs = range_partition(&empty, &domain, &sp);
+        assert_eq!(runs.len(), 4);
+        assert!(runs.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn single_worker_single_partition() {
+        let domain = RadixDomain::from_range(0, 100, 1);
+        let sp = Splitters::from_assignment(vec![0, 0], 1);
+        let c = tuples(&[5, 99, 1]);
+        let runs = range_partition(&[&c], &domain, &sp);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].len(), 3);
+        assert_eq!(runs[0], c, "single window preserves chunk order");
+    }
+
+    #[test]
+    fn duplicates_stay_in_one_partition() {
+        let domain = RadixDomain::from_range(0, 1023, 5);
+        let chunks_data: Vec<Vec<Tuple>> =
+            (0..4).map(|w| (0..256).map(|i| Tuple::new(512, (w * 256 + i) as u64)).collect()).collect();
+        let chunks: Vec<&[Tuple]> = chunks_data.iter().map(|c| c.as_slice()).collect();
+        let hist = crate::histogram::combine_histograms(
+            &chunks.iter().map(|c| compute_histogram(c, &domain)).collect::<Vec<_>>(),
+        );
+        let sp = equi_height_splitters(&hist, 4);
+        let runs = range_partition(&chunks, &domain, &sp);
+        let non_empty = runs.iter().filter(|r| !r.is_empty()).count();
+        assert_eq!(non_empty, 1, "equal keys cannot be split across partitions");
+        assert_eq!(runs.iter().map(|r| r.len()).sum::<usize>(), 1024);
+    }
+}

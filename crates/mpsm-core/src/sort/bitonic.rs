@@ -1,0 +1,245 @@
+//! Bitonic sorting networks — the paper's §6 outlook.
+//!
+//! > "For sorting in MPSM we developed our own Radix/IntroSort. In the
+//! > future however, wider SIMD registers will allow to explore bitonic
+//! > SIMD sorting \[6\]."
+//!
+//! This module provides that exploration in portable Rust: Batcher's
+//! bitonic network as a branch-free sequence of compare-exchanges whose
+//! fixed, data-independent schedule is what makes it SIMD-friendly
+//! (the compiler can vectorize the stride-`j` exchange loops; with
+//! explicit SIMD each exchange becomes a min/max lane pair). The paper
+//! could not use it in 2012 because SIMD registers were limited to
+//! 32-bit lanes — too narrow for its 64-bit keys.
+//!
+//! Two entry points:
+//!
+//! * [`bitonic_sort`] — sort any slice (non-powers-of-two go through a
+//!   `u64::MAX`-padded scratch network);
+//! * [`introsort_bitonic`] — quicksort that finishes partitions `≤
+//!   BITONIC_BLOCK` with the network instead of deferring to a final
+//!   insertion pass (an ablation against the paper's phase 3, compared
+//!   in the `sort` bench).
+
+use crate::tuple::Tuple;
+
+/// Partition size at which [`introsort_bitonic`] switches to the
+/// network (a 32-element network has 15 rounds of compare-exchanges).
+pub const BITONIC_BLOCK: usize = 32;
+
+/// One compare-exchange: order `tuples[i]` and `tuples[l]` by key,
+/// ascending if `up`. Branch-reduced: the swap condition is the only
+/// branch and is highly predictable within a monotone round.
+#[inline]
+fn compare_exchange(tuples: &mut [Tuple], i: usize, l: usize, up: bool) {
+    if (tuples[i].key > tuples[l].key) == up {
+        tuples.swap(i, l);
+    }
+}
+
+/// In-place bitonic network over a power-of-two-sized slice.
+///
+/// # Panics
+/// Panics if `tuples.len()` is not a power of two.
+pub fn bitonic_sort_pow2(tuples: &mut [Tuple]) {
+    let n = tuples.len();
+    assert!(n.is_power_of_two() || n == 0, "bitonic network needs a power-of-two size");
+    if n < 2 {
+        return;
+    }
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j > 0 {
+            for i in 0..n {
+                let l = i ^ j;
+                if l > i {
+                    // Direction flips every `k` elements, producing the
+                    // bitonic sequences the next stage merges.
+                    compare_exchange(tuples, i, l, (i & k) == 0);
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+}
+
+/// Sort any slice with the bitonic network; non-power-of-two lengths
+/// are padded with `u64::MAX` keys in a scratch buffer (the padding
+/// sinks to the tail and is dropped).
+pub fn bitonic_sort(tuples: &mut [Tuple]) {
+    let n = tuples.len();
+    if n < 2 {
+        return;
+    }
+    if n.is_power_of_two() {
+        bitonic_sort_pow2(tuples);
+        return;
+    }
+    let padded = n.next_power_of_two();
+    let mut scratch = Vec::with_capacity(padded);
+    scratch.extend_from_slice(tuples);
+    scratch.resize(padded, Tuple::new(u64::MAX, u64::MAX));
+    bitonic_sort_pow2(&mut scratch);
+    tuples.copy_from_slice(&scratch[..n]);
+}
+
+/// Quicksort (same depth-limited scheme as [`super::intro`]) that
+/// finishes small partitions with the bitonic network immediately —
+/// no deferred insertion pass needed.
+pub fn introsort_bitonic(tuples: &mut [Tuple]) {
+    if tuples.len() < 2 {
+        return;
+    }
+    let depth_limit = 2 * tuples.len().ilog2();
+    sort_rec(tuples, depth_limit);
+}
+
+fn sort_rec(tuples: &mut [Tuple], depth_left: u32) {
+    let mut slice = tuples;
+    let mut depth = depth_left;
+    loop {
+        if slice.len() <= BITONIC_BLOCK {
+            bitonic_sort(slice);
+            return;
+        }
+        if depth == 0 {
+            super::intro::heapsort(slice);
+            return;
+        }
+        let split = hoare_partition(slice);
+        depth -= 1;
+        let (left, right) = slice.split_at_mut(split + 1);
+        if left.len() < right.len() {
+            sort_rec(left, depth);
+            slice = right;
+        } else {
+            sort_rec(right, depth);
+            slice = left;
+        }
+    }
+}
+
+/// Same Hoare partition as `super::intro` (duplicated locally because
+/// the two modules are alternative phase-2 strategies with different
+/// leaf handling; keeping them independent keeps the ablation honest).
+fn hoare_partition(tuples: &mut [Tuple]) -> usize {
+    let len = tuples.len();
+    let mid = len / 2;
+    if tuples[mid].key < tuples[0].key {
+        tuples.swap(mid, 0);
+    }
+    if tuples[len - 1].key < tuples[0].key {
+        tuples.swap(len - 1, 0);
+    }
+    if tuples[len - 1].key < tuples[mid].key {
+        tuples.swap(len - 1, mid);
+    }
+    let pivot = tuples[mid].key;
+    let mut i = 0usize;
+    let mut j = len - 1;
+    loop {
+        while tuples[i].key < pivot {
+            i += 1;
+        }
+        while tuples[j].key > pivot {
+            j -= 1;
+        }
+        if i >= j {
+            return j.min(len - 2);
+        }
+        tuples.swap(i, j);
+        i += 1;
+        j -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::is_key_sorted;
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<Tuple> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                Tuple::new(state >> 32, i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn network_sorts_all_power_of_two_sizes() {
+        for exp in 0..10u32 {
+            let mut data = pseudo_random(1 << exp, exp as u64 + 1);
+            bitonic_sort_pow2(&mut data);
+            assert!(is_key_sorted(&data), "size {}", 1 << exp);
+        }
+    }
+
+    #[test]
+    fn padded_network_sorts_arbitrary_sizes() {
+        for n in [0usize, 1, 3, 5, 17, 31, 33, 100, 1000, 1025] {
+            let mut data = pseudo_random(n, n as u64 + 7);
+            let mut expected: Vec<u64> = data.iter().map(|t| t.key).collect();
+            expected.sort_unstable();
+            bitonic_sort(&mut data);
+            assert!(is_key_sorted(&data), "size {n}");
+            let got: Vec<u64> = data.iter().map(|t| t.key).collect();
+            assert_eq!(got, expected, "size {n}: padding must not leak");
+        }
+    }
+
+    #[test]
+    fn network_preserves_payload_pairs() {
+        let mut data = pseudo_random(64, 3);
+        let mut before: Vec<(u64, u64)> = data.iter().map(|t| (t.key, t.payload)).collect();
+        bitonic_sort_pow2(&mut data);
+        let mut after: Vec<(u64, u64)> = data.iter().map(|t| (t.key, t.payload)).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn network_handles_duplicates() {
+        let mut data: Vec<Tuple> = (0..128).map(|i| Tuple::new(i % 5, i)).collect();
+        bitonic_sort_pow2(&mut data);
+        assert!(is_key_sorted(&data));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn pow2_entry_rejects_other_sizes() {
+        let mut data = pseudo_random(24, 1);
+        bitonic_sort_pow2(&mut data);
+    }
+
+    #[test]
+    fn introsort_bitonic_sorts_large_input() {
+        let mut data = pseudo_random(50_000, 9);
+        introsort_bitonic(&mut data);
+        assert!(is_key_sorted(&data));
+    }
+
+    #[test]
+    fn introsort_bitonic_matches_three_phase() {
+        let mut a = pseudo_random(10_000, 21);
+        let mut b = a.clone();
+        introsort_bitonic(&mut a);
+        crate::sort::three_phase_sort(&mut b);
+        assert_eq!(
+            a.iter().map(|t| t.key).collect::<Vec<_>>(),
+            b.iter().map(|t| t.key).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn introsort_bitonic_adversarial_duplicates() {
+        let mut data: Vec<Tuple> = (0..60_000).map(|i| Tuple::new(i % 2, i)).collect();
+        introsort_bitonic(&mut data);
+        assert!(is_key_sorted(&data));
+    }
+}

@@ -1,0 +1,212 @@
+//! IntroSort — phase 2 of the paper's sorting routine.
+//!
+//! Musser's introspective sort \[20\]: quicksort with a recursion-depth
+//! budget of `2 · log2(n)`; a partition that exhausts the budget is
+//! finished with heapsort, guaranteeing `O(n log n)` worst case. As in
+//! the paper, partitions smaller than the insertion cutoff are *not*
+//! sorted here — they are left for the final insertion pass.
+
+use crate::tuple::Tuple;
+
+/// Introsort by key, leaving runs shorter than `cutoff` unsorted (to be
+/// finished by a later insertion pass). Pass `cutoff = 0` for a fully
+/// sorting introsort.
+pub fn introsort_coarse(tuples: &mut [Tuple], cutoff: usize) {
+    if tuples.len() < 2 {
+        return;
+    }
+    let depth_limit = 2 * tuples.len().ilog2();
+    quicksort_limited(tuples, cutoff, depth_limit);
+}
+
+fn quicksort_limited(tuples: &mut [Tuple], cutoff: usize, depth_left: u32) {
+    let mut slice = tuples;
+    let mut depth = depth_left;
+    // Tail-call the larger side iteratively to bound stack depth.
+    loop {
+        if slice.len() <= cutoff.max(2) {
+            // Slices at/below the cutoff are left for the final
+            // insertion pass; with cutoff 0 a 2-element slice is sorted
+            // here directly.
+            if cutoff == 0 && slice.len() == 2 && slice[1].key < slice[0].key {
+                slice.swap(0, 1);
+            }
+            return;
+        }
+        if depth == 0 {
+            heapsort(slice);
+            return;
+        }
+        let split = partition(slice);
+        depth -= 1;
+        // Hoare split: both halves may contain pivot-valued keys; no
+        // element is excluded, progress is guaranteed by `partition`
+        // returning `split < len - 1`.
+        let (left, right) = slice.split_at_mut(split + 1);
+        if left.len() < right.len() {
+            quicksort_limited(left, cutoff, depth);
+            slice = right;
+        } else {
+            quicksort_limited(right, cutoff, depth);
+            slice = left;
+        }
+    }
+}
+
+/// Hoare partition around a median-of-three pivot. Returns `j` such
+/// that every key in `[0, j]` is `≤ pivot`, every key in `(j, len)` is
+/// `≥ pivot`, and `j < len − 1` (both sides non-empty).
+fn partition(tuples: &mut [Tuple]) -> usize {
+    let len = tuples.len();
+    debug_assert!(len >= 3, "partition needs at least 3 elements");
+    let mid = len / 2;
+    // Median-of-three: order (first, mid, last) by key.
+    if tuples[mid].key < tuples[0].key {
+        tuples.swap(mid, 0);
+    }
+    if tuples[len - 1].key < tuples[0].key {
+        tuples.swap(len - 1, 0);
+    }
+    if tuples[len - 1].key < tuples[mid].key {
+        tuples.swap(len - 1, mid);
+    }
+    let pivot = tuples[mid].key;
+
+    // Hoare scan. `tuples[0] ≤ pivot ≤ tuples[len-1]` act as sentinels.
+    let mut i = 0usize;
+    let mut j = len - 1;
+    loop {
+        while tuples[i].key < pivot {
+            i += 1;
+        }
+        while tuples[j].key > pivot {
+            j -= 1;
+        }
+        if i >= j {
+            // The pivot value sits at `mid`, so the scans cannot run
+            // past it: `i ≤ mid ≤ len-2` whenever we return without a
+            // swap, and after a swap `j` has moved left of `len-1`.
+            return j.min(len - 2);
+        }
+        tuples.swap(i, j);
+        i += 1;
+        j -= 1;
+    }
+}
+
+/// Bottom-up heapsort by key — the depth-limit fallback.
+pub fn heapsort(tuples: &mut [Tuple]) {
+    let n = tuples.len();
+    if n < 2 {
+        return;
+    }
+    for i in (0..n / 2).rev() {
+        sift_down(tuples, i, n);
+    }
+    for end in (1..n).rev() {
+        tuples.swap(0, end);
+        sift_down(tuples, 0, end);
+    }
+}
+
+fn sift_down(tuples: &mut [Tuple], mut root: usize, end: usize) {
+    loop {
+        let left = 2 * root + 1;
+        if left >= end {
+            return;
+        }
+        let mut child = left;
+        let right = left + 1;
+        if right < end && tuples[right].key > tuples[left].key {
+            child = right;
+        }
+        if tuples[child].key <= tuples[root].key {
+            return;
+        }
+        tuples.swap(root, child);
+        root = child;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::insertion::insertion_sort;
+    use crate::tuple::is_key_sorted;
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<Tuple> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                Tuple::new(state >> 40, i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn heapsort_sorts() {
+        let mut data = pseudo_random(2048, 5);
+        heapsort(&mut data);
+        assert!(is_key_sorted(&data));
+    }
+
+    #[test]
+    fn heapsort_handles_duplicates() {
+        let mut data: Vec<Tuple> = (0..500).map(|i| Tuple::new(i % 7, i)).collect();
+        heapsort(&mut data);
+        assert!(is_key_sorted(&data));
+    }
+
+    #[test]
+    fn full_introsort_with_zero_cutoff() {
+        let mut data = pseudo_random(4096, 11);
+        introsort_coarse(&mut data, 0);
+        assert!(is_key_sorted(&data));
+    }
+
+    #[test]
+    fn coarse_introsort_plus_insertion_is_total() {
+        let mut data = pseudo_random(4096, 13);
+        introsort_coarse(&mut data, 16);
+        insertion_sort(&mut data);
+        assert!(is_key_sorted(&data));
+    }
+
+    #[test]
+    fn coarse_introsort_leaves_keys_near_final_position() {
+        let mut data = pseudo_random(4096, 17);
+        let mut reference = data.clone();
+        reference.sort_unstable_by_key(|t| t.key);
+        introsort_coarse(&mut data, 16);
+        // Every element must be within 16 positions of where the fully
+        // sorted order puts an equal key (coarse partitions are < 16).
+        for (i, t) in data.iter().enumerate() {
+            let lo = i.saturating_sub(16);
+            let hi = (i + 16).min(data.len());
+            assert!(
+                reference[lo..hi].iter().any(|r| r.key == t.key),
+                "key {} displaced more than one cutoff from position {i}",
+                t.key
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_equal_heavy_input_does_not_blow_depth() {
+        // Many duplicates provoke unbalanced quicksort splits; the depth
+        // limit must hand over to heapsort rather than recurse forever.
+        let mut data: Vec<Tuple> = (0..100_000).map(|i| Tuple::new(i % 3, i)).collect();
+        introsort_coarse(&mut data, 16);
+        insertion_sort(&mut data);
+        assert!(is_key_sorted(&data));
+    }
+
+    #[test]
+    fn tiny_inputs_are_untouched_by_coarse_sort() {
+        let mut data = vec![Tuple::new(2, 0), Tuple::new(1, 1)];
+        introsort_coarse(&mut data, 16);
+        // Length below cutoff: left as-is.
+        assert_eq!(data[0].key, 2);
+    }
+}

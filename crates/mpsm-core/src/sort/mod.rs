@@ -1,0 +1,224 @@
+//! The paper's three-phase sorting routine (§2.3).
+//!
+//! > "we developed our own three-phase sorting algorithm that operates
+//! > as follows: 1. in-place Radix sort that generates 2^8 = 256
+//! > partitions according to the 8 most significant bits. [...]
+//! > 2. IntroSort: use Quicksort to at most 2·log(N) recursion levels;
+//! > if this does not suffice, resort to heapsort. As soon as a
+//! > quicksort partition contains less than 16 elements stop and leave
+//! > it to a final insertion sort pass to obtain the total ordering."
+//!
+//! The entry point is [`three_phase_sort`]. The phases are exposed
+//! individually ([`radix::msd_radix_partition`], [`intro::introsort_coarse`],
+//! [`insertion::insertion_sort`]) because the benchmark harness ablates
+//! them and because the radix pass doubles as the histogram pass of the
+//! partitioning phase.
+//!
+//! Keys may occupy any sub-range of the 64-bit domain (the paper's
+//! evaluation draws them from `[0, 2^32)`), so the radix pass first
+//! derives a shift from the observed key range — the "preprocessing of
+//! the join keys using bitwise shift operations" of §3.2.1.
+
+pub mod bitonic;
+pub mod insertion;
+pub mod intro;
+pub mod radix;
+
+use crate::tuple::Tuple;
+
+/// Number of leading bits (and thus `2^RADIX_BITS` buckets) used by the
+/// first phase, as in the paper.
+pub const RADIX_BITS: u32 = 8;
+
+/// Quicksort partitions smaller than this are left to the final
+/// insertion pass, as in the paper.
+pub const INSERTION_CUTOFF: usize = 16;
+
+/// Sort `tuples` by key with the paper's three-phase algorithm.
+pub fn three_phase_sort(tuples: &mut [Tuple]) {
+    if tuples.len() < 2 {
+        return;
+    }
+    if tuples.len() <= INSERTION_CUTOFF {
+        insertion::insertion_sort(tuples);
+        return;
+    }
+    // Phase 1: MSD radix pass into 256 key-ordered buckets.
+    let boundaries = radix::msd_radix_partition(tuples);
+    // Phase 2: introsort each bucket, leaving runs < 16 unsorted.
+    for w in boundaries.windows(2) {
+        let bucket = &mut tuples[w[0]..w[1]];
+        if bucket.len() > INSERTION_CUTOFF {
+            intro::introsort_coarse(bucket, INSERTION_CUTOFF);
+        }
+    }
+    // Phase 3: one global insertion pass finishes the total order.
+    insertion::insertion_sort(tuples);
+}
+
+/// Sort by key using introsort alone (no radix pass); used by the
+/// ablation benchmarks to quantify the radix phase's contribution.
+pub fn introsort_only(tuples: &mut [Tuple]) {
+    intro::introsort_coarse(tuples, INSERTION_CUTOFF);
+    insertion::insertion_sort(tuples);
+}
+
+/// Three-phase sort finishing small partitions with bitonic networks
+/// instead of the deferred insertion pass — the §6 SIMD-outlook
+/// ablation (see [`bitonic`]).
+pub fn three_phase_sort_bitonic(tuples: &mut [Tuple]) {
+    if tuples.len() < 2 {
+        return;
+    }
+    if tuples.len() <= bitonic::BITONIC_BLOCK {
+        bitonic::bitonic_sort(tuples);
+        return;
+    }
+    let boundaries = radix::msd_radix_partition(tuples);
+    for w in boundaries.windows(2) {
+        bitonic::introsort_bitonic(&mut tuples[w[0]..w[1]]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::is_key_sorted;
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<Tuple> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                Tuple::new(state >> 32, i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sorts_random_input() {
+        let mut data = pseudo_random(10_000, 7);
+        let mut expected = data.clone();
+        expected.sort_unstable_by_key(|t| t.key);
+        three_phase_sort(&mut data);
+        assert!(is_key_sorted(&data));
+        // Same multiset of keys.
+        let mut got_keys: Vec<u64> = data.iter().map(|t| t.key).collect();
+        let exp_keys: Vec<u64> = expected.iter().map(|t| t.key).collect();
+        got_keys.sort_unstable();
+        let mut exp_sorted = exp_keys.clone();
+        exp_sorted.sort_unstable();
+        assert_eq!(got_keys, exp_sorted);
+    }
+
+    #[test]
+    fn preserves_payloads() {
+        let mut data = pseudo_random(5_000, 99);
+        let mut expected: Vec<(u64, u64)> = data.iter().map(|t| (t.key, t.payload)).collect();
+        three_phase_sort(&mut data);
+        let mut got: Vec<(u64, u64)> = data.iter().map(|t| (t.key, t.payload)).collect();
+        got.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn handles_small_and_degenerate_inputs() {
+        let mut empty: Vec<Tuple> = vec![];
+        three_phase_sort(&mut empty);
+
+        let mut one = vec![Tuple::new(5, 0)];
+        three_phase_sort(&mut one);
+        assert_eq!(one[0].key, 5);
+
+        let mut two = vec![Tuple::new(9, 0), Tuple::new(1, 0)];
+        three_phase_sort(&mut two);
+        assert!(is_key_sorted(&two));
+    }
+
+    #[test]
+    fn handles_all_equal_keys() {
+        let mut data: Vec<Tuple> = (0..1000).map(|i| Tuple::new(42, i)).collect();
+        three_phase_sort(&mut data);
+        assert!(data.iter().all(|t| t.key == 42));
+        assert_eq!(data.len(), 1000);
+    }
+
+    #[test]
+    fn handles_presorted_and_reversed() {
+        let mut asc: Vec<Tuple> = (0..5000u64).map(|k| Tuple::new(k, 0)).collect();
+        three_phase_sort(&mut asc);
+        assert!(is_key_sorted(&asc));
+
+        let mut desc: Vec<Tuple> = (0..5000u64).rev().map(|k| Tuple::new(k, 0)).collect();
+        three_phase_sort(&mut desc);
+        assert!(is_key_sorted(&desc));
+    }
+
+    #[test]
+    fn handles_narrow_key_range() {
+        // All keys in [100, 103]: the radix shift must not collapse to
+        // nonsense and the sort must still be total.
+        let mut data: Vec<Tuple> = (0..4000u64).map(|i| Tuple::new(100 + (i % 4), i)).collect();
+        three_phase_sort(&mut data);
+        assert!(is_key_sorted(&data));
+    }
+
+    #[test]
+    fn handles_full_64bit_keys() {
+        let mut data = vec![
+            Tuple::new(u64::MAX, 0),
+            Tuple::new(0, 1),
+            Tuple::new(u64::MAX / 2, 2),
+            Tuple::new(1, 3),
+            Tuple::new(u64::MAX - 1, 4),
+        ];
+        // Pad to clear the small-input path.
+        for i in 0..100 {
+            data.push(Tuple::new(i * 0x0101_0101_0101, i));
+        }
+        three_phase_sort(&mut data);
+        assert!(is_key_sorted(&data));
+    }
+
+    #[test]
+    fn introsort_only_matches() {
+        let mut a = pseudo_random(3000, 3);
+        let mut b = a.clone();
+        three_phase_sort(&mut a);
+        introsort_only(&mut b);
+        assert_eq!(
+            a.iter().map(|t| t.key).collect::<Vec<_>>(),
+            b.iter().map(|t| t.key).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bitonic_variant_agrees_with_the_paper_sort() {
+        let mut a = pseudo_random(20_000, 31);
+        let mut b = a.clone();
+        three_phase_sort(&mut a);
+        three_phase_sort_bitonic(&mut b);
+        assert_eq!(
+            a.iter().map(|t| t.key).collect::<Vec<_>>(),
+            b.iter().map(|t| t.key).collect::<Vec<_>>()
+        );
+        assert!(is_key_sorted(&b));
+    }
+
+    #[test]
+    fn skewed_distribution_sorts() {
+        // 80:20 style skew: most keys in a narrow high band.
+        let mut state = 12345u64;
+        let mut data: Vec<Tuple> = (0..20_000)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let r = state >> 33;
+                let key = if r % 10 < 8 { (1 << 31) + (r % (1 << 29)) } else { r % (1 << 31) };
+                Tuple::new(key, i)
+            })
+            .collect();
+        three_phase_sort(&mut data);
+        assert!(is_key_sorted(&data));
+    }
+}

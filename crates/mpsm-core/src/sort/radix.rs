@@ -1,0 +1,220 @@
+//! In-place MSD radix pass — phase 1 of the paper's sorting routine.
+//!
+//! Computes a 256-bucket histogram over the 8 most significant
+//! *discriminating* bits of the keys, derives the bucket boundaries, and
+//! swaps every element into its bucket in place (American-flag /
+//! cycle-leader permutation, after Knuth \[18\]). The buckets are in key
+//! order, so a subsequent per-bucket sort yields a totally ordered run.
+//!
+//! Keys rarely use all 64 bits (the paper draws them from `[0, 2^32)`),
+//! so the pass first derives a shift from the observed key range — the
+//! bitwise-shift preprocessing mentioned in §3.2.1.
+
+use crate::sort::RADIX_BITS;
+use crate::tuple::{key_range, Tuple};
+
+/// Number of radix buckets (256, as in the paper).
+pub const BUCKETS: usize = 1 << RADIX_BITS;
+
+/// How to map a key to its radix bucket: `(key - base) >> shift`.
+///
+/// Derived from an observed key range so the top `RADIX_BITS` of the
+/// *used* domain discriminate. Shared with the partitioning phase,
+/// which radix-clusters on the same principle with `B` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RadixShift {
+    /// Subtracted from every key before shifting (the domain minimum).
+    pub base: u64,
+    /// Right-shift applied after rebasing.
+    pub shift: u32,
+}
+
+impl RadixShift {
+    /// Derive the shift for `bits` leading bits over `[min, max]`.
+    pub fn for_range(min: u64, max: u64, bits: u32) -> Self {
+        debug_assert!(min <= max);
+        let span = max - min;
+        let needed = 64 - span.leading_zeros(); // bits needed for the span
+        let shift = needed.saturating_sub(bits);
+        RadixShift { base: min, shift }
+    }
+
+    /// Bucket of `key` among `2^bits` buckets.
+    #[inline]
+    pub fn bucket(&self, key: u64, bits: u32) -> usize {
+        debug_assert!(key >= self.base);
+        (((key - self.base) >> self.shift) as usize).min((1usize << bits) - 1)
+    }
+}
+
+/// Partition `tuples` in place into up to 256 key-ordered buckets.
+/// Returns the `BUCKETS + 1` boundary offsets (bucket `b` occupies
+/// `tuples[bounds[b]..bounds[b+1]]`).
+pub fn msd_radix_partition(tuples: &mut [Tuple]) -> Vec<usize> {
+    let Some((min, max)) = key_range(tuples) else {
+        return vec![0; BUCKETS + 1];
+    };
+    let shift = RadixShift::for_range(min, max, RADIX_BITS);
+    msd_radix_partition_with(tuples, shift)
+}
+
+/// Like [`msd_radix_partition`], with a caller-provided shift (used when
+/// the global domain is known from a previous scan).
+pub fn msd_radix_partition_with(tuples: &mut [Tuple], shift: RadixShift) -> Vec<usize> {
+    // 1. Histogram.
+    let mut counts = [0usize; BUCKETS];
+    for t in tuples.iter() {
+        counts[shift.bucket(t.key, RADIX_BITS)] += 1;
+    }
+    // 2. Boundaries (exclusive prefix sums).
+    let mut bounds = vec![0usize; BUCKETS + 1];
+    for b in 0..BUCKETS {
+        bounds[b + 1] = bounds[b] + counts[b];
+    }
+    // 3. In-place cycle-leader permutation (American-flag style):
+    // `heads[b]` is the next write position of bucket `b`. A displaced
+    // element is carried in a register and follows its cycle — one read
+    // and one write per element instead of a full `swap` (two of each),
+    // which matters because every hop is a cache miss at scale.
+    let mut heads: Vec<usize> = bounds[..BUCKETS].to_vec();
+    for b in 0..BUCKETS {
+        let end = bounds[b + 1];
+        while heads[b] < end {
+            let cursor = heads[b];
+            let mut carried = tuples[cursor];
+            let mut target = shift.bucket(carried.key, RADIX_BITS);
+            if target == b {
+                heads[b] += 1;
+                continue;
+            }
+            // Follow the displacement cycle until an element belonging
+            // to bucket `b` lands in the cursor slot.
+            loop {
+                let dest = heads[target];
+                heads[target] += 1;
+                std::mem::swap(&mut carried, &mut tuples[dest]);
+                target = shift.bucket(carried.key, RADIX_BITS);
+                if target == b {
+                    tuples[cursor] = carried;
+                    heads[b] += 1;
+                    break;
+                }
+            }
+        }
+    }
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<Tuple> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                Tuple::new(state >> 32, i as u64)
+            })
+            .collect()
+    }
+
+    fn assert_is_radix_partitioned(tuples: &[Tuple], bounds: &[usize], shift: RadixShift) {
+        assert_eq!(bounds.len(), BUCKETS + 1);
+        assert_eq!(bounds[BUCKETS], tuples.len());
+        for b in 0..BUCKETS {
+            for t in &tuples[bounds[b]..bounds[b + 1]] {
+                assert_eq!(shift.bucket(t.key, RADIX_BITS), b, "tuple in wrong bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_respect_buckets() {
+        let mut data = pseudo_random(10_000, 21);
+        let (min, max) = key_range(&data).unwrap();
+        let shift = RadixShift::for_range(min, max, RADIX_BITS);
+        let bounds = msd_radix_partition(&mut data);
+        assert_is_radix_partitioned(&data, &bounds, shift);
+    }
+
+    #[test]
+    fn buckets_are_key_ordered() {
+        let mut data = pseudo_random(10_000, 23);
+        let bounds = msd_radix_partition(&mut data);
+        // Max key of bucket b must not exceed min key of any later bucket.
+        let mut prev_max = None;
+        for b in 0..BUCKETS {
+            let bucket = &data[bounds[b]..bounds[b + 1]];
+            if bucket.is_empty() {
+                continue;
+            }
+            let min = bucket.iter().map(|t| t.key).min().unwrap();
+            let max = bucket.iter().map(|t| t.key).max().unwrap();
+            if let Some(pm) = prev_max {
+                assert!(min >= pm, "bucket order violated");
+            }
+            prev_max = Some(max);
+        }
+    }
+
+    #[test]
+    fn permutation_preserves_multiset() {
+        let mut data = pseudo_random(5_000, 27);
+        let mut before: Vec<(u64, u64)> = data.iter().map(|t| (t.key, t.payload)).collect();
+        msd_radix_partition(&mut data);
+        let mut after: Vec<(u64, u64)> = data.iter().map(|t| (t.key, t.payload)).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn empty_input() {
+        let bounds = msd_radix_partition(&mut []);
+        assert_eq!(bounds, vec![0; BUCKETS + 1]);
+    }
+
+    #[test]
+    fn all_equal_keys_land_in_one_bucket() {
+        let mut data: Vec<Tuple> = (0..100).map(|i| Tuple::new(7, i)).collect();
+        let bounds = msd_radix_partition(&mut data);
+        let non_empty: Vec<usize> =
+            (0..BUCKETS).filter(|&b| bounds[b + 1] > bounds[b]).collect();
+        assert_eq!(non_empty.len(), 1);
+    }
+
+    #[test]
+    fn narrow_range_spreads_over_buckets() {
+        // Keys 0..=255 with bits=8 should occupy 256 distinct buckets.
+        let mut data: Vec<Tuple> = (0..256u64).rev().map(|k| Tuple::new(k, 0)).collect();
+        let bounds = msd_radix_partition(&mut data);
+        let non_empty = (0..BUCKETS).filter(|&b| bounds[b + 1] > bounds[b]).count();
+        assert_eq!(non_empty, 256);
+        // And the pass alone fully sorts this input.
+        assert!(crate::tuple::is_key_sorted(&data));
+    }
+
+    #[test]
+    fn shift_for_range_clamps_top_bucket() {
+        // A span that is not a power of two must still map max into the
+        // last bucket, not beyond.
+        let shift = RadixShift::for_range(10, 300, RADIX_BITS);
+        assert!(shift.bucket(300, RADIX_BITS) < BUCKETS);
+        assert_eq!(shift.bucket(10, RADIX_BITS), 0);
+    }
+
+    #[test]
+    fn shift_for_single_key_range() {
+        let shift = RadixShift::for_range(42, 42, RADIX_BITS);
+        assert_eq!(shift.bucket(42, RADIX_BITS), 0);
+    }
+
+    #[test]
+    fn full_domain_shift() {
+        let shift = RadixShift::for_range(0, u64::MAX, RADIX_BITS);
+        assert_eq!(shift.shift, 56);
+        assert_eq!(shift.bucket(u64::MAX, RADIX_BITS), BUCKETS - 1);
+        assert_eq!(shift.bucket(0, RADIX_BITS), 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! The 16-byte tuple of the paper's evaluation.
+//!
+//! Every benchmark in the paper joins relations of
+//! `[joinkey: 64-bit, payload: 64-bit]` tuples, keys drawn from
+//! `[0, 2^32)`; the payload "may represent a record ID or a data
+//! pointer" (§5.1). The join algorithms in this crate are written
+//! directly against this layout — the same choice the paper's C++
+//! implementation makes — so the sort and merge inner loops move fixed
+//! 16-byte values with no indirection.
+
+use mpsm_storage::Record;
+
+/// A join input tuple: 64-bit key, 64-bit payload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[repr(C)]
+pub struct Tuple {
+    /// The join key.
+    pub key: u64,
+    /// Carried payload (record id / data pointer in the paper's setup).
+    pub payload: u64,
+}
+
+impl Tuple {
+    /// Construct a tuple.
+    #[inline]
+    pub const fn new(key: u64, payload: u64) -> Self {
+        Tuple { key, payload }
+    }
+}
+
+impl PartialOrd for Tuple {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tuple {
+    /// Tuples order by key; payload breaks ties only to make the order
+    /// total (the join semantics never depend on payload order).
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.key, self.payload).cmp(&(other.key, other.payload))
+    }
+}
+
+impl Record for Tuple {
+    const SIZE: usize = 16;
+
+    fn write_to(&self, buf: &mut [u8]) {
+        assert_eq!(buf.len(), Self::SIZE);
+        buf[..8].copy_from_slice(&self.key.to_le_bytes());
+        buf[8..].copy_from_slice(&self.payload.to_le_bytes());
+    }
+
+    fn read_from(buf: &[u8]) -> Self {
+        assert_eq!(buf.len(), Self::SIZE);
+        Tuple {
+            key: u64::from_le_bytes(buf[..8].try_into().expect("8-byte key")),
+            payload: u64::from_le_bytes(buf[8..].try_into().expect("8-byte payload")),
+        }
+    }
+
+    #[inline]
+    fn key(&self) -> u64 {
+        self.key
+    }
+}
+
+/// Check that a slice is sorted by key (used in debug assertions and
+/// tests throughout the crate).
+pub fn is_key_sorted(tuples: &[Tuple]) -> bool {
+    tuples.windows(2).all(|w| w[0].key <= w[1].key)
+}
+
+/// Minimum and maximum key of a slice, or `None` if it is empty.
+pub fn key_range(tuples: &[Tuple]) -> Option<(u64, u64)> {
+    let first = tuples.first()?;
+    let mut min = first.key;
+    let mut max = first.key;
+    for t in &tuples[1..] {
+        min = min.min(t.key);
+        max = max.max(t.key);
+    }
+    Some((min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_is_16_bytes() {
+        assert_eq!(std::mem::size_of::<Tuple>(), 16);
+        assert_eq!(std::mem::align_of::<Tuple>(), 8);
+    }
+
+    #[test]
+    fn orders_by_key_first() {
+        let a = Tuple::new(1, 100);
+        let b = Tuple::new(2, 0);
+        assert!(a < b);
+        let c = Tuple::new(1, 0);
+        assert!(c < a, "payload breaks ties");
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let t = Tuple::new(0xfeed_face, 77);
+        let mut buf = [0u8; 16];
+        t.write_to(&mut buf);
+        assert_eq!(Tuple::read_from(&buf), t);
+        assert_eq!(Record::key(&t), 0xfeed_face);
+    }
+
+    #[test]
+    fn sortedness_check() {
+        assert!(is_key_sorted(&[]));
+        assert!(is_key_sorted(&[Tuple::new(1, 0)]));
+        assert!(is_key_sorted(&[Tuple::new(1, 9), Tuple::new(1, 0), Tuple::new(2, 0)]));
+        assert!(!is_key_sorted(&[Tuple::new(2, 0), Tuple::new(1, 0)]));
+    }
+
+    #[test]
+    fn key_range_of_slices() {
+        assert_eq!(key_range(&[]), None);
+        let ts = [Tuple::new(5, 0), Tuple::new(1, 0), Tuple::new(9, 0)];
+        assert_eq!(key_range(&ts), Some((1, 9)));
+    }
+}

@@ -1,0 +1,128 @@
+//! Worker orchestration: chunking and phase-parallel execution.
+//!
+//! MPSM assigns every worker an equal share of each input and runs the
+//! four phases as parallel sections separated by barriers (the paper
+//! needs only *one* real synchronization point — public runs must exist
+//! before the join phase; we realize phase boundaries by joining scoped
+//! threads, which is the same barrier expressed structurally).
+
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+/// Split `len` items into `parts` contiguous ranges whose sizes differ
+/// by at most one (the paper's "equally sized chunks").
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "cannot chunk into zero parts");
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Run `f(worker_id)` on `threads` parallel workers, returning their
+/// results in worker order. A `threads == 1` call runs inline (useful
+/// for debugging and for the single-core baseline of Figure 13).
+pub fn run_parallel<R, F>(threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one worker");
+    if threads == 1 {
+        return vec![f(0)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let f = &f;
+                scope.spawn(move || f(w))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+/// Run `f(worker_id)`, additionally timing each worker. Returns
+/// `(results, per-worker durations)`.
+pub fn run_parallel_timed<R, F>(threads: usize, f: F) -> (Vec<R>, Vec<Duration>)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let pairs = run_parallel(threads, |w| {
+        let start = Instant::now();
+        let r = f(w);
+        (r, start.elapsed())
+    });
+    pairs.into_iter().unzip()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_everything_without_overlap() {
+        for len in [0usize, 1, 7, 100, 101, 103] {
+            for parts in [1usize, 2, 3, 7, 32] {
+                let ranges = chunk_ranges(len, parts);
+                assert_eq!(ranges.len(), parts);
+                let mut pos = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, pos);
+                    pos = r.end;
+                }
+                assert_eq!(pos, len);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_are_balanced() {
+        let ranges = chunk_ranges(10, 4);
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn more_parts_than_items_yields_empty_chunks() {
+        let ranges = chunk_ranges(2, 5);
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn parallel_results_arrive_in_worker_order() {
+        let out = run_parallel(8, |w| w * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let out = run_parallel(1, |w| w + 1);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn timed_variant_reports_durations() {
+        let (out, times) = run_parallel_timed(4, |w| w);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(times.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn zero_parts_panics() {
+        let _ = chunk_ranges(10, 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Sort-based early aggregation over MPSM's run-structured output.
+//!
+//! The paper (§6/§7): "MPSM does not produce completely sorted output.
+//! However, each worker's partition is subdivided into sorted runs.
+//! This interesting physical property might be exploited in further
+//! operations" — e.g. "early aggregation" (§2). This module is that
+//! exploitation: a group-by over the join result that *merges* the
+//! key-ascending runs produced by
+//! [`mpsm_core::sink::SortedRunsSink`] instead of hashing every row.
+//! With P-MPSM's range partitioning the runs of different workers cover
+//! disjoint key ranges, so the merge degenerates to cheap
+//! concatenation-with-local-merge — no global sort, no hash table.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An aggregate folded per key over `(key, value)` rows.
+pub trait KeyAggregate: Default {
+    /// Result per group.
+    type Output;
+    /// Fold one value into the group state.
+    fn fold(&mut self, value: u64);
+    /// Extract the group result.
+    fn result(self) -> Self::Output;
+}
+
+/// `SUM(value)` per key (wrapping).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SumAgg(u64);
+
+impl KeyAggregate for SumAgg {
+    type Output = u64;
+    fn fold(&mut self, value: u64) {
+        self.0 = self.0.wrapping_add(value);
+    }
+    fn result(self) -> u64 {
+        self.0
+    }
+}
+
+/// `COUNT(*)` per key.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountAgg(u64);
+
+impl KeyAggregate for CountAgg {
+    type Output = u64;
+    fn fold(&mut self, _value: u64) {
+        self.0 += 1;
+    }
+    fn result(self) -> u64 {
+        self.0
+    }
+}
+
+/// `MAX(value)` per key.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MaxAgg(Option<u64>);
+
+impl KeyAggregate for MaxAgg {
+    type Output = u64;
+    fn fold(&mut self, value: u64) {
+        self.0 = Some(self.0.map_or(value, |m| m.max(value)));
+    }
+    fn result(self) -> u64 {
+        self.0.unwrap_or(0)
+    }
+}
+
+/// Group-by-key over key-ascending runs via k-way merge; returns
+/// `(key, aggregate)` pairs in ascending key order.
+///
+/// Complexity `O(N log k)` for `N` rows in `k` runs — with MPSM output,
+/// `k = T²` at most (each worker contributes ≤ T runs), independent of
+/// `N`. A hash-based group-by is `O(N)` but with random access; the
+/// merge is fully sequential (commandment C2 carried into the
+/// aggregation).
+pub fn sorted_group_by<A: KeyAggregate>(runs: &[Vec<(u64, u64)>]) -> Vec<(u64, A::Output)> {
+    for run in runs {
+        debug_assert!(run.windows(2).all(|w| w[0].0 <= w[1].0), "runs must be key-ascending");
+    }
+    let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = runs
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !r.is_empty())
+        .map(|(i, r)| Reverse((r[0].0, i, 0)))
+        .collect();
+
+    let mut out: Vec<(u64, A::Output)> = Vec::new();
+    let mut current: Option<(u64, A)> = None;
+    while let Some(Reverse((key, run, off))) = heap.pop() {
+        let value = runs[run][off].1;
+        match &mut current {
+            Some((k, agg)) if *k == key => agg.fold(value),
+            _ => {
+                if let Some((k, agg)) = current.take() {
+                    out.push((k, agg.result()));
+                }
+                let mut agg = A::default();
+                agg.fold(value);
+                current = Some((key, agg));
+            }
+        }
+        let next = off + 1;
+        if next < runs[run].len() {
+            heap.push(Reverse((runs[run][next].0, run, next)));
+        }
+    }
+    if let Some((k, agg)) = current {
+        out.push((k, agg.result()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_runs_into_sorted_groups() {
+        let runs = vec![
+            vec![(1, 10), (3, 30)],
+            vec![(1, 5), (2, 20)],
+            vec![],
+            vec![(3, 1)],
+        ];
+        let sums = sorted_group_by::<SumAgg>(&runs);
+        assert_eq!(sums, vec![(1, 15), (2, 20), (3, 31)]);
+        let counts = sorted_group_by::<CountAgg>(&runs);
+        assert_eq!(counts, vec![(1, 2), (2, 1), (3, 2)]);
+        let maxes = sorted_group_by::<MaxAgg>(&runs);
+        assert_eq!(maxes, vec![(1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(sorted_group_by::<SumAgg>(&[]).is_empty());
+        assert!(sorted_group_by::<SumAgg>(&[vec![], vec![]]).is_empty());
+    }
+
+    #[test]
+    fn single_run_is_grouped_in_place() {
+        let runs = vec![vec![(5, 1), (5, 2), (9, 3)]];
+        assert_eq!(sorted_group_by::<SumAgg>(&runs), vec![(5, 3), (9, 3)]);
+    }
+
+    #[test]
+    fn matches_hash_based_reference() {
+        use std::collections::HashMap;
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 56
+        };
+        let mut runs: Vec<Vec<(u64, u64)>> = Vec::new();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..7 {
+            let mut run: Vec<(u64, u64)> = (0..200).map(|_| (next(), next())).collect();
+            run.sort_unstable();
+            for &(k, v) in &run {
+                *reference.entry(k).or_default() = reference.get(&k).copied().unwrap_or(0).wrapping_add(v);
+            }
+            runs.push(run);
+        }
+        let got = sorted_group_by::<SumAgg>(&runs);
+        assert_eq!(got.len(), reference.len());
+        for (k, v) in got {
+            assert_eq!(reference[&k], v, "key {k}");
+        }
+    }
+}

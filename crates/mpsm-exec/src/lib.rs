@@ -1,0 +1,30 @@
+//! Minimal relational executor running the paper's benchmark query.
+//!
+//! The paper evaluates "the common case that two relations R and S are
+//! scanned, a selection is applied, and then the results are joined"
+//! (§5), with the aggregate `SELECT max(R.payload + S.payload)` on top.
+//! This crate provides exactly that pipeline as composable operators —
+//! enough of a query engine to execute the paper's workload end to end
+//! without pretending to be a full DBMS:
+//!
+//! * [`scan::Relation`] — a named, typed base table;
+//! * [`ops::Select`] — a filtered scan (predicate over key/payload);
+//! * [`ops::JoinOp`] — an equi-join node parameterized by any
+//!   [`mpsm_core::join::JoinAlgorithm`];
+//! * [`ops::MaxPayloadSum`] / [`ops::CountRows`] — the aggregates the
+//!   evaluation uses;
+//! * [`query`] — the ready-made paper query;
+//! * [`groupby`] — sort-based early aggregation exploiting MPSM's
+//!   run-structured output (the §7 extension).
+
+pub mod groupby;
+pub mod ops;
+pub mod plan;
+pub mod query;
+pub mod scan;
+
+pub use groupby::{sorted_group_by, CountAgg, KeyAggregate, MaxAgg, SumAgg};
+pub use ops::{CountRows, JoinOp, MaxPayloadSum, Select};
+pub use plan::{PlanStep, QueryPlan};
+pub use query::{paper_query, PaperQueryResult};
+pub use scan::Relation;

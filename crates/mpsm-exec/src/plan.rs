@@ -1,0 +1,133 @@
+//! Query plans and EXPLAIN output.
+//!
+//! The executor's pipeline shape is fixed (scan → select → join →
+//! aggregate, the paper's evaluation plan), but which join runs, with
+//! which roles, threads, and estimated cardinalities is worth seeing —
+//! especially since the paper's HyPer context compiles exactly such
+//! plans \[21\]. [`QueryPlan`] describes one pipeline instance and
+//! renders the usual indented EXPLAIN tree.
+
+use std::fmt;
+
+/// One node of the (linear) plan tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanStep {
+    /// Base-table scan.
+    Scan {
+        /// Relation name.
+        relation: String,
+        /// Base cardinality.
+        rows: usize,
+    },
+    /// Filter over the child scan.
+    Select {
+        /// Rows surviving the predicate (exact, post-execution; the
+        /// executor materializes selections).
+        rows_out: usize,
+    },
+}
+
+/// A described execution of the paper's pipeline.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// Join algorithm display name.
+    pub algorithm: String,
+    /// Worker threads used by the join.
+    pub threads: usize,
+    /// Private-side (build/partitioned) input pipeline.
+    pub private: Vec<PlanStep>,
+    /// Public-side input pipeline.
+    pub public: Vec<PlanStep>,
+    /// Aggregate on top.
+    pub aggregate: String,
+    /// Join output cardinality if the sink counted it.
+    pub join_rows: Option<u64>,
+}
+
+impl QueryPlan {
+    /// Render the indented EXPLAIN tree.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("Aggregate [{}]\n", self.aggregate));
+        out.push_str(&format!(
+            "└─ Join [{}; T = {}{}]\n",
+            self.algorithm,
+            self.threads,
+            self.join_rows.map_or(String::new(), |r| format!("; out = {r} rows")),
+        ));
+        let render_side = |label: &str, steps: &[PlanStep], last: bool| -> String {
+            let (branch, pad) = if last { ("   └─", "      ") } else { ("   ├─", "   │  ") };
+            let mut side = format!("{branch} {label}:\n");
+            for (i, step) in steps.iter().rev().enumerate() {
+                let indent = pad.to_string() + &"   ".repeat(i);
+                match step {
+                    PlanStep::Select { rows_out } => {
+                        side.push_str(&format!("{indent}└─ Select [out = {rows_out} rows]\n"));
+                    }
+                    PlanStep::Scan { relation, rows } => {
+                        side.push_str(&format!("{indent}└─ Scan {relation} [{rows} rows]\n"));
+                    }
+                }
+            }
+            side
+        };
+        out.push_str(&render_side("private (R)", &self.private, false));
+        out.push_str(&render_side("public (S)", &self.public, true));
+        out
+    }
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryPlan {
+        QueryPlan {
+            algorithm: "P-MPSM".into(),
+            threads: 8,
+            private: vec![
+                PlanStep::Scan { relation: "orders".into(), rows: 1000 },
+                PlanStep::Select { rows_out: 500 },
+            ],
+            public: vec![
+                PlanStep::Scan { relation: "lineitem".into(), rows: 4000 },
+                PlanStep::Select { rows_out: 4000 },
+            ],
+            aggregate: "max(R.payload + S.payload)".into(),
+            join_rows: Some(2000),
+        }
+    }
+
+    #[test]
+    fn explain_contains_every_node() {
+        let text = sample().explain();
+        for needle in [
+            "Aggregate [max(R.payload + S.payload)]",
+            "Join [P-MPSM; T = 8; out = 2000 rows]",
+            "Scan orders [1000 rows]",
+            "Select [out = 500 rows]",
+            "Scan lineitem [4000 rows]",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn display_matches_explain() {
+        let p = sample();
+        assert_eq!(format!("{p}"), p.explain());
+    }
+
+    #[test]
+    fn join_rows_are_optional() {
+        let mut p = sample();
+        p.join_rows = None;
+        assert!(p.explain().contains("Join [P-MPSM; T = 8]"));
+    }
+}

@@ -1,0 +1,145 @@
+//! The paper's benchmark query, end to end (§5.1).
+//!
+//! ```sql
+//! SELECT max(R.payload + S.payload)
+//! FROM R, S
+//! WHERE R.joinkey = S.joinkey
+//! ```
+//!
+//! with optional selections on both inputs (the paper applies a
+//! selection so "no referential integrity (foreign keys) or indexes
+//! could be exploited").
+
+use mpsm_core::join::JoinAlgorithm;
+use mpsm_core::stats::JoinStats;
+use mpsm_core::Tuple;
+
+use crate::ops::{JoinOp, MaxPayloadSum, Select};
+use crate::plan::{PlanStep, QueryPlan};
+use crate::scan::Relation;
+
+/// Result of one paper-query execution.
+#[derive(Debug, Clone)]
+pub struct PaperQueryResult {
+    /// `max(R.payload + S.payload)`, `None` if the join is empty.
+    pub max_payload_sum: Option<u64>,
+    /// Tuples surviving the R selection.
+    pub r_selected: usize,
+    /// Tuples surviving the S selection.
+    pub s_selected: usize,
+    /// Join phase statistics.
+    pub stats: JoinStats,
+    /// The executed plan, for EXPLAIN-style display.
+    pub plan: QueryPlan,
+}
+
+/// Run `scan → select → join → max` with the given join algorithm.
+/// `threads` drives the parallel selections (the join uses its own
+/// configuration).
+pub fn paper_query<J, PR, PS>(
+    r: &Relation,
+    s: &Relation,
+    r_pred: PR,
+    s_pred: PS,
+    algorithm: &J,
+    threads: usize,
+) -> PaperQueryResult
+where
+    J: JoinAlgorithm,
+    PR: Fn(&Tuple) -> bool + Sync,
+    PS: Fn(&Tuple) -> bool + Sync,
+{
+    let r_sel = Select::new(r, r_pred).execute(threads);
+    let s_sel = Select::new(s, s_pred).execute(threads);
+    let join = JoinOp::new(algorithm);
+    let (max, stats) = MaxPayloadSum::over(&join, &r_sel, &s_sel);
+    let plan = QueryPlan {
+        algorithm: algorithm.name().to_string(),
+        threads,
+        private: vec![
+            PlanStep::Scan { relation: r.name().to_string(), rows: r.len() },
+            PlanStep::Select { rows_out: r_sel.len() },
+        ],
+        public: vec![
+            PlanStep::Scan { relation: s.name().to_string(), rows: s.len() },
+            PlanStep::Select { rows_out: s_sel.len() },
+        ],
+        aggregate: "max(R.payload + S.payload)".to_string(),
+        join_rows: None,
+    };
+    PaperQueryResult {
+        max_payload_sum: max,
+        r_selected: r_sel.len(),
+        s_selected: s_sel.len(),
+        stats,
+        plan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsm_core::join::b_mpsm::BMpsmJoin;
+    use mpsm_core::join::p_mpsm::PMpsmJoin;
+    use mpsm_core::join::JoinConfig;
+
+    fn rel(name: &str, n: u64) -> Relation {
+        Relation::new(name, (0..n).map(|k| Tuple::new(k, k)).collect())
+    }
+
+    #[test]
+    fn full_pipeline_on_known_data() {
+        let r = rel("R", 100);
+        let s = rel("S", 100);
+        let algo = PMpsmJoin::new(JoinConfig::with_threads(4));
+        let out = paper_query(&r, &s, |_| true, |_| true, &algo, 4);
+        assert_eq!(out.r_selected, 100);
+        assert_eq!(out.s_selected, 100);
+        assert_eq!(out.max_payload_sum, Some(99 + 99));
+    }
+
+    #[test]
+    fn selection_narrows_the_join() {
+        let r = rel("R", 100);
+        let s = rel("S", 100);
+        let algo = BMpsmJoin::new(JoinConfig::with_threads(2));
+        // Keep keys < 50 in R, keys >= 40 in S: overlap 40..50.
+        let out = paper_query(&r, &s, |t| t.key < 50, |t| t.key >= 40, &algo, 2);
+        assert_eq!(out.r_selected, 50);
+        assert_eq!(out.s_selected, 60);
+        assert_eq!(out.max_payload_sum, Some(49 + 49));
+    }
+
+    #[test]
+    fn empty_join_returns_none() {
+        let r = rel("R", 10);
+        let s = rel("S", 10);
+        let algo = PMpsmJoin::new(JoinConfig::with_threads(2));
+        let out = paper_query(&r, &s, |t| t.key < 3, |t| t.key > 7, &algo, 2);
+        assert_eq!(out.max_payload_sum, None);
+    }
+
+    #[test]
+    fn plan_explains_the_pipeline() {
+        let r = rel("R", 100);
+        let s = rel("S", 200);
+        let algo = PMpsmJoin::new(JoinConfig::with_threads(2));
+        let out = paper_query(&r, &s, |t| t.key < 10, |_| true, &algo, 2);
+        let text = out.plan.explain();
+        assert!(text.contains("Join [P-MPSM; T = 2]"), "{text}");
+        assert!(text.contains("Scan R [100 rows]"), "{text}");
+        assert!(text.contains("Select [out = 10 rows]"), "{text}");
+        assert!(text.contains("Scan S [200 rows]"), "{text}");
+    }
+
+    #[test]
+    fn algorithms_agree_on_the_query() {
+        let r = rel("R", 500);
+        let s = Relation::new("S", (0..2000u64).map(|i| Tuple::new(i % 500, i)).collect());
+        let p = PMpsmJoin::new(JoinConfig::with_threads(4));
+        let b = BMpsmJoin::new(JoinConfig::with_threads(4));
+        let out_p = paper_query(&r, &s, |_| true, |_| true, &p, 4);
+        let out_b = paper_query(&r, &s, |_| true, |_| true, &b, 4);
+        assert_eq!(out_p.max_payload_sum, out_b.max_payload_sum);
+    }
+}

@@ -1,0 +1,58 @@
+//! Base relations.
+
+use mpsm_core::Tuple;
+
+/// A named, in-memory base table of join tuples.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    name: String,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Create a relation from tuples.
+    pub fn new(name: impl Into<String>, tuples: Vec<Tuple>) -> Self {
+        Relation { name: name.into(), tuples }
+    }
+
+    /// The relation's name (for plan display).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The stored tuples.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Cardinality.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relation_basics() {
+        let r = Relation::new("orders", vec![Tuple::new(1, 2)]);
+        assert_eq!(r.name(), "orders");
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+        assert_eq!(r.tuples()[0], Tuple::new(1, 2));
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::new("empty", vec![]);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Access counters: the measurable side of the NUMA commandments.
+//!
+//! Algorithms under audit record how many tuple-sized accesses of each
+//! [`AccessKind`] they perform plus how many synchronization events they
+//! execute. Counters are plain (non-atomic) per worker and merged after
+//! the parallel section — deliberately mirroring commandment C3: the
+//! instrumentation itself must not introduce shared-state contention.
+
+use crate::cost::AccessKind;
+use crate::topology::{CoreId, NodeId, Topology};
+
+/// Tallies of accesses by kind plus synchronization events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessCounters {
+    accesses: [u64; 4],
+    syncs: u64,
+}
+
+impl AccessCounters {
+    /// A fresh, all-zero counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `count` accesses of `kind`.
+    pub fn record(&mut self, kind: AccessKind, count: u64) {
+        self.accesses[kind.index()] += count;
+    }
+
+    /// Record `count` synchronization events (atomic RMW on shared state).
+    pub fn record_syncs(&mut self, count: u64) {
+        self.syncs += count;
+    }
+
+    /// Accesses recorded for `kind`.
+    pub fn accesses(&self, kind: AccessKind) -> u64 {
+        self.accesses[kind.index()]
+    }
+
+    /// Total accesses over all kinds.
+    pub fn total_accesses(&self) -> u64 {
+        self.accesses.iter().sum()
+    }
+
+    /// Synchronization events recorded.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// Fraction of all accesses that touched remote memory.
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            return 0.0;
+        }
+        let remote = self.accesses(AccessKind::RemoteSeq) + self.accesses(AccessKind::RemoteRand);
+        remote as f64 / total as f64
+    }
+
+    /// Fraction of all accesses that were random (not prefetcher-friendly).
+    pub fn random_fraction(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            return 0.0;
+        }
+        let random = self.accesses(AccessKind::LocalRand) + self.accesses(AccessKind::RemoteRand);
+        random as f64 / total as f64
+    }
+
+    /// Merge another counter set into this one (used to combine
+    /// per-worker tallies after a parallel phase).
+    pub fn merge(&mut self, other: &AccessCounters) {
+        for i in 0..4 {
+            self.accesses[i] += other.accesses[i];
+        }
+        self.syncs += other.syncs;
+    }
+
+    /// Sum a collection of per-worker counters.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a AccessCounters>) -> AccessCounters {
+        let mut out = AccessCounters::default();
+        for p in parts {
+            out.merge(p);
+        }
+        out
+    }
+}
+
+/// A per-worker recording scope: knows which core the worker runs on and
+/// classifies accesses against buffer home nodes.
+///
+/// This is the object instrumented algorithms thread through their inner
+/// loops; classification is two comparisons and an add, cheap enough to
+/// leave enabled in the audit binaries.
+#[derive(Debug, Clone)]
+pub struct CounterScope {
+    topology: Topology,
+    core: CoreId,
+    counters: AccessCounters,
+}
+
+impl CounterScope {
+    /// Create a scope for a worker pinned (logically) to `core`.
+    pub fn new(topology: Topology, core: CoreId) -> Self {
+        CounterScope { topology, core, counters: AccessCounters::default() }
+    }
+
+    /// The core this scope records for.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// The node this worker's local memory lives on.
+    pub fn node(&self) -> NodeId {
+        self.topology.node_of(self.core)
+    }
+
+    /// Record `count` accesses to memory homed on `home`.
+    pub fn touch(&mut self, home: NodeId, sequential: bool, count: u64) {
+        let local = self.topology.is_local(self.core, home);
+        self.counters.record(AccessKind::from_flags(local, sequential), count);
+    }
+
+    /// Record accesses to *globally interleaved* memory: the expected
+    /// remote share is priced by splitting the count according to the
+    /// topology's remote fraction.
+    pub fn touch_interleaved(&mut self, sequential: bool, count: u64) {
+        let remote = (count as f64 * self.topology.remote_fraction()).round() as u64;
+        let local = count - remote.min(count);
+        self.counters
+            .record(AccessKind::from_flags(true, sequential), local);
+        self.counters
+            .record(AccessKind::from_flags(false, sequential), remote.min(count));
+    }
+
+    /// Record `count` synchronization events.
+    pub fn sync(&mut self, count: u64) {
+        self.counters.record_syncs(count);
+    }
+
+    /// Finish the scope and return the recorded counters.
+    pub fn finish(self) -> AccessCounters {
+        self.counters
+    }
+
+    /// Borrow the counters recorded so far.
+    pub fn counters(&self) -> &AccessCounters {
+        &self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut c = AccessCounters::new();
+        c.record(AccessKind::LocalSeq, 10);
+        c.record(AccessKind::RemoteRand, 5);
+        c.record_syncs(2);
+        assert_eq!(c.accesses(AccessKind::LocalSeq), 10);
+        assert_eq!(c.accesses(AccessKind::RemoteRand), 5);
+        assert_eq!(c.total_accesses(), 15);
+        assert_eq!(c.syncs(), 2);
+    }
+
+    #[test]
+    fn fractions() {
+        let mut c = AccessCounters::new();
+        c.record(AccessKind::LocalSeq, 30);
+        c.record(AccessKind::RemoteRand, 10);
+        assert!((c.remote_fraction() - 0.25).abs() < 1e-12);
+        assert!((c.random_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counters_have_zero_fractions() {
+        let c = AccessCounters::new();
+        assert_eq!(c.remote_fraction(), 0.0);
+        assert_eq!(c.random_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = AccessCounters::new();
+        a.record(AccessKind::LocalRand, 7);
+        a.record_syncs(1);
+        let mut b = AccessCounters::new();
+        b.record(AccessKind::LocalRand, 3);
+        b.record(AccessKind::RemoteSeq, 4);
+        a.merge(&b);
+        assert_eq!(a.accesses(AccessKind::LocalRand), 10);
+        assert_eq!(a.accesses(AccessKind::RemoteSeq), 4);
+        assert_eq!(a.syncs(), 1);
+    }
+
+    #[test]
+    fn merged_over_workers() {
+        let parts: Vec<AccessCounters> = (0..4)
+            .map(|i| {
+                let mut c = AccessCounters::new();
+                c.record(AccessKind::LocalSeq, i as u64 + 1);
+                c
+            })
+            .collect();
+        let total = AccessCounters::merged(parts.iter());
+        assert_eq!(total.accesses(AccessKind::LocalSeq), 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn scope_classifies_locality() {
+        let topo = Topology::paper_machine();
+        // Worker on core 0 → node 0.
+        let mut scope = CounterScope::new(topo, CoreId(0));
+        scope.touch(NodeId(0), true, 100); // local seq
+        scope.touch(NodeId(1), true, 50); // remote seq
+        scope.touch(NodeId(2), false, 25); // remote rand
+        let c = scope.finish();
+        assert_eq!(c.accesses(AccessKind::LocalSeq), 100);
+        assert_eq!(c.accesses(AccessKind::RemoteSeq), 50);
+        assert_eq!(c.accesses(AccessKind::RemoteRand), 25);
+    }
+
+    #[test]
+    fn scope_interleaved_split() {
+        let topo = Topology::paper_machine(); // remote fraction 0.75
+        let mut scope = CounterScope::new(topo, CoreId(0));
+        scope.touch_interleaved(false, 100);
+        let c = scope.finish();
+        assert_eq!(c.accesses(AccessKind::RemoteRand), 75);
+        assert_eq!(c.accesses(AccessKind::LocalRand), 25);
+    }
+
+    #[test]
+    fn scope_interleaved_on_flat_topology_is_all_local() {
+        let topo = Topology::flat(8);
+        let mut scope = CounterScope::new(topo, CoreId(3));
+        scope.touch_interleaved(true, 64);
+        let c = scope.finish();
+        assert_eq!(c.accesses(AccessKind::LocalSeq), 64);
+        assert_eq!(c.remote_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Simulated NUMA substrate for the MPSM join reproduction.
+//!
+//! The MPSM paper ("Massively Parallel Sort-Merge Joins in Main Memory
+//! Multi-Core Database Systems", VLDB 2012) was evaluated on a 4-socket
+//! Intel X7560 machine where non-uniform memory access is a physical
+//! property. This crate replaces that hardware with a *software model*
+//! that preserves the behaviour the paper's design rules depend on:
+//!
+//! * a configurable [`Topology`] describing nodes, cores, and SMT contexts
+//!   (the default mirrors the paper's 4 × 8 × 2 machine, Figure 11);
+//! * [`arena::NumaArena`] / [`arena::NumaBuf`], buffers tagged with a home
+//!   node so algorithms can be audited for local vs. remote traffic;
+//! * [`counters::AccessCounters`], per-thread tallies of
+//!   local/remote × sequential/random accesses and synchronization events
+//!   (the quantities behind the paper's three NUMA "commandments");
+//! * [`cost::CostModel`], a latency model calibrated against the paper's
+//!   Figure 1 micro-benchmarks that converts counters into simulated time;
+//! * [`microbench`], instrumented re-implementations of the three
+//!   Figure 1 experiments.
+//!
+//! The model is deliberately simple: it counts *what* an algorithm touches
+//! and *how* (sequentially or randomly, locally or remotely), then prices
+//! those touches. That is exactly the level of abstraction at which the
+//! paper argues — its commandments C1–C3 are statements about access
+//! patterns, not about micro-architecture.
+
+pub mod arena;
+pub mod cost;
+pub mod counters;
+pub mod microbench;
+pub mod topology;
+
+pub use arena::{NumaArena, NumaBuf};
+pub use cost::{AccessKind, CostModel};
+pub use counters::{AccessCounters, CounterScope};
+pub use topology::{CoreId, NodeId, Topology};

@@ -1,0 +1,227 @@
+//! Asynchronous prefetcher driving the Figure 4 window.
+//!
+//! Workers publish the join key they are currently processing through a
+//! [`Progress`] board (one cache-line-padded atomic per worker — no
+//! locks, commandment C3). A background [`Prefetcher`] thread
+//!
+//! * computes the slowest worker's key `m`,
+//! * **releases** every page whose `max_key < m` (green in Figure 4),
+//! * **prefetches** pages whose `min_key ≤ m + lookahead` (yellow),
+//!
+//! walking the read-only page index in key order exactly like the
+//! workers do.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::backend::DiskBackend;
+use crate::buffer::BufferPool;
+use crate::page_index::PageIndex;
+use crate::record::Record;
+
+/// Shared progress board: the current join key of each worker.
+#[derive(Debug)]
+pub struct Progress {
+    keys: Vec<AtomicU64>,
+}
+
+impl Progress {
+    /// A board for `workers` workers, all starting at key 0.
+    pub fn new(workers: usize) -> Self {
+        Progress { keys: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Number of workers tracked.
+    pub fn workers(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Publish that worker `w` is now processing `key`.
+    pub fn update(&self, w: usize, key: u64) {
+        self.keys[w].store(key, Ordering::Release);
+    }
+
+    /// Mark worker `w` finished (it no longer holds back releases).
+    pub fn finish(&self, w: usize) {
+        self.keys[w].store(u64::MAX, Ordering::Release);
+    }
+
+    /// The slowest worker's key (`u64::MAX` once all workers finished).
+    pub fn min_key(&self) -> u64 {
+        self.keys.iter().map(|k| k.load(Ordering::Acquire)).min().unwrap_or(u64::MAX)
+    }
+}
+
+/// Handle to the background prefetch thread; stops and joins on drop.
+pub struct Prefetcher {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    /// Spawn a prefetcher over `pool`, walking `index` and following
+    /// `progress`. `lookahead` is in key units: pages whose `min_key`
+    /// lies within `[min, min + lookahead]` are loaded ahead of demand.
+    pub fn spawn<B, R>(
+        pool: Arc<BufferPool<B, R>>,
+        index: Arc<PageIndex>,
+        progress: Arc<Progress>,
+        lookahead: u64,
+        poll: Duration,
+    ) -> Self
+    where
+        B: DiskBackend + 'static,
+        R: Record,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("mpsm-prefetcher".into())
+            .spawn(move || {
+                let mut next_entry = 0usize;
+                let mut release_cursor = 0usize;
+                while !stop_flag.load(Ordering::Acquire) {
+                    let m = progress.min_key();
+                    // Release pages entirely below the slowest worker.
+                    // The index is min_key-ordered; max_keys of a run are
+                    // also non-decreasing, but across runs they are not,
+                    // so scan a bounded window from the release cursor.
+                    let frontier = index.frontier(m);
+                    if frontier > release_cursor {
+                        pool.release(
+                            index.entries()[release_cursor..frontier]
+                                .iter()
+                                .filter(|e| e.max_key < m),
+                        );
+                        // Only advance past entries that are certainly
+                        // dead; keep straddling pages in the window.
+                        while release_cursor < frontier
+                            && index.entries()[release_cursor].max_key < m
+                        {
+                            release_cursor += 1;
+                        }
+                    }
+                    // Prefetch the lookahead window.
+                    let horizon = m.saturating_add(lookahead);
+                    while next_entry < index.len() && index.entries()[next_entry].min_key <= horizon {
+                        let e = index.entries()[next_entry];
+                        if pool.prefetch(e.run, e.page).is_err() {
+                            // Backend fault: leave the page to demand
+                            // loading, which will surface the error to
+                            // the worker that actually needs it.
+                        }
+                        next_entry += 1;
+                    }
+                    if m == u64::MAX {
+                        break; // all workers done
+                    }
+                    std::thread::sleep(poll);
+                }
+            })
+            .expect("failed to spawn prefetcher thread");
+        Prefetcher { stop, handle: Some(handle) }
+    }
+
+    /// Request the thread to stop and wait for it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use crate::record::KvRecord;
+    use crate::run_store::{RunId, RunStore};
+
+    fn setup(pages: u64) -> (Arc<RunStore<MemBackend>>, Arc<PageIndex>) {
+        let store = Arc::new(RunStore::new(MemBackend::disk_array(), 4));
+        let recs: Vec<KvRecord> = (0..pages * 4).map(|i| KvRecord::new(i, i)).collect();
+        store.store_run(&recs).unwrap();
+        let index = Arc::new(PageIndex::build(&store.all_metas()));
+        (store, index)
+    }
+
+    #[test]
+    fn progress_tracks_minimum() {
+        let p = Progress::new(3);
+        p.update(0, 10);
+        p.update(1, 5);
+        p.update(2, 20);
+        assert_eq!(p.min_key(), 5);
+        p.finish(1);
+        assert_eq!(p.min_key(), 10);
+        p.finish(0);
+        p.finish(2);
+        assert_eq!(p.min_key(), u64::MAX);
+    }
+
+    #[test]
+    fn prefetcher_loads_ahead_and_releases_behind() {
+        let (store, index) = setup(8);
+        let pool = Arc::new(BufferPool::<_, KvRecord>::new(Arc::clone(&store), 64));
+        let progress = Arc::new(Progress::new(1));
+        let pf = Prefetcher::spawn(
+            Arc::clone(&pool),
+            Arc::clone(&index),
+            Arc::clone(&progress),
+            8, // two pages of lookahead (4 keys per page)
+            Duration::from_micros(100),
+        );
+        // Wait for the initial window to load.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while !pool.is_resident(RunId(0), 1) && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(pool.is_resident(RunId(0), 0), "initial page prefetched");
+        assert!(pool.is_resident(RunId(0), 1), "lookahead page prefetched");
+
+        // Worker advances past page 0 (keys 0..=3).
+        progress.update(0, 10);
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while pool.is_resident(RunId(0), 0) && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(!pool.is_resident(RunId(0), 0), "passed page released");
+
+        progress.finish(0);
+        pf.stop();
+        let st = pool.stats();
+        assert!(st.prefetches > 0);
+        assert!(st.releases > 0);
+    }
+
+    #[test]
+    fn prefetcher_terminates_when_all_workers_finish() {
+        let (store, index) = setup(4);
+        let pool = Arc::new(BufferPool::<_, KvRecord>::new(store, 64));
+        let progress = Arc::new(Progress::new(2));
+        let pf = Prefetcher::spawn(pool, index, Arc::clone(&progress), 4, Duration::from_micros(50));
+        progress.finish(0);
+        progress.finish(1);
+        // Drop joins the thread; the loop must have exited on its own.
+        pf.stop();
+    }
+
+    #[test]
+    fn empty_progress_board_is_finished() {
+        let p = Progress::new(0);
+        assert_eq!(p.workers(), 1, "board always tracks at least one slot");
+    }
+}

@@ -1,0 +1,185 @@
+//! Foreign-key workloads with exact multiplicities (Figures 12–14).
+//!
+//! `R` gets *unique* keys (a dimension table); `S` references each `R`
+//! key exactly `m` times in shuffled order (a fact table with a
+//! foreign key). Every probe finds partners and the join cardinality is
+//! exactly `|S|` — the setup that makes the paper's multiplicities
+//! meaningful.
+//!
+//! Key uniqueness without an `O(n log n)` dedup: a four-round Feistel
+//! network over the 32-bit key domain is a *bijection*, so encrypting
+//! the indices `0..n` yields `n` distinct pseudo-random keys in
+//! `[0, 2^32)` in `O(n)`.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha_like::StdRng;
+
+use mpsm_core::Tuple;
+
+use crate::{Workload, KEY_DOMAIN};
+
+/// `rand`'s StdRng behind a narrower name (the exact algorithm is
+/// unspecified upstream; determinism per seed within one build is what
+/// the experiments need).
+mod rand_chacha_like {
+    pub use rand::rngs::StdRng;
+}
+
+/// Four-round Feistel permutation of the 32-bit domain.
+fn feistel32(index: u32, seed: u64) -> u32 {
+    let mut left = (index >> 16) as u16;
+    let mut right = (index & 0xffff) as u16;
+    for round in 0..4u64 {
+        let k = seed.wrapping_add(round.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let f = ((right as u64).wrapping_add(k).wrapping_mul(0xff51_afd7_ed55_8ccd) >> 24) as u16;
+        let new_right = left ^ f;
+        left = right;
+        right = new_right;
+    }
+    ((left as u32) << 16) | right as u32
+}
+
+/// `n` distinct pseudo-random keys in `[0, 2^32)`.
+///
+/// # Panics
+/// Panics if `n` exceeds the 32-bit domain.
+pub fn unique_keys(n: usize, seed: u64) -> Vec<u64> {
+    assert!((n as u64) <= KEY_DOMAIN, "cannot draw {n} unique keys from a 2^32 domain");
+    (0..n as u32).map(|i| feistel32(i, seed) as u64).collect()
+}
+
+/// The paper's uniform foreign-key dataset: `|R| = r_len` unique keys,
+/// `|S| = multiplicity · |R|` with every R key appearing exactly
+/// `multiplicity` times, shuffled. Payloads are sequential row ids.
+pub fn fk_uniform(r_len: usize, multiplicity: usize, seed: u64) -> Workload {
+    let keys = unique_keys(r_len, seed);
+    let r: Vec<Tuple> =
+        keys.iter().enumerate().map(|(i, &k)| Tuple::new(k, i as u64)).collect();
+
+    let mut s_keys: Vec<u64> = Vec::with_capacity(r_len * multiplicity);
+    for _ in 0..multiplicity {
+        s_keys.extend_from_slice(&keys);
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5357_4150); // "SWAP"
+    s_keys.shuffle(&mut rng);
+    let s: Vec<Tuple> =
+        s_keys.into_iter().enumerate().map(|(i, k)| Tuple::new(k, i as u64)).collect();
+    Workload { r, s }
+}
+
+/// Independent uniform draws over `[0, domain)` for both relations (no
+/// FK constraint; join partners arise from collisions). Used by tests
+/// and the micro-benchmarks.
+pub fn uniform_independent(r_len: usize, s_len: usize, domain: u64, seed: u64) -> Workload {
+    assert!(domain > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let r = (0..r_len).map(|i| Tuple::new(rng.gen_range(0..domain), i as u64)).collect();
+    let s = (0..s_len).map(|i| Tuple::new(rng.gen_range(0..domain), i as u64)).collect();
+    Workload { r, s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn feistel_is_a_bijection_on_a_sample() {
+        let mut seen = HashSet::new();
+        for i in 0..100_000u32 {
+            assert!(seen.insert(feistel32(i, 42)), "collision at index {i}");
+        }
+    }
+
+    #[test]
+    fn unique_keys_are_unique_and_in_domain() {
+        let keys = unique_keys(50_000, 7);
+        let set: HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(set.len(), keys.len());
+        assert!(keys.iter().all(|&k| k < KEY_DOMAIN));
+    }
+
+    #[test]
+    fn unique_keys_deterministic_per_seed() {
+        assert_eq!(unique_keys(1000, 9), unique_keys(1000, 9));
+        assert_ne!(unique_keys(1000, 9), unique_keys(1000, 10));
+    }
+
+    #[test]
+    fn fk_uniform_has_exact_multiplicity() {
+        let w = fk_uniform(1000, 4, 3);
+        assert_eq!(w.r.len(), 1000);
+        assert_eq!(w.s.len(), 4000);
+        // Every S key occurs exactly 4 times and references an R key.
+        let r_keys: HashSet<u64> = w.r.iter().map(|t| t.key).collect();
+        let mut counts: std::collections::HashMap<u64, usize> = Default::default();
+        for t in &w.s {
+            assert!(r_keys.contains(&t.key), "dangling foreign key");
+            *counts.entry(t.key).or_default() += 1;
+        }
+        assert!(counts.values().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn fk_join_cardinality_is_s_len() {
+        let w = fk_uniform(500, 8, 11);
+        assert_eq!(mpsm_baselines_oracle(&w.r, &w.s), 4000);
+    }
+
+    // Local copy of the sort-count oracle to avoid a dev-dependency
+    // cycle with mpsm-baselines.
+    fn mpsm_baselines_oracle(r: &[Tuple], s: &[Tuple]) -> u64 {
+        let mut rk: Vec<u64> = r.iter().map(|t| t.key).collect();
+        let mut sk: Vec<u64> = s.iter().map(|t| t.key).collect();
+        rk.sort_unstable();
+        sk.sort_unstable();
+        let (mut i, mut j, mut c) = (0, 0, 0u64);
+        while i < rk.len() && j < sk.len() {
+            match rk[i].cmp(&sk[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let k = rk[i];
+                    let i0 = i;
+                    let j0 = j;
+                    while i < rk.len() && rk[i] == k {
+                        i += 1;
+                    }
+                    while j < sk.len() && sk[j] == k {
+                        j += 1;
+                    }
+                    c += ((i - i0) * (j - j0)) as u64;
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn multiplicity_one_is_a_permutation_join() {
+        let w = fk_uniform(2000, 1, 21);
+        assert_eq!(w.s.len(), 2000);
+        assert_eq!(mpsm_baselines_oracle(&w.r, &w.s), 2000);
+    }
+
+    #[test]
+    fn uniform_independent_in_domain() {
+        let w = uniform_independent(1000, 2000, 5000, 13);
+        assert!(w.r.iter().all(|t| t.key < 5000));
+        assert!(w.s.iter().all(|t| t.key < 5000));
+        assert_eq!(w.r.len(), 1000);
+        assert_eq!(w.s.len(), 2000);
+    }
+
+    #[test]
+    fn payloads_are_row_ids() {
+        let w = fk_uniform(100, 2, 17);
+        for (i, t) in w.r.iter().enumerate() {
+            assert_eq!(t.payload, i as u64);
+        }
+        for (i, t) in w.s.iter().enumerate() {
+            assert_eq!(t.payload, i as u64);
+        }
+    }
+}

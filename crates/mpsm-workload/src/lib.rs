@@ -1,0 +1,83 @@
+//! Workload generators for the MPSM evaluation (paper §5.1, §5.5, §5.6).
+//!
+//! The paper's datasets are pairs of relations `R` and `S` of 16-byte
+//! tuples (`[joinkey: 64-bit, payload: 64-bit]`, keys from `[0, 2^32)`):
+//!
+//! * `|R| = 1600M`, `|S| = m · |R|` for multiplicities
+//!   `m ∈ {1, 4, 8, 16}` — TPC-H-style fact/dimension ratios;
+//! * uniform key distributions for Figures 12–14;
+//! * **location skew** for Figure 15 (S arranged in small-to-large key
+//!   order, no total order);
+//! * **negatively correlated 80:20 distribution skew** for Figure 16
+//!   (80% of R keys at the high 20% of the domain, 80% of S keys at the
+//!   low 20%).
+//!
+//! This crate reproduces all of them at configurable scale, fully
+//! deterministic under a seed. `M = 2^20` as in the paper
+//! ([`M_TUPLES`]).
+
+pub mod fk;
+pub mod location;
+pub mod skew;
+pub mod tpch;
+pub mod zipf;
+
+pub use fk::{fk_uniform, uniform_independent, unique_keys};
+pub use location::{apply_location_skew, extreme_location_skew};
+pub use skew::{skewed_80_20, skewed_negative_correlation};
+pub use tpch::orders_lineitems;
+pub use zipf::ZipfSampler;
+
+use mpsm_core::Tuple;
+
+/// The paper's `M`: `2^20` tuples.
+pub const M_TUPLES: usize = 1 << 20;
+
+/// The paper's key domain: `[0, 2^32)`.
+pub const KEY_DOMAIN: u64 = 1 << 32;
+
+/// A generated join workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The (usually smaller, private) input `R`.
+    pub r: Vec<Tuple>,
+    /// The (usually larger, public) input `S`.
+    pub s: Vec<Tuple>,
+}
+
+impl Workload {
+    /// `|S| / |R|`, the paper's multiplicity.
+    pub fn multiplicity(&self) -> f64 {
+        if self.r.is_empty() {
+            0.0
+        } else {
+            self.s.len() as f64 / self.r.len() as f64
+        }
+    }
+
+    /// Total size in bytes (both relations).
+    pub fn bytes(&self) -> usize {
+        (self.r.len() + self.s.len()) * std::mem::size_of::<Tuple>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_accessors() {
+        let w = Workload {
+            r: (0..10u64).map(|k| Tuple::new(k, 0)).collect(),
+            s: (0..40u64).map(|k| Tuple::new(k % 10, 0)).collect(),
+        };
+        assert_eq!(w.multiplicity(), 4.0);
+        assert_eq!(w.bytes(), 50 * 16);
+    }
+
+    #[test]
+    fn empty_workload_multiplicity() {
+        let w = Workload { r: vec![], s: vec![] };
+        assert_eq!(w.multiplicity(), 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Location skew (§5.5, Figure 15).
+//!
+//! Location skew is about *where* keys sit within the relation, not how
+//! often they occur: "We introduced location skew by arranging S in
+//! small to large join key order — no total order, so sorting the
+//! clusters was still necessary." In the extreme, all join partners of
+//! a private partition `R_i` live in exactly one `S_j` — either the
+//! local one or one remote one.
+//!
+//! Location skew on `R` is irrelevant (R is redistributed anyway), so
+//! only `S` is rearranged.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use mpsm_core::Tuple;
+
+/// Arrange `s` in small-to-large key order across `clusters` blocks:
+/// tuples are ordered by key, cut into `clusters` equal blocks, and
+/// each block is shuffled internally — clustered, but with no total
+/// order (each worker still has to sort its chunk).
+pub fn apply_location_skew(s: &mut [Tuple], clusters: usize, seed: u64) {
+    assert!(clusters > 0);
+    s.sort_unstable_by_key(|t| t.key);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let block = s.len().div_ceil(clusters).max(1);
+    for chunk in s.chunks_mut(block) {
+        chunk.shuffle(&mut rng);
+    }
+}
+
+/// Extreme location skew with a worker offset: the key-ordered blocks
+/// are rotated by `rotate` positions, so the join partners of worker
+/// `w`'s private range sit in chunk `(w + rotate) mod clusters` of `S` —
+/// `rotate = 0` puts them in the *local* run, `rotate = 1` in exactly
+/// one *remote* run (the two extremes of Figure 15).
+pub fn extreme_location_skew(s: &mut [Tuple], clusters: usize, rotate: usize, seed: u64) {
+    apply_location_skew(s, clusters, seed);
+    if clusters <= 1 || s.is_empty() {
+        return;
+    }
+    let block = s.len().div_ceil(clusters).max(1);
+    let shift = (rotate % clusters) * block;
+    let shift = shift.min(s.len());
+    s.rotate_right(shift);
+}
+
+/// How clustered a relation is: mean over adjacent chunk pairs of the
+/// probability that chunk `i`'s maximum key ≤ chunk `i+1`'s minimum key
+/// (1.0 = perfectly clustered small-to-large, ≈0 = unordered).
+pub fn clustering_score(s: &[Tuple], clusters: usize) -> f64 {
+    if clusters < 2 || s.is_empty() {
+        return 1.0;
+    }
+    let block = s.len().div_ceil(clusters).max(1);
+    let chunks: Vec<&[Tuple]> = s.chunks(block).collect();
+    let mut ordered = 0usize;
+    let mut pairs = 0usize;
+    for w in chunks.windows(2) {
+        let max0 = w[0].iter().map(|t| t.key).max().unwrap_or(0);
+        let min1 = w[1].iter().map(|t| t.key).min().unwrap_or(u64::MAX);
+        pairs += 1;
+        if max0 <= min1 {
+            ordered += 1;
+        }
+    }
+    if pairs == 0 {
+        1.0
+    } else {
+        ordered as f64 / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fk::uniform_independent;
+
+    #[test]
+    fn location_skew_clusters_keys() {
+        let mut w = uniform_independent(0, 10_000, 1 << 20, 3);
+        assert!(clustering_score(&w.s, 8) < 0.5, "uniform data is unclustered");
+        apply_location_skew(&mut w.s, 8, 7);
+        assert_eq!(clustering_score(&w.s, 8), 1.0, "blocks are key-ordered");
+    }
+
+    #[test]
+    fn location_skew_preserves_multiset() {
+        let mut w = uniform_independent(0, 5_000, 1 << 16, 5);
+        let mut before: Vec<(u64, u64)> = w.s.iter().map(|t| (t.key, t.payload)).collect();
+        apply_location_skew(&mut w.s, 4, 9);
+        let mut after: Vec<(u64, u64)> = w.s.iter().map(|t| (t.key, t.payload)).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn blocks_are_internally_unsorted() {
+        // "No total order, so sorting the clusters was still necessary."
+        let mut w = uniform_independent(0, 10_000, 1 << 20, 11);
+        apply_location_skew(&mut w.s, 4, 13);
+        let block = w.s.len().div_ceil(4);
+        let first_block = &w.s[..block];
+        let sorted = first_block.windows(2).all(|p| p[0].key <= p[1].key);
+        assert!(!sorted, "cluster contents must not be totally ordered");
+    }
+
+    #[test]
+    fn rotation_moves_partners_remote() {
+        let mut local = uniform_independent(0, 8_000, 1 << 20, 17).s;
+        let mut remote = local.clone();
+        extreme_location_skew(&mut local, 4, 0, 19);
+        extreme_location_skew(&mut remote, 4, 1, 19);
+        let block = local.len().div_ceil(4);
+        // Rotated by one block: remote's chunk 1 equals local's chunk 0.
+        assert_eq!(local[..block], remote[block..2 * block]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut empty: Vec<Tuple> = vec![];
+        extreme_location_skew(&mut empty, 4, 1, 0);
+        assert!(empty.is_empty());
+
+        let mut one = vec![Tuple::new(5, 0)];
+        apply_location_skew(&mut one, 10, 0);
+        assert_eq!(one.len(), 1);
+        assert_eq!(clustering_score(&one, 1), 1.0);
+    }
+}

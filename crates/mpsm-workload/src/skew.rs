@@ -1,0 +1,113 @@
+//! Distribution skew: 80:20 bands and negative correlation (§5.6).
+//!
+//! The paper's worst case for a range-partitioned join: "Our data set
+//! again contained 1600M tuples in R with an 80:20 distribution of the
+//! join keys: 80% of the join keys were generated at the 20% high end
+//! of the domain. The S data [...] was generated with opposite skew."
+//! Positively correlated skew is harmless (splitters follow both
+//! distributions); negative correlation forces the splitter computation
+//! to trade R-sort cost against S-scan cost (Figure 16).
+
+use rand::{Rng, SeedableRng};
+
+use mpsm_core::Tuple;
+
+use crate::Workload;
+
+/// Draw `n` keys with an 80:20 skew over `[0, domain)`: 80% of the keys
+/// land in the 20% band at the high end (`high = true`) or the low end
+/// (`high = false`).
+pub fn skewed_80_20(n: usize, domain: u64, high: bool, seed: u64) -> Vec<Tuple> {
+    assert!(domain >= 5, "domain too small for a 20% band");
+    let band = domain / 5; // 20%
+    let rest = domain - band;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let in_band = rng.gen_range(0..10u32) < 8; // 80%
+            let key = match (in_band, high) {
+                (true, true) => rest + rng.gen_range(0..band), // high band
+                (true, false) => rng.gen_range(0..band),       // low band
+                (false, true) => rng.gen_range(0..rest),       // low body
+                (false, false) => band + rng.gen_range(0..rest), // high body
+            };
+            Tuple::new(key, i as u64)
+        })
+        .collect()
+}
+
+/// The Figure 16 dataset: R skewed to the *high* 20% of the domain,
+/// `S = multiplicity · |R|` skewed to the *low* 20% — negatively
+/// correlated.
+pub fn skewed_negative_correlation(
+    r_len: usize,
+    multiplicity: usize,
+    domain: u64,
+    seed: u64,
+) -> Workload {
+    Workload {
+        r: skewed_80_20(r_len, domain, true, seed),
+        s: skewed_80_20(r_len * multiplicity, domain, false, seed ^ 0x0bad_cafe),
+    }
+}
+
+/// Fraction of tuples whose key lies in the top 20% of `[0, domain)`.
+pub fn high_band_fraction(tuples: &[Tuple], domain: u64) -> f64 {
+    if tuples.is_empty() {
+        return 0.0;
+    }
+    let cutoff = domain - domain / 5;
+    tuples.iter().filter(|t| t.key >= cutoff).count() as f64 / tuples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_skew_concentrates_high() {
+        let data = skewed_80_20(50_000, 1 << 20, true, 5);
+        let frac = high_band_fraction(&data, 1 << 20);
+        assert!((0.77..0.83).contains(&frac), "≈80% in the high band, got {frac}");
+    }
+
+    #[test]
+    fn low_skew_concentrates_low() {
+        let data = skewed_80_20(50_000, 1 << 20, false, 5);
+        let frac = high_band_fraction(&data, 1 << 20);
+        assert!(frac < 0.10, "high band nearly empty under low skew, got {frac}");
+    }
+
+    #[test]
+    fn negative_correlation_opposes_bands() {
+        let w = skewed_negative_correlation(20_000, 4, 1 << 20, 9);
+        assert_eq!(w.s.len(), 80_000);
+        let r_high = high_band_fraction(&w.r, 1 << 20);
+        let s_high = high_band_fraction(&w.s, 1 << 20);
+        assert!(r_high > 0.7, "R skewed high: {r_high}");
+        assert!(s_high < 0.1, "S skewed low: {s_high}");
+    }
+
+    #[test]
+    fn keys_stay_in_domain() {
+        for high in [true, false] {
+            let data = skewed_80_20(10_000, 1000, high, 1);
+            assert!(data.iter().all(|t| t.key < 1000));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = skewed_80_20(1000, 1 << 16, true, 3);
+        let b = skewed_80_20(1000, 1 << 16, true, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn payloads_are_row_ids() {
+        let data = skewed_80_20(100, 1 << 10, true, 2);
+        for (i, t) in data.iter().enumerate() {
+            assert_eq!(t.payload, i as u64);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Zipf-distributed key sampling.
+//!
+//! A general-purpose heavy-tail generator complementing the paper's
+//! 80:20 band skew: rank `r` (1-based) of `n` values is drawn with
+//! probability proportional to `1 / r^theta`. Used by the extended
+//! skew tests and the ablation benchmarks.
+
+use rand::{Rng, SeedableRng};
+
+use mpsm_core::Tuple;
+
+/// Inverse-CDF Zipf sampler over `n` ranks.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative probabilities, `cum[r]` = P(rank ≤ r+1).
+    cum: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler for `n` distinct ranks with exponent `theta`
+    /// (`theta = 0` is uniform; common benchmark values 0.5–1.5).
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(theta >= 0.0 && theta.is_finite(), "theta must be a finite non-negative number");
+        let mut cum = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(theta);
+            cum.push(acc);
+        }
+        let total = acc;
+        for c in cum.iter_mut() {
+            *c /= total;
+        }
+        ZipfSampler { cum }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Sample one 0-based rank.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cum.partition_point(|&c| c < u).min(self.cum.len() - 1)
+    }
+
+    /// Generate `len` tuples whose keys are Zipf-ranked values scaled
+    /// into `[0, domain)` (rank 0 → the most frequent key).
+    pub fn tuples(&self, len: usize, domain: u64, seed: u64) -> Vec<Tuple> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = self.ranks() as u64;
+        (0..len)
+            .map(|i| {
+                let rank = self.sample(&mut rng) as u64;
+                let key = rank * domain.max(n) / n.max(1);
+                Tuple::new(key.min(domain - 1), i as u64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.2, "uniform ranks expected: {counts:?}");
+    }
+
+    #[test]
+    fn high_theta_concentrates_on_rank_zero() {
+        let z = ZipfSampler::new(1000, 1.2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rank0 = 0usize;
+        let trials = 50_000;
+        for _ in 0..trials {
+            if z.sample(&mut rng) == 0 {
+                rank0 += 1;
+            }
+        }
+        let frac = rank0 as f64 / trials as f64;
+        assert!(frac > 0.1, "rank 0 must dominate under theta=1.2, got {frac}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = ZipfSampler::new(17, 0.9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 17);
+        }
+    }
+
+    #[test]
+    fn tuples_stay_in_domain() {
+        let z = ZipfSampler::new(100, 1.0);
+        let data = z.tuples(5000, 1 << 16, 4);
+        assert_eq!(data.len(), 5000);
+        assert!(data.iter().all(|t| t.key < (1 << 16)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

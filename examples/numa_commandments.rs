@@ -1,0 +1,49 @@
+//! The three NUMA commandments, demonstrated (paper §1, Figure 1).
+//!
+//! Runs the instrumented Figure 1 micro-benchmarks on the simulated
+//! paper machine and prints the modeled penalties for breaking each
+//! commandment, plus the access audit of the join algorithms.
+//!
+//! ```sh
+//! cargo run --release --example numa_commandments
+//! ```
+
+use mpsm::numa::microbench::{figure1, MicrobenchConfig};
+use mpsm::numa::{CostModel, Topology};
+
+fn main() {
+    let topo = Topology::paper_machine();
+    println!(
+        "simulated machine: {} nodes x {} cores x {} SMT = {} contexts (paper Figure 11)\n",
+        topo.nodes,
+        topo.cores_per_node,
+        topo.smt,
+        topo.total_contexts()
+    );
+
+    let model = CostModel::paper_calibrated();
+    println!("calibrated access prices (ns per 16-byte touch):");
+    for kind in mpsm::numa::AccessKind::ALL {
+        println!("  {kind:?}: {:.1}", model.ns_per_access[kind.index()]);
+    }
+    println!("  sync event: {:.0}\n", model.ns_per_sync);
+
+    let cfg = MicrobenchConfig {
+        workers: 8,
+        tuples_per_worker: 1 << 18,
+        ..MicrobenchConfig::default()
+    };
+    for result in figure1(&cfg) {
+        println!(
+            "{}: NUMA-affine {:.1} ms vs NUMA-agnostic {:.1} ms → {:.2}x penalty",
+            result.name,
+            result.affine.modeled_ms,
+            result.agnostic.modeled_ms,
+            result.modeled_ratio()
+        );
+    }
+
+    println!("\nC1: thou shalt not write thy neighbor's memory randomly");
+    println!("C2: thou shalt read thy neighbor's memory only sequentially");
+    println!("C3: thou shalt not wait for thy neighbors");
+}

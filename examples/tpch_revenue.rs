@@ -1,0 +1,63 @@
+//! TPC-H-flavored revenue report exploiting MPSM's output order.
+//!
+//! Joins `orders ⋈ lineitem` (variable 1–7 fan-out, as in TPC-H) with
+//! P-MPSM, captures the run-structured join output with
+//! `SortedRunsSink`, and aggregates revenue per order with the
+//! merge-based `sorted_group_by` — no hash table, no re-sort: the §7
+//! "rough sort order" exploitation end to end. Also prints the
+//! EXPLAIN plan of the paper's benchmark query over the same data.
+//!
+//! ```sh
+//! cargo run --release --example tpch_revenue
+//! ```
+
+use mpsm::core::join::p_mpsm::PMpsmJoin;
+use mpsm::core::join::{JoinAlgorithm, JoinConfig};
+use mpsm::core::sink::SortedRunsSink;
+use mpsm::exec::{paper_query, sorted_group_by, Relation, SumAgg};
+use mpsm::workload::tpch::{orders_lineitems, reference_revenue};
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let w = orders_lineitems(1 << 16, 2026);
+    println!(
+        "orders: {} rows, lineitem: {} rows (fan-out 1–7, avg ≈ {:.2})\n",
+        w.r.len(),
+        w.s.len(),
+        w.s.len() as f64 / w.r.len() as f64
+    );
+
+    // Join: lineitem prices flow through; the private side carries the
+    // customer id. Revenue per order = sum of line prices, which the
+    // SortedRunsSink rows expose as (order key, cust_id + price) — we
+    // subtract the customer id again during aggregation by folding the
+    // price component only; simpler: re-join with zeroed private
+    // payloads so row values are pure prices.
+    let orders_keys: Vec<mpsm::core::Tuple> =
+        w.r.iter().map(|t| mpsm::core::Tuple::new(t.key, 0)).collect();
+
+    let join = PMpsmJoin::new(JoinConfig::with_threads(threads));
+    let (runs, stats) = join.join_with_sink::<SortedRunsSink>(&orders_keys, &w.s);
+    println!(
+        "join produced {} key-ascending runs in {:.1} ms (phase 4: {:.1} ms)",
+        runs.len(),
+        stats.wall_ms(),
+        stats.phases_ms()[3]
+    );
+
+    let revenue = sorted_group_by::<SumAgg>(&runs);
+    println!("revenue groups: {} orders (sorted by order key, no hash table)", revenue.len());
+
+    // Validate against an independent reference.
+    let expected = reference_revenue(&w);
+    assert_eq!(revenue, expected, "merge-based aggregation must match the reference");
+    let top = revenue.iter().max_by_key(|&&(_, v)| v).expect("non-empty");
+    println!("top order: key {} with {} cents of revenue\n", top.0, top.1);
+
+    // EXPLAIN of the paper's benchmark query over the same relations.
+    let orders_rel = Relation::new("orders", w.r.clone());
+    let lineitem_rel = Relation::new("lineitem", w.s.clone());
+    let out = paper_query(&orders_rel, &lineitem_rel, |_| true, |_| true, &join, threads);
+    println!("{}", out.plan);
+    println!("max(orders.payload + lineitem.payload) = {:?}", out.max_payload_sum);
+}

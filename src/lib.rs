@@ -1,0 +1,43 @@
+//! # mpsm — Massively Parallel Sort-Merge Joins
+//!
+//! Facade crate for the reproduction of *"Massively Parallel Sort-Merge
+//! Joins in Main Memory Multi-Core Database Systems"* (Albutiu, Kemper,
+//! Neumann; PVLDB 5(10), 2012).
+//!
+//! The implementation lives in focused sub-crates, re-exported here:
+//!
+//! * [`core`] — the MPSM join suite (B-MPSM, P-MPSM, D-MPSM), the
+//!   three-phase sort, range partitioning, CDF/splitter machinery;
+//! * [`numa`] — the simulated NUMA substrate (topology, counters, cost
+//!   model, Figure 1 micro-benchmarks);
+//! * [`storage`] — the paged run store, page index, prefetcher and
+//!   budgeted buffer pool behind D-MPSM;
+//! * [`baselines`] — the joins MPSM is compared against (Wisconsin hash
+//!   join, radix join, classic sort-merge, nested loop);
+//! * [`workload`] — dataset generators for the paper's evaluation;
+//! * [`exec`] — a minimal relational executor running the paper's
+//!   benchmark query end to end.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mpsm::core::{JoinConfig, Tuple};
+//! use mpsm::core::join::p_mpsm::PMpsmJoin;
+//! use mpsm::core::sink::CountSink;
+//! use mpsm::core::join::JoinAlgorithm;
+//!
+//! let r: Vec<Tuple> = (0..1000u64).map(|k| Tuple::new(k, k * 10)).collect();
+//! let s: Vec<Tuple> = (0..1000u64).map(|k| Tuple::new(k % 500, k)).collect();
+//!
+//! let config = JoinConfig::with_threads(4);
+//! let join = PMpsmJoin::new(config);
+//! let (result, _stats) = join.join_with_sink::<CountSink>(&r, &s);
+//! assert_eq!(result, 1000); // every s tuple finds exactly one r partner
+//! ```
+
+pub use mpsm_baselines as baselines;
+pub use mpsm_core as core;
+pub use mpsm_exec as exec;
+pub use mpsm_numa as numa;
+pub use mpsm_storage as storage;
+pub use mpsm_workload as workload;

@@ -1,0 +1,141 @@
+//! The §7 extensions: outer / semi / anti variants, band joins, and the
+//! sort-based early aggregation over MPSM's run-structured output.
+
+use std::collections::{HashMap, HashSet};
+
+use mpsm::core::join::b_mpsm::BMpsmJoin;
+use mpsm::core::join::p_mpsm::PMpsmJoin;
+use mpsm::core::join::variant::JoinVariant;
+use mpsm::core::join::{JoinAlgorithm, JoinConfig};
+use mpsm::core::sink::{CollectSink, CountSink, SortedRunsSink, NULL_PAYLOAD};
+use mpsm::core::Tuple;
+use mpsm::exec::{sorted_group_by, CountAgg, SumAgg};
+use mpsm::workload::{fk_uniform, uniform_independent};
+
+fn reference_variant_count(variant: JoinVariant, r: &[Tuple], s: &[Tuple]) -> u64 {
+    let s_keys: HashSet<u64> = s.iter().map(|t| t.key).collect();
+    let inner: u64 =
+        r.iter().map(|rt| s.iter().filter(|st| st.key == rt.key).count() as u64).sum();
+    let matched = r.iter().filter(|rt| s_keys.contains(&rt.key)).count() as u64;
+    let unmatched = r.len() as u64 - matched;
+    match variant {
+        JoinVariant::Inner => inner,
+        JoinVariant::LeftOuter => inner + unmatched,
+        JoinVariant::LeftSemi => matched,
+        JoinVariant::LeftAnti => unmatched,
+    }
+}
+
+#[test]
+fn variants_match_reference_on_both_mpsm_topologies() {
+    let w = uniform_independent(700, 1400, 400, 3);
+    for threads in [1usize, 4, 8] {
+        let cfg = JoinConfig::with_threads(threads);
+        let p = PMpsmJoin::new(cfg.clone());
+        let b = BMpsmJoin::new(cfg);
+        for variant in
+            [JoinVariant::Inner, JoinVariant::LeftOuter, JoinVariant::LeftSemi, JoinVariant::LeftAnti]
+        {
+            let expected = reference_variant_count(variant, &w.r, &w.s);
+            let (pc, _) = p.join_variant_with_sink::<CountSink>(variant, &w.r, &w.s);
+            let (bc, _) = b.join_variant_with_sink::<CountSink>(variant, &w.r, &w.s);
+            assert_eq!(pc, expected, "P-MPSM {variant:?} with {threads} threads");
+            assert_eq!(bc, expected, "B-MPSM {variant:?} with {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn outer_join_pads_with_null_sentinel() {
+    let r: Vec<Tuple> = vec![Tuple::new(1, 10), Tuple::new(2, 20)];
+    let s: Vec<Tuple> = vec![Tuple::new(1, 100)];
+    let join = PMpsmJoin::new(JoinConfig::with_threads(2));
+    let (mut rows, _) = join.join_variant_with_sink::<CollectSink>(JoinVariant::LeftOuter, &r, &s);
+    rows.sort_unstable();
+    assert_eq!(rows, vec![(1, 10, 100), (2, 20, NULL_PAYLOAD)]);
+}
+
+#[test]
+fn semi_join_emits_each_private_tuple_at_most_once() {
+    // Key 5 has three partners: semi must still emit r once.
+    let r: Vec<Tuple> = vec![Tuple::new(5, 1), Tuple::new(6, 2)];
+    let s: Vec<Tuple> = vec![Tuple::new(5, 0), Tuple::new(5, 0), Tuple::new(5, 0)];
+    let join = PMpsmJoin::new(JoinConfig::with_threads(2));
+    let (rows, _) = join.join_variant_with_sink::<CollectSink>(JoinVariant::LeftSemi, &r, &s);
+    assert_eq!(rows, vec![(5, 1, NULL_PAYLOAD)]);
+}
+
+#[test]
+fn anti_join_complements_semi() {
+    let w = fk_uniform(500, 1, 9);
+    // Drop half of S so half of R is unmatched.
+    let s_half: Vec<Tuple> = w.s.iter().copied().filter(|t| t.key % 2 == 0).collect();
+    let join = PMpsmJoin::new(JoinConfig::with_threads(4));
+    let (semi, _) = join.join_variant_with_sink::<CountSink>(JoinVariant::LeftSemi, &w.r, &s_half);
+    let (anti, _) = join.join_variant_with_sink::<CountSink>(JoinVariant::LeftAnti, &w.r, &s_half);
+    assert_eq!(semi + anti, 500, "semi and anti partition R");
+}
+
+#[test]
+fn band_join_matches_reference() {
+    let w = uniform_independent(300, 600, 10_000, 11);
+    let join = BMpsmJoin::new(JoinConfig::with_threads(4));
+    for delta in [0u64, 3, 50] {
+        let expected: u64 = w
+            .r
+            .iter()
+            .map(|rt| {
+                w.s.iter().filter(|st| st.key.abs_diff(rt.key) <= delta).count() as u64
+            })
+            .sum();
+        let (count, _) = join.band_join_with_sink::<CountSink>(delta, &w.r, &w.s);
+        assert_eq!(count, expected, "delta {delta}");
+    }
+}
+
+#[test]
+fn band_join_delta_zero_equals_equi_join() {
+    let w = uniform_independent(400, 800, 300, 13);
+    let join = BMpsmJoin::new(JoinConfig::with_threads(4));
+    let (band, _) = join.band_join_with_sink::<CountSink>(0, &w.r, &w.s);
+    assert_eq!(band, join.count(&w.r, &w.s));
+}
+
+#[test]
+fn sorted_runs_flow_into_group_by() {
+    // The §7 "rough sort order" exploitation: P-MPSM output runs feed a
+    // merge-based group-by whose result must equal a hash-based one.
+    let w = fk_uniform(2000, 4, 17);
+    let join = PMpsmJoin::new(JoinConfig::with_threads(4));
+    let (runs, _) = join.join_with_sink::<SortedRunsSink>(&w.r, &w.s);
+
+    // Every run must be key-ascending (the physical property).
+    for run in &runs {
+        assert!(run.windows(2).all(|p| p[0].0 <= p[1].0), "run not sorted");
+    }
+    // With range partitioning, a worker emits at most T runs.
+    assert!(runs.len() <= 4 * 4, "too many runs: {}", runs.len());
+
+    let sums = sorted_group_by::<SumAgg>(&runs);
+    let counts = sorted_group_by::<CountAgg>(&runs);
+
+    // Hash-based reference over the raw join.
+    let mut ref_sums: HashMap<u64, u64> = HashMap::new();
+    let mut ref_counts: HashMap<u64, u64> = HashMap::new();
+    for rt in &w.r {
+        for st in w.s.iter().filter(|st| st.key == rt.key) {
+            *ref_sums.entry(rt.key).or_default() =
+                ref_sums.get(&rt.key).copied().unwrap_or(0).wrapping_add(rt.payload.wrapping_add(st.payload));
+            *ref_counts.entry(rt.key).or_default() += 1;
+        }
+    }
+    assert_eq!(sums.len(), ref_sums.len());
+    for (k, v) in &sums {
+        assert_eq!(ref_sums[k], *v, "sum for key {k}");
+    }
+    for (k, v) in &counts {
+        assert_eq!(ref_counts[k], *v, "count for key {k}");
+    }
+    // And the output is globally key-sorted.
+    assert!(sums.windows(2).all(|p| p[0].0 < p[1].0));
+}

@@ -1,0 +1,140 @@
+//! Cross-crate integration: every join implementation must agree with
+//! the nested-loop/sort-count oracles on every workload shape of the
+//! paper's evaluation.
+
+use mpsm::baselines::nested_loop::{nested_loop_count, oracle_count, oracle_max_payload_sum};
+use mpsm::baselines::{ClassicSortMergeJoin, RadixJoin, WisconsinHashJoin};
+use mpsm::core::join::b_mpsm::BMpsmJoin;
+use mpsm::core::join::d_mpsm::{DMpsmConfig, DMpsmJoin};
+use mpsm::core::join::p_mpsm::{PMpsmJoin, SplitterPolicy};
+use mpsm::core::join::{JoinAlgorithm, JoinConfig};
+use mpsm::core::Tuple;
+use mpsm::workload::{
+    apply_location_skew, fk_uniform, skewed_negative_correlation, uniform_independent,
+    ZipfSampler,
+};
+
+/// Run `check` for every algorithm in the suite.
+fn for_all_algorithms(threads: usize, mut check: impl FnMut(&str, &dyn Fn(&[Tuple], &[Tuple]) -> u64)) {
+    let cfg = JoinConfig::with_threads(threads);
+    let p = PMpsmJoin::new(cfg.clone());
+    check("P-MPSM", &|r, s| p.count(r, s));
+    let p_eq =
+        PMpsmJoin::new(cfg.clone()).with_splitter_policy(SplitterPolicy::EquiHeight);
+    check("P-MPSM/equi-height", &|r, s| p_eq.count(r, s));
+    let b = BMpsmJoin::new(cfg.clone());
+    check("B-MPSM", &|r, s| b.count(r, s));
+    let mut dcfg = DMpsmConfig::with_join(cfg.clone());
+    dcfg.page_records = 64;
+    dcfg.budget_pages = 16;
+    let d = DMpsmJoin::new(dcfg);
+    check("D-MPSM", &|r, s| d.count(r, s));
+    let radix = RadixJoin::new(cfg.clone());
+    check("Radix", &|r, s| radix.count(r, s));
+    let wisconsin = WisconsinHashJoin::new(cfg.clone());
+    check("Wisconsin", &|r, s| wisconsin.count(r, s));
+    let classic = ClassicSortMergeJoin::new(cfg);
+    check("ClassicSMJ", &|r, s| classic.count(r, s));
+}
+
+#[test]
+fn uniform_fk_workloads() {
+    for m in [1usize, 4, 8] {
+        let w = fk_uniform(1500, m, 42);
+        let expected = oracle_count(&w.r, &w.s);
+        assert_eq!(expected, (1500 * m) as u64, "FK multiplicity join cardinality");
+        for_all_algorithms(4, |name, join| {
+            assert_eq!(join(&w.r, &w.s), expected, "{name} at multiplicity {m}");
+        });
+    }
+}
+
+#[test]
+fn independent_uniform_with_collisions() {
+    let w = uniform_independent(1200, 3600, 500, 7);
+    let expected = oracle_count(&w.r, &w.s);
+    assert!(expected > 0, "dense domain must collide");
+    for_all_algorithms(3, |name, join| {
+        assert_eq!(join(&w.r, &w.s), expected, "{name}");
+    });
+}
+
+#[test]
+fn negatively_correlated_skew() {
+    let w = skewed_negative_correlation(1000, 4, 1 << 16, 13);
+    let expected = oracle_count(&w.r, &w.s);
+    for_all_algorithms(4, |name, join| {
+        assert_eq!(join(&w.r, &w.s), expected, "{name}");
+    });
+}
+
+#[test]
+fn zipf_skewed_keys() {
+    let z = ZipfSampler::new(200, 1.1);
+    let r = z.tuples(800, 1 << 14, 3);
+    let s = z.tuples(2400, 1 << 14, 4);
+    let expected = oracle_count(&r, &s);
+    assert!(expected > 0);
+    for_all_algorithms(4, |name, join| {
+        assert_eq!(join(&r, &s), expected, "{name}");
+    });
+}
+
+#[test]
+fn location_skewed_public_input() {
+    let mut w = fk_uniform(1000, 4, 17);
+    let expected = oracle_count(&w.r, &w.s);
+    apply_location_skew(&mut w.s, 4, 19);
+    for_all_algorithms(4, |name, join| {
+        assert_eq!(join(&w.r, &w.s), expected, "{name} after location skew");
+    });
+}
+
+#[test]
+fn degenerate_shapes() {
+    let one = vec![Tuple::new(5, 1)];
+    let dup = vec![Tuple::new(5, 2), Tuple::new(5, 3)];
+    let empty: Vec<Tuple> = vec![];
+    for_all_algorithms(4, |name, join| {
+        assert_eq!(join(&empty, &empty), 0, "{name} empty");
+        assert_eq!(join(&one, &empty), 0, "{name} right-empty");
+        assert_eq!(join(&empty, &one), 0, "{name} left-empty");
+        assert_eq!(join(&one, &dup), 2, "{name} duplicates");
+        assert_eq!(join(&one, &one), 1, "{name} singleton");
+    });
+}
+
+#[test]
+fn all_equal_keys_cross_product() {
+    let r: Vec<Tuple> = (0..120).map(|i| Tuple::new(7, i)).collect();
+    let s: Vec<Tuple> = (0..77).map(|i| Tuple::new(7, i)).collect();
+    for_all_algorithms(8, |name, join| {
+        assert_eq!(join(&r, &s), 120 * 77, "{name} total cross product");
+    });
+}
+
+#[test]
+fn more_threads_than_tuples() {
+    let w = fk_uniform(5, 2, 23);
+    let expected = oracle_count(&w.r, &w.s);
+    for_all_algorithms(16, |name, join| {
+        assert_eq!(join(&w.r, &w.s), expected, "{name} with 16 threads over 5 tuples");
+    });
+}
+
+#[test]
+fn max_payload_sum_agrees_with_oracle() {
+    let w = uniform_independent(300, 900, 200, 29);
+    let expected = oracle_max_payload_sum(&w.r, &w.s);
+    let cfg = JoinConfig::with_threads(4);
+    assert_eq!(PMpsmJoin::new(cfg.clone()).max_payload_sum(&w.r, &w.s), expected);
+    assert_eq!(BMpsmJoin::new(cfg.clone()).max_payload_sum(&w.r, &w.s), expected);
+    assert_eq!(WisconsinHashJoin::new(cfg.clone()).max_payload_sum(&w.r, &w.s), expected);
+    assert_eq!(RadixJoin::new(cfg).max_payload_sum(&w.r, &w.s), expected);
+}
+
+#[test]
+fn nested_loop_oracles_are_consistent() {
+    let w = uniform_independent(200, 400, 64, 31);
+    assert_eq!(nested_loop_count(&w.r, &w.s), oracle_count(&w.r, &w.s));
+}

@@ -1,0 +1,153 @@
+//! Property tests for the extension features: bitonic networks, join
+//! variants, band joins, parallel merge, sorted-run aggregation, and
+//! storage round-trips.
+
+use mpsm::baselines::parallel_merge::{parallel_kway_merge, sequential_kway_merge};
+use mpsm::core::join::b_mpsm::BMpsmJoin;
+use mpsm::core::join::p_mpsm::PMpsmJoin;
+use mpsm::core::join::variant::JoinVariant;
+use mpsm::core::join::{JoinAlgorithm, JoinConfig};
+use mpsm::core::sink::{CountSink, SortedRunsSink};
+use mpsm::core::sort::bitonic::bitonic_sort;
+use mpsm::core::tuple::is_key_sorted;
+use mpsm::core::Tuple;
+use mpsm::exec::{sorted_group_by, CountAgg};
+use mpsm::storage::{MemBackend, Record, RunStore};
+use proptest::prelude::*;
+
+fn tuples(keys: Vec<u64>) -> Vec<Tuple> {
+    keys.into_iter().enumerate().map(|(i, k)| Tuple::new(k, i as u64)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bitonic_sorts_any_input(keys in proptest::collection::vec(any::<u64>(), 0..600)) {
+        let mut data = tuples(keys);
+        let mut expected: Vec<u64> = data.iter().map(|t| t.key).collect();
+        expected.sort_unstable();
+        bitonic_sort(&mut data);
+        prop_assert!(is_key_sorted(&data));
+        prop_assert_eq!(data.iter().map(|t| t.key).collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn outer_join_cardinality_identity(
+        r_keys in proptest::collection::vec(0u64..96, 0..200),
+        s_keys in proptest::collection::vec(0u64..96, 0..200),
+        threads in 1usize..5,
+    ) {
+        // |R LEFT OUTER S| == |R INNER S| + |R ANTI S| and
+        // |R SEMI S| + |R ANTI S| == |R|, on both topologies.
+        let r = tuples(r_keys);
+        let s = tuples(s_keys);
+        let cfg = JoinConfig::with_threads(threads);
+        for run in [0u8, 1] {
+            let count = |v: JoinVariant| -> u64 {
+                if run == 0 {
+                    PMpsmJoin::new(cfg.clone()).join_variant_with_sink::<CountSink>(v, &r, &s).0
+                } else {
+                    BMpsmJoin::new(cfg.clone()).join_variant_with_sink::<CountSink>(v, &r, &s).0
+                }
+            };
+            let inner = count(JoinVariant::Inner);
+            let outer = count(JoinVariant::LeftOuter);
+            let semi = count(JoinVariant::LeftSemi);
+            let anti = count(JoinVariant::LeftAnti);
+            prop_assert_eq!(outer, inner + anti);
+            prop_assert_eq!(semi + anti, r.len() as u64);
+        }
+    }
+
+    #[test]
+    fn band_join_widening_is_monotone(
+        r_keys in proptest::collection::vec(0u64..2000, 1..100),
+        s_keys in proptest::collection::vec(0u64..2000, 1..100),
+        delta in 0u64..64,
+    ) {
+        let r = tuples(r_keys);
+        let s = tuples(s_keys);
+        let join = BMpsmJoin::new(JoinConfig::with_threads(2));
+        let narrow = join.band_join_with_sink::<CountSink>(delta, &r, &s).0;
+        let wide = join.band_join_with_sink::<CountSink>(delta + 8, &r, &s).0;
+        prop_assert!(wide >= narrow, "widening the band cannot lose pairs");
+        // Reference check at the narrow delta.
+        let expected: u64 = r
+            .iter()
+            .map(|rt| s.iter().filter(|st| st.key.abs_diff(rt.key) <= delta).count() as u64)
+            .sum();
+        prop_assert_eq!(narrow, expected);
+    }
+
+    #[test]
+    fn parallel_merge_equals_sequential_merge(
+        runs_keys in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..150), 1..6),
+        threads in 1usize..6,
+    ) {
+        let runs: Vec<Vec<Tuple>> = runs_keys
+            .into_iter()
+            .map(|mut ks| {
+                ks.sort_unstable();
+                tuples(ks)
+            })
+            .collect();
+        let seq = sequential_kway_merge(runs.clone());
+        let par = parallel_kway_merge(runs, threads);
+        prop_assert!(is_key_sorted(&par));
+        prop_assert_eq!(
+            par.iter().map(|t| t.key).collect::<Vec<_>>(),
+            seq.iter().map(|t| t.key).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sorted_runs_group_counts_equal_join_count(
+        r_keys in proptest::collection::vec(0u64..64, 0..150),
+        s_keys in proptest::collection::vec(0u64..64, 0..150),
+        threads in 1usize..5,
+    ) {
+        let r = tuples(r_keys);
+        let s = tuples(s_keys);
+        let join = PMpsmJoin::new(JoinConfig::with_threads(threads));
+        let (runs, _) = join.join_with_sink::<SortedRunsSink>(&r, &s);
+        for run in &runs {
+            prop_assert!(run.windows(2).all(|w| w[0].0 <= w[1].0));
+        }
+        let groups = sorted_group_by::<CountAgg>(&runs);
+        let total: u64 = groups.iter().map(|&(_, c)| c).sum();
+        let (count, _) = join.join_with_sink::<CountSink>(&r, &s);
+        prop_assert_eq!(total, count, "group counts must add up to the join cardinality");
+    }
+
+    #[test]
+    fn run_store_roundtrips_any_sorted_run(
+        mut keys in proptest::collection::vec(any::<u64>(), 0..400),
+        page in 1u32..64,
+    ) {
+        keys.sort_unstable();
+        let run = tuples(keys);
+        let store = RunStore::new(MemBackend::disk_array(), page);
+        let meta = store.store_run(&run).unwrap();
+        prop_assert_eq!(meta.len as usize, run.len());
+        let mut reader = store.reader::<Tuple>(meta.id).unwrap();
+        let mut out = Vec::new();
+        while let Some(t) = reader.next().unwrap() {
+            out.push(t);
+        }
+        prop_assert_eq!(out, run);
+        // Page min/max keys bracket their pages.
+        for p in 0..meta.pages() {
+            prop_assert!(meta.min_keys[p as usize] <= meta.max_keys[p as usize]);
+        }
+    }
+
+    #[test]
+    fn tuple_record_roundtrip(key in any::<u64>(), payload in any::<u64>()) {
+        let t = Tuple::new(key, payload);
+        let mut buf = [0u8; 16];
+        t.write_to(&mut buf);
+        prop_assert_eq!(Tuple::read_from(&buf), t);
+    }
+}

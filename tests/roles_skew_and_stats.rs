@@ -1,0 +1,94 @@
+//! Role reversal, location-skew invariance, splitter balancing, and
+//! phase statistics across crates.
+
+use mpsm::baselines::nested_loop::oracle_count;
+use mpsm::core::join::p_mpsm::{PMpsmJoin, SplitterPolicy};
+use mpsm::core::join::{JoinAlgorithm, JoinConfig, Role};
+use mpsm::core::stats::Phase;
+use mpsm::workload::{
+    apply_location_skew, extreme_location_skew, fk_uniform, skewed_negative_correlation,
+};
+
+#[test]
+fn role_reversal_is_result_invariant() {
+    let w = fk_uniform(600, 8, 3);
+    let join = PMpsmJoin::new(JoinConfig::with_threads(4));
+    assert_eq!(join.count(&w.r, &w.s), join.count(&w.s, &w.r));
+    assert_eq!(join.max_payload_sum(&w.r, &w.s), join.max_payload_sum(&w.s, &w.r));
+}
+
+#[test]
+fn auto_role_picks_the_smaller_private_input() {
+    let w = fk_uniform(500, 4, 5);
+    let auto = PMpsmJoin::new(JoinConfig::with_threads(4).role(Role::SmallerPrivate));
+    // Whichever order the caller uses, the result is the same.
+    assert_eq!(auto.count(&w.s, &w.r), auto.count(&w.r, &w.s));
+    assert_eq!(auto.count(&w.r, &w.s), oracle_count(&w.r, &w.s));
+}
+
+#[test]
+fn location_skew_variants_join_identically() {
+    let base = fk_uniform(800, 4, 7);
+    let expected = oracle_count(&base.r, &base.s);
+    let join = PMpsmJoin::new(JoinConfig::with_threads(4));
+    for rotate in 0..3 {
+        let mut s = base.s.clone();
+        extreme_location_skew(&mut s, 4, rotate, 11);
+        assert_eq!(join.count(&base.r, &s), expected, "rotate {rotate}");
+    }
+    let mut mild = base.s.clone();
+    apply_location_skew(&mut mild, 8, 13);
+    assert_eq!(join.count(&base.r, &mild), expected);
+}
+
+#[test]
+fn cost_balanced_splitters_balance_under_negative_correlation() {
+    // The Figure 16 claim as a test: under negatively correlated skew,
+    // cost-balanced splitters yield better worker balance than
+    // equi-height splitters.
+    let w = skewed_negative_correlation(1 << 15, 4, 1 << 32, 17);
+    let cfg = JoinConfig::with_threads(8).radix_bits(10);
+    let balanced = PMpsmJoin::new(cfg.clone());
+    let naive = PMpsmJoin::new(cfg).with_splitter_policy(SplitterPolicy::EquiHeight);
+    let (c1, stats_balanced) = balanced.join_with_sink::<mpsm::core::sink::CountSink>(&w.r, &w.s);
+    let (c2, stats_naive) = naive.join_with_sink::<mpsm::core::sink::CountSink>(&w.r, &w.s);
+    assert_eq!(c1, c2, "policies must agree on the result");
+    // Compare the *join-phase* balance (the green bars of Figure 16):
+    // per-worker phase-4 times.
+    let spread = |st: &mpsm::core::stats::JoinStats| {
+        let p4: Vec<f64> =
+            st.per_worker.iter().map(|p| p[Phase::Four as usize].as_secs_f64()).collect();
+        let max = p4.iter().cloned().fold(0.0, f64::max);
+        let avg = p4.iter().sum::<f64>() / p4.len() as f64;
+        if avg > 0.0 {
+            max / avg
+        } else {
+            1.0
+        }
+    };
+    let b = spread(&stats_balanced);
+    let n = spread(&stats_naive);
+    assert!(
+        b <= n * 1.25,
+        "cost-balanced join phase should not be meaningfully less balanced: {b:.2} vs {n:.2}"
+    );
+}
+
+#[test]
+fn stats_phases_cover_the_wall_time() {
+    let w = fk_uniform(20_000, 4, 19);
+    let join = PMpsmJoin::new(JoinConfig::with_threads(4));
+    let (_, stats) = join.join_with_sink::<mpsm::core::sink::CountSink>(&w.r, &w.s);
+    let phase_sum: f64 = stats.phases_ms().iter().sum();
+    assert!(phase_sum > 0.0);
+    assert!(
+        stats.wall_ms() >= phase_sum * 0.5,
+        "wall {} ms vs phase critical paths {} ms",
+        stats.wall_ms(),
+        phase_sum
+    );
+    // Every worker participated in phases 1 and 4.
+    for (w_idx, phases) in stats.per_worker.iter().enumerate() {
+        assert!(phases[Phase::One as usize].as_nanos() > 0, "worker {w_idx} idle in phase 1");
+    }
+}
