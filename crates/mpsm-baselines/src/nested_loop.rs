@@ -114,7 +114,7 @@ mod tests {
     fn max_payload_sum_oracle() {
         let r = keyed(&[5, 6]); // payloads 0, 1
         let s = keyed(&[6, 5]); // payloads 0, 1
-        // Matches: (5: 0+1), (6: 1+0) → max 1.
+                                // Matches: (5: 0+1), (6: 1+0) → max 1.
         assert_eq!(oracle_max_payload_sum(&r, &s), Some(1));
     }
 }

@@ -31,9 +31,8 @@ fn rank_split(runs: &[Vec<Tuple>], rank: usize) -> Vec<usize> {
     }
 
     // Binary search the smallest key `k` with count(key ≤ k) ≥ rank.
-    let count_le = |k: u64| -> usize {
-        runs.iter().map(|r| r.partition_point(|t| t.key <= k)).sum()
-    };
+    let count_le =
+        |k: u64| -> usize { runs.iter().map(|r| r.partition_point(|t| t.key <= k)).sum() };
     let mut lo = 0u64;
     let mut hi = u64::MAX;
     while lo < hi {
@@ -48,8 +47,7 @@ fn rank_split(runs: &[Vec<Tuple>], rank: usize) -> Vec<usize> {
 
     // Take everything < k, then distribute the elements == k until the
     // rank is met (deterministically, in run order).
-    let mut positions: Vec<usize> =
-        runs.iter().map(|r| r.partition_point(|t| t.key < k)).collect();
+    let mut positions: Vec<usize> = runs.iter().map(|r| r.partition_point(|t| t.key < k)).collect();
     let mut have: usize = positions.iter().sum();
     debug_assert!(have <= rank);
     for (p, run) in positions.iter_mut().zip(runs) {
@@ -99,9 +97,8 @@ pub fn parallel_kway_merge(runs: Vec<Vec<Tuple>>, threads: usize) -> Vec<Tuple> 
     }
 
     // Rank boundaries and their per-run split positions.
-    let bounds: Vec<Vec<usize>> = (0..=threads)
-        .map(|t| rank_split(&runs, t * total / threads))
-        .collect();
+    let bounds: Vec<Vec<usize>> =
+        (0..=threads).map(|t| rank_split(&runs, t * total / threads)).collect();
 
     let mut out = vec![Tuple::default(); total];
     {
@@ -237,18 +234,10 @@ mod tests {
             let pos = rank_split(&runs, rank);
             assert_eq!(pos.iter().sum::<usize>(), rank);
             // Split invariant: max key left of splits ≤ min key right.
-            let left_max = runs
-                .iter()
-                .zip(&pos)
-                .filter(|(_, &p)| p > 0)
-                .map(|(r, &p)| r[p - 1].key)
-                .max();
-            let right_min = runs
-                .iter()
-                .zip(&pos)
-                .filter(|(r, &p)| p < r.len())
-                .map(|(r, &p)| r[p].key)
-                .min();
+            let left_max =
+                runs.iter().zip(&pos).filter(|(_, &p)| p > 0).map(|(r, &p)| r[p - 1].key).max();
+            let right_min =
+                runs.iter().zip(&pos).filter(|(r, &p)| p < r.len()).map(|(r, &p)| r[p].key).min();
             if let (Some(l), Some(rt)) = (left_max, right_min) {
                 assert!(l <= rt, "rank {rank}: split crosses key order");
             }

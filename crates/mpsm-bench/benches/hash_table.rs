@@ -18,9 +18,7 @@ fn bench_tables(c: &mut Criterion) {
     group.throughput(Throughput::Elements(n as u64));
     group.sample_size(20);
 
-    group.bench_function("local_unsynchronized", |b| {
-        b.iter(|| LocalChainedTable::build(&data))
-    });
+    group.bench_function("local_unsynchronized", |b| b.iter(|| LocalChainedTable::build(&data)));
 
     for &workers in &[1usize, 4, 8] {
         group.bench_function(BenchmarkId::new("shared_latched", workers), |b| {

@@ -7,8 +7,8 @@
 //! the phase-2 cost (which should stay flat) and the resulting worker
 //! balance (which should improve, then saturate).
 
-use mpsm_bench::{parse_args, TableBuilder};
 use mpsm_bench::table::fmt_ms;
+use mpsm_bench::{parse_args, TableBuilder};
 use mpsm_core::join::p_mpsm::PMpsmJoin;
 use mpsm_core::join::{JoinAlgorithm, JoinConfig};
 use mpsm_core::sink::MaxAggSink;

@@ -7,8 +7,8 @@
 //! interpolation shines, and 80:20-skewed keys, where its guesses
 //! degrade and the binary fallback matters).
 
-use mpsm_bench::{parse_args, TableBuilder};
 use mpsm_bench::table::fmt_ms;
+use mpsm_bench::{parse_args, TableBuilder};
 use mpsm_core::join::p_mpsm::{EntrySearch, PMpsmJoin};
 use mpsm_core::join::{JoinAlgorithm, JoinConfig};
 use mpsm_core::sink::MaxAggSink;

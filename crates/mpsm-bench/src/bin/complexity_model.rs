@@ -15,8 +15,8 @@
 //! buys.
 
 use mpsm_baselines::ClassicSortMergeJoin;
-use mpsm_bench::{parse_args, Contender, TableBuilder};
 use mpsm_bench::table::fmt_ms;
+use mpsm_bench::{parse_args, Contender, TableBuilder};
 use mpsm_core::join::{JoinAlgorithm, JoinConfig};
 use mpsm_core::sink::MaxAggSink;
 use mpsm_workload::fk_uniform;
@@ -64,7 +64,8 @@ fn main() {
         let (_, b_stats) = Contender::BMpsm.run::<MaxAggSink>(t, &w.r, &w.s);
         let (_, p_stats) = Contender::Mpsm.run::<MaxAggSink>(t, &w.r, &w.s);
         let (_, c_stats) = Contender::ClassicSmj.run::<MaxAggSink>(t, &w.r, &w.s);
-        let steel = ClassicSortMergeJoin::new(JoinConfig::with_threads(t)).with_parallel_merge(true);
+        let steel =
+            ClassicSortMergeJoin::new(JoinConfig::with_threads(t)).with_parallel_merge(true);
         let (_, steel_stats) = steel.join_with_sink::<MaxAggSink>(&w.r, &w.s);
         table.row(&[
             t.to_string(),

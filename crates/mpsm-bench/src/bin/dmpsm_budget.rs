@@ -6,8 +6,8 @@
 //! that the windowed, page-index-driven processing keeps the join's RAM
 //! footprint bounded by the window, not by the data volume.
 
-use mpsm_bench::{parse_args, TableBuilder};
 use mpsm_bench::table::fmt_ms;
+use mpsm_bench::{parse_args, TableBuilder};
 use mpsm_core::join::d_mpsm::{DMpsmConfig, DMpsmJoin};
 use mpsm_core::join::JoinConfig;
 use mpsm_core::sink::MaxAggSink;

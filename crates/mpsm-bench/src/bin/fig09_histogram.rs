@@ -10,8 +10,8 @@
 
 use std::time::Instant;
 
-use mpsm_bench::{parse_args, TableBuilder};
 use mpsm_bench::table::fmt_ms;
+use mpsm_bench::{parse_args, TableBuilder};
 use mpsm_core::histogram::{combine_histograms, compute_histogram, prefix_sums, RadixDomain};
 use mpsm_core::partition::range_partition;
 use mpsm_core::splitter::equi_height_splitters;
@@ -31,7 +31,11 @@ fn main() {
     let chunks: Vec<&[Tuple]> = ranges.iter().map(|rng| &w.r[rng.clone()]).collect();
 
     let mut table = TableBuilder::new(&[
-        "granularity", "histogram ms", "prefix ms", "partition ms", "total ms",
+        "granularity",
+        "histogram ms",
+        "prefix ms",
+        "partition ms",
+        "total ms",
     ]);
 
     for bits in 5..=11u32 {

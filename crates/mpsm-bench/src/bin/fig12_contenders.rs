@@ -8,8 +8,8 @@
 //! with the multiplicity.
 
 use mpsm_bench::audit::modeled_ms;
-use mpsm_bench::{parse_args, Contender, TableBuilder};
 use mpsm_bench::table::fmt_ms;
+use mpsm_bench::{parse_args, Contender, TableBuilder};
 use mpsm_core::sink::MaxAggSink;
 use mpsm_workload::fk_uniform;
 
@@ -22,7 +22,15 @@ fn main() {
 
     let contenders = [Contender::Mpsm, Contender::Radix, Contender::Wisconsin];
     let mut table = TableBuilder::new(&[
-        "algorithm", "m", "phase1", "phase2", "phase3", "phase4", "total ms", "NUMA-model ms", "max(R.p+S.p)",
+        "algorithm",
+        "m",
+        "phase1",
+        "phase2",
+        "phase3",
+        "phase4",
+        "total ms",
+        "NUMA-model ms",
+        "max(R.p+S.p)",
     ]);
     for &m in &[1usize, 4, 8, 16] {
         let w = fk_uniform(args.scale, m, args.seed);

@@ -6,8 +6,8 @@
 //! We sweep past the host's physical cores to reproduce the flattening.
 
 use mpsm_bench::audit::modeled_ms;
-use mpsm_bench::{parse_args, Contender, TableBuilder};
 use mpsm_bench::table::fmt_ms;
+use mpsm_bench::{parse_args, Contender, TableBuilder};
 use mpsm_core::sink::MaxAggSink;
 use mpsm_workload::fk_uniform;
 

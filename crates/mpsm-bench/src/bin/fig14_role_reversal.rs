@@ -7,8 +7,8 @@
 //! |S|/T + |S| + |R|/T reversed — at multiplicity 1 no difference, and
 //! the gap widens with m.
 
-use mpsm_bench::{parse_args, TableBuilder};
 use mpsm_bench::table::fmt_ms;
+use mpsm_bench::{parse_args, TableBuilder};
 use mpsm_core::join::p_mpsm::PMpsmJoin;
 use mpsm_core::join::{JoinAlgorithm, JoinConfig};
 use mpsm_core::sink::MaxAggSink;
@@ -16,15 +16,11 @@ use mpsm_workload::fk_uniform;
 
 fn main() {
     let args = parse_args();
-    println!(
-        "Figure 14 — role reversal (|R| = {}, threads = {})\n",
-        args.scale, args.threads
-    );
+    println!("Figure 14 — role reversal (|R| = {}, threads = {})\n", args.scale, args.threads);
     let join = PMpsmJoin::new(JoinConfig::with_threads(args.threads));
 
-    let mut table = TableBuilder::new(&[
-        "private", "m", "phase1", "phase2", "phase3", "phase4", "total ms",
-    ]);
+    let mut table =
+        TableBuilder::new(&["private", "m", "phase1", "phase2", "phase3", "phase4", "total ms"]);
     for &m in &[1usize, 4, 8, 16] {
         let w = fk_uniform(args.scale, m, args.seed);
         // Correct roles: R (smaller) private.

@@ -12,8 +12,8 @@
 //! partition are better clustered in S) and local vs. remote differs
 //! only mildly thanks to sequential remote scans.
 
-use mpsm_bench::{parse_args, TableBuilder};
 use mpsm_bench::table::fmt_ms;
+use mpsm_bench::{parse_args, TableBuilder};
 use mpsm_core::join::p_mpsm::PMpsmJoin;
 use mpsm_core::join::{JoinAlgorithm, JoinConfig};
 use mpsm_core::sink::MaxAggSink;
@@ -38,7 +38,13 @@ fn main() {
     variants.push(("1 remote join partition", remote));
 
     let mut table = TableBuilder::new(&[
-        "location skew", "phase1", "phase2", "phase3", "phase4", "total ms", "result",
+        "location skew",
+        "phase1",
+        "phase2",
+        "phase3",
+        "phase4",
+        "total ms",
+        "result",
     ]);
     let mut reference = None;
     for (label, s) in &variants {

@@ -7,8 +7,8 @@
 //! splitters (Figure 16c) balance `sort + join` per worker. Histograms
 //! at B = 10 (granularity 1024), as in the paper.
 
-use mpsm_bench::{parse_args, TableBuilder};
 use mpsm_bench::table::fmt_ms;
+use mpsm_bench::{parse_args, TableBuilder};
 use mpsm_core::join::p_mpsm::{PMpsmJoin, SplitterPolicy};
 use mpsm_core::join::{JoinAlgorithm, JoinConfig};
 use mpsm_core::sink::MaxAggSink;

@@ -1,8 +1,8 @@
 //! Internal: per-phase timing of the three-phase sort (development aid).
-use std::time::Instant;
 use mpsm_core::sort::{insertion, intro, radix, INSERTION_CUTOFF};
 use mpsm_core::Tuple;
 use mpsm_workload::unique_keys;
+use std::time::Instant;
 
 fn main() {
     let n = 1 << 23;

@@ -9,8 +9,8 @@
 
 use std::time::Instant;
 
-use mpsm_bench::{parse_args, TableBuilder};
 use mpsm_bench::table::fmt_ms;
+use mpsm_bench::{parse_args, TableBuilder};
 use mpsm_core::sort::{introsort_only, three_phase_sort};
 use mpsm_core::worker::run_parallel;
 use mpsm_core::Tuple;
@@ -45,7 +45,8 @@ fn main() {
     let n = args.scale;
     println!("§2.3 — sort comparison ({} tuples per run, seed {})\n", n, args.seed);
 
-    let mut table = TableBuilder::new(&["sort", "1 thread ms", "vs std", "all-threads ms", "vs std"]);
+    let mut table =
+        TableBuilder::new(&["sort", "1 thread ms", "vs std", "all-threads ms", "vs std"]);
     let std_1 = time_single(dataset(n, args.seed), |d| d.sort_unstable_by_key(|t| t.key));
     let std_t = time_parallel(args.threads, n, args.seed, |d| d.sort_unstable_by_key(|t| t.key));
     type SortFn = Box<dyn Fn(&mut [Tuple]) + Sync>;

@@ -12,6 +12,7 @@
 //!
 //! so `EXPERIMENTS.md` can state one canonical invocation per figure.
 
+use mpsm_baselines::{ClassicSortMergeJoin, RadixJoin, WisconsinHashJoin};
 use mpsm_core::join::b_mpsm::BMpsmJoin;
 use mpsm_core::join::d_mpsm::DMpsmJoin;
 use mpsm_core::join::p_mpsm::PMpsmJoin;
@@ -19,7 +20,6 @@ use mpsm_core::join::{JoinAlgorithm, JoinConfig};
 use mpsm_core::sink::JoinSink;
 use mpsm_core::stats::JoinStats;
 use mpsm_core::Tuple;
-use mpsm_baselines::{ClassicSortMergeJoin, RadixJoin, WisconsinHashJoin};
 
 /// Parsed command-line arguments.
 #[derive(Debug, Clone)]

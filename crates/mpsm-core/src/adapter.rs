@@ -82,10 +82,7 @@ where
         s,
         |row| fnv1a(key_s(row).as_bytes()),
     );
-    candidates
-        .into_iter()
-        .filter(|&(ri, si)| key_r(&r[ri]) == key_s(&s[si]))
-        .collect()
+    candidates.into_iter().filter(|&(ri, si)| key_r(&r[ri]) == key_s(&s[si])).collect()
 }
 
 #[cfg(test)]
@@ -125,8 +122,7 @@ mod tests {
     fn integer_key_extractors() {
         let (orders, shipments) = data();
         let algo = PMpsmJoin::new(JoinConfig::with_threads(2));
-        let mut pairs =
-            join_indices(&algo, &orders, |o| o.id, &shipments, |s| s.order_id);
+        let mut pairs = join_indices(&algo, &orders, |o| o.id, &shipments, |s| s.order_id);
         pairs.sort_unstable();
         assert_eq!(pairs, vec![(0, 1), (1, 0), (1, 2)]);
         // The indices address the original rows.
@@ -139,8 +135,7 @@ mod tests {
     fn string_keys_join_via_hash() {
         let (orders, shipments) = data();
         let algo = PMpsmJoin::new(JoinConfig::with_threads(2));
-        let mut pairs =
-            join_str_keys(&algo, &orders, |o| o.customer, &shipments, |s| s.customer);
+        let mut pairs = join_str_keys(&algo, &orders, |o| o.customer, &shipments, |s| s.customer);
         pairs.sort_unstable();
         assert_eq!(pairs, vec![(0, 1), (1, 0), (1, 2)]);
     }

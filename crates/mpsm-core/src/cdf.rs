@@ -21,9 +21,7 @@ pub fn equi_height_bounds(sorted: &[Tuple], count: usize) -> Vec<u64> {
     }
     debug_assert!(crate::tuple::is_key_sorted(sorted));
     let n = sorted.len();
-    (1..=count)
-        .map(|j| sorted[(j * n / count).saturating_sub(1).min(n - 1)].key)
-        .collect()
+    (1..=count).map(|j| sorted[(j * n / count).saturating_sub(1).min(n - 1)].key).collect()
 }
 
 /// A merged, monotone step function `key → cumulative tuple count`, with
@@ -70,10 +68,8 @@ impl Cdf {
     /// tuple). Used by tests as ground truth and available for callers
     /// with small inputs.
     pub fn exact(runs: &[&[Tuple]]) -> Self {
-        let locals: Vec<(Vec<u64>, usize)> = runs
-            .iter()
-            .map(|r| (r.iter().map(|t| t.key).collect(), r.len()))
-            .collect();
+        let locals: Vec<(Vec<u64>, usize)> =
+            runs.iter().map(|r| (r.iter().map(|t| t.key).collect(), r.len())).collect();
         Self::from_local_bounds(&locals)
     }
 

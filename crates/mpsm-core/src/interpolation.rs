@@ -90,11 +90,7 @@ mod tests {
     fn matches_partition_point_on_uniform_data() {
         let run = run_of(&(0..10_000u64).map(|i| i * 7).collect::<Vec<_>>());
         for key in [0u64, 1, 6, 7, 35_000, 69_993, 69_994, 100_000] {
-            assert_eq!(
-                interpolation_lower_bound(&run, key),
-                reference(&run, key),
-                "key {key}"
-            );
+            assert_eq!(interpolation_lower_bound(&run, key), reference(&run, key), "key {key}");
         }
     }
 
@@ -129,7 +125,9 @@ mod tests {
         keys.extend(std::iter::repeat_n(u64::MAX / 2, 500));
         keys.extend((0..500).map(|i| u64::MAX - 500 + i));
         let run = run_of(&keys);
-        for key in [0, 1, u64::MAX / 2 - 1, u64::MAX / 2, u64::MAX / 2 + 1, u64::MAX - 250, u64::MAX] {
+        for key in
+            [0, 1, u64::MAX / 2 - 1, u64::MAX / 2, u64::MAX / 2 + 1, u64::MAX - 250, u64::MAX]
+        {
             assert_eq!(interpolation_lower_bound(&run, key), reference(&run, key), "key {key}");
         }
     }

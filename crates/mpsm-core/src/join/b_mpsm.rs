@@ -87,7 +87,12 @@ impl JoinAlgorithm for BMpsmJoin {
 }
 
 impl BMpsmJoin {
-    fn execute<S: JoinSink>(&self, kernel: Kernel, r: &[Tuple], s: &[Tuple]) -> (S::Result, JoinStats) {
+    fn execute<S: JoinSink>(
+        &self,
+        kernel: Kernel,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> (S::Result, JoinStats) {
         let t = self.config.threads;
         let (r, s, _swapped) = self.config.assign_roles(r, s);
         let wall = std::time::Instant::now();

@@ -433,9 +433,12 @@ mod tests {
         // mark must stay near the budget (pinned pages can push it a
         // little past: T workers × (1 R page + T S pins)).
         let total_pages = (2000 + 6000) / 16;
-        assert!(report.buffer.high_water_pages < total_pages as u64 / 2,
+        assert!(
+            report.buffer.high_water_pages < total_pages as u64 / 2,
             "window stayed far below full residency: hwm {} of {} pages",
-            report.buffer.high_water_pages, total_pages);
+            report.buffer.high_water_pages,
+            total_pages
+        );
         assert!(report.bytes_written > 0);
         assert!(report.bytes_read > 0);
         assert!(report.buffer.releases + report.buffer.evictions > 0, "window must move");

@@ -99,9 +99,7 @@ impl JoinConfig {
 
 impl Default for JoinConfig {
     fn default() -> Self {
-        Self::with_threads(
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
-        )
+        Self::with_threads(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
     }
 }
 

@@ -80,7 +80,11 @@ impl PMpsmJoin {
     /// Create a P-MPSM join with the given configuration and the
     /// paper's cost-balanced splitters.
     pub fn new(config: JoinConfig) -> Self {
-        PMpsmJoin { config, policy: SplitterPolicy::CostBalanced, entry: EntrySearch::Interpolation }
+        PMpsmJoin {
+            config,
+            policy: SplitterPolicy::CostBalanced,
+            entry: EntrySearch::Interpolation,
+        }
     }
 
     /// Override the splitter policy (for the Figure 16 experiment).
@@ -148,9 +152,8 @@ impl PMpsmJoin {
 
         // ---- Phase 2.1: global S distribution (CDF). ----
         let fan = (self.config.cdf_fan * t).max(1);
-        let (locals, d21) = run_parallel_timed(t, |w| {
-            (equi_height_bounds(&s_runs[w], fan), s_runs[w].len())
-        });
+        let (locals, d21) =
+            run_parallel_timed(t, |w| (equi_height_bounds(&s_runs[w], fan), s_runs[w].len()));
         stats.record_phase(Phase::Two, &d21);
         let cdf = Cdf::from_local_bounds(&locals);
 
@@ -201,10 +204,7 @@ impl PMpsmJoin {
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("sort worker panicked"))
-                    .unzip()
+                handles.into_iter().map(|h| h.join().expect("sort worker panicked")).unzip()
             });
         stats.record_phase(Phase::Three, &d3);
 
@@ -365,7 +365,11 @@ mod tests {
         let s: Vec<Tuple> = (0..900).map(|i| Tuple::new(next() % 128, i)).collect();
         let fixed = PMpsmJoin::new(JoinConfig::with_threads(4));
         let auto = PMpsmJoin::new(JoinConfig::with_threads(4).role(Role::SmallerPrivate));
-        assert_eq!(fixed.count(&r, &s), auto.count(&s, &r), "role policy must not change cardinality");
+        assert_eq!(
+            fixed.count(&r, &s),
+            auto.count(&s, &r),
+            "role policy must not change cardinality"
+        );
         assert_eq!(fixed.max_payload_sum(&r, &s), auto.max_payload_sum(&s, &r));
     }
 

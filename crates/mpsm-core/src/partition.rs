@@ -16,7 +16,9 @@
 //! the compiler proves what the paper argues: no two workers can touch
 //! the same element.
 
-use crate::histogram::{compute_histogram, fold_histogram, partition_sizes, prefix_sums, RadixDomain};
+use crate::histogram::{
+    compute_histogram, fold_histogram, partition_sizes, prefix_sums, RadixDomain,
+};
 use crate::splitter::Splitters;
 use crate::tuple::Tuple;
 use crate::worker::run_parallel;
@@ -50,7 +52,8 @@ pub fn range_partition(
     // is worker w's disjoint slice of partition p, starting at ps[w][p].
     let mut partitions: Vec<Vec<Tuple>> =
         sizes.iter().map(|&sz| vec![Tuple::default(); sz]).collect();
-    let mut windows: Vec<Vec<&mut [Tuple]>> = (0..workers).map(|_| Vec::with_capacity(parts)).collect();
+    let mut windows: Vec<Vec<&mut [Tuple]>> =
+        (0..workers).map(|_| Vec::with_capacity(parts)).collect();
     {
         let mut remaining: Vec<&mut [Tuple]> =
             partitions.iter_mut().map(|p| p.as_mut_slice()).collect();
@@ -140,8 +143,9 @@ mod tests {
     #[test]
     fn scatter_is_a_permutation() {
         let domain = RadixDomain::from_range(0, 999, 4);
-        let chunks_data: Vec<Vec<Tuple>> =
-            (0..3).map(|w| (0..500u64).map(|i| Tuple::new((i * 7 + w) % 1000, i + w * 1000)).collect()).collect();
+        let chunks_data: Vec<Vec<Tuple>> = (0..3)
+            .map(|w| (0..500u64).map(|i| Tuple::new((i * 7 + w) % 1000, i + w * 1000)).collect())
+            .collect();
         let chunks: Vec<&[Tuple]> = chunks_data.iter().map(|c| c.as_slice()).collect();
         let hist = crate::histogram::combine_histograms(
             &chunks.iter().map(|c| compute_histogram(c, &domain)).collect::<Vec<_>>(),
@@ -149,10 +153,8 @@ mod tests {
         let sp = equi_height_splitters(&hist, 3);
         let runs = range_partition(&chunks, &domain, &sp);
 
-        let mut before: Vec<(u64, u64)> = chunks_data
-            .iter()
-            .flat_map(|c| c.iter().map(|t| (t.key, t.payload)))
-            .collect();
+        let mut before: Vec<(u64, u64)> =
+            chunks_data.iter().flat_map(|c| c.iter().map(|t| (t.key, t.payload))).collect();
         let mut after: Vec<(u64, u64)> =
             runs.iter().flat_map(|r| r.iter().map(|t| (t.key, t.payload))).collect();
         before.sort_unstable();
@@ -184,8 +186,9 @@ mod tests {
     #[test]
     fn duplicates_stay_in_one_partition() {
         let domain = RadixDomain::from_range(0, 1023, 5);
-        let chunks_data: Vec<Vec<Tuple>> =
-            (0..4).map(|w| (0..256).map(|i| Tuple::new(512, (w * 256 + i) as u64)).collect()).collect();
+        let chunks_data: Vec<Vec<Tuple>> = (0..4)
+            .map(|w| (0..256).map(|i| Tuple::new(512, (w * 256 + i) as u64)).collect())
+            .collect();
         let chunks: Vec<&[Tuple]> = chunks_data.iter().map(|c| c.as_slice()).collect();
         let hist = crate::histogram::combine_histograms(
             &chunks.iter().map(|c| compute_histogram(c, &domain)).collect::<Vec<_>>(),

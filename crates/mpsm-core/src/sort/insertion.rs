@@ -29,12 +29,7 @@ mod tests {
 
     #[test]
     fn sorts_small_slices() {
-        let mut data = vec![
-            Tuple::new(3, 0),
-            Tuple::new(1, 1),
-            Tuple::new(2, 2),
-            Tuple::new(1, 3),
-        ];
+        let mut data = vec![Tuple::new(3, 0), Tuple::new(1, 1), Tuple::new(2, 2), Tuple::new(1, 3)];
         insertion_sort(&mut data);
         assert!(is_key_sorted(&data));
         assert_eq!(data.iter().map(|t| t.key).collect::<Vec<_>>(), vec![1, 1, 2, 3]);

@@ -179,8 +179,7 @@ mod tests {
     fn all_equal_keys_land_in_one_bucket() {
         let mut data: Vec<Tuple> = (0..100).map(|i| Tuple::new(7, i)).collect();
         let bounds = msd_radix_partition(&mut data);
-        let non_empty: Vec<usize> =
-            (0..BUCKETS).filter(|&b| bounds[b + 1] > bounds[b]).collect();
+        let non_empty: Vec<usize> = (0..BUCKETS).filter(|&b| bounds[b + 1] > bounds[b]).collect();
         assert_eq!(non_empty.len(), 1);
     }
 

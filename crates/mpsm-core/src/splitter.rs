@@ -127,10 +127,8 @@ pub fn compute_splitters(
     let total_r: f64 = bucket_cost.iter().map(|c| c.0).sum();
     let total_s: f64 = bucket_cost.iter().map(|c| c.1).sum();
     let mut hi = split_relevant_cost(total_r, total_s, parts);
-    let mut lo = bucket_cost
-        .iter()
-        .map(|&(r, s)| split_relevant_cost(r, s, parts))
-        .fold(0.0f64, f64::max);
+    let mut lo =
+        bucket_cost.iter().map(|&(r, s)| split_relevant_cost(r, s, parts)).fold(0.0f64, f64::max);
     for _ in 0..64 {
         if hi - lo <= 1.0 || (hi - lo) / hi.max(1.0) < 1e-6 {
             break;
@@ -324,10 +322,8 @@ mod tests {
     #[test]
     fn bucket_and_key_ranges_agree() {
         let domain = RadixDomain::from_range(0, 1023, 4); // 16 buckets à 64 keys
-        let sp = Splitters::from_assignment(
-            vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3],
-            4,
-        );
+        let sp =
+            Splitters::from_assignment(vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3], 4);
         assert_eq!(sp.bucket_range(1), 4..8);
         let (lo, hi) = sp.key_range(1, &domain);
         assert_eq!(lo, 4 * 64);

@@ -84,10 +84,7 @@ impl JoinStats {
     /// Per-worker total time across phases, in ms (the bars of
     /// Figure 16b/c).
     pub fn worker_totals_ms(&self) -> Vec<f64> {
-        self.per_worker
-            .iter()
-            .map(|p| p.iter().map(|d| d.as_secs_f64() * 1e3).sum())
-            .collect()
+        self.per_worker.iter().map(|p| p.iter().map(|d| d.as_secs_f64() * 1e3).sum()).collect()
     }
 
     /// Load imbalance: slowest worker total / average worker total

@@ -45,10 +45,7 @@ where
                 scope.spawn(move || f(w))
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
+        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
     })
 }
 

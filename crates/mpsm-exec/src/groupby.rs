@@ -117,12 +117,7 @@ mod tests {
 
     #[test]
     fn merges_runs_into_sorted_groups() {
-        let runs = vec![
-            vec![(1, 10), (3, 30)],
-            vec![(1, 5), (2, 20)],
-            vec![],
-            vec![(3, 1)],
-        ];
+        let runs = vec![vec![(1, 10), (3, 30)], vec![(1, 5), (2, 20)], vec![], vec![(3, 1)]];
         let sums = sorted_group_by::<SumAgg>(&runs);
         assert_eq!(sums, vec![(1, 15), (2, 20), (3, 31)]);
         let counts = sorted_group_by::<CountAgg>(&runs);
@@ -157,7 +152,8 @@ mod tests {
             let mut run: Vec<(u64, u64)> = (0..200).map(|_| (next(), next())).collect();
             run.sort_unstable();
             for &(k, v) in &run {
-                *reference.entry(k).or_default() = reference.get(&k).copied().unwrap_or(0).wrapping_add(v);
+                *reference.entry(k).or_default() =
+                    reference.get(&k).copied().unwrap_or(0).wrapping_add(v);
             }
             runs.push(run);
         }

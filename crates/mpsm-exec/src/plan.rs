@@ -56,7 +56,8 @@ impl QueryPlan {
             self.join_rows.map_or(String::new(), |r| format!("; out = {r} rows")),
         ));
         let render_side = |label: &str, steps: &[PlanStep], last: bool| -> String {
-            let (branch, pad) = if last { ("   └─", "      ") } else { ("   ├─", "   │  ") };
+            let (branch, pad) =
+                if last { ("   └─", "      ") } else { ("   ├─", "   │  ") };
             let mut side = format!("{branch} {label}:\n");
             for (i, step) in steps.iter().rev().enumerate() {
                 let indent = pad.to_string() + &"   ".repeat(i);

@@ -189,10 +189,10 @@ mod tests {
         // Commandment C2: remote sequential must be far cheaper than
         // remote random — the whole point of the MPSM design.
         let m = CostModel::paper_calibrated();
-        let seq_penalty =
-            m.ns_per_access[AccessKind::RemoteSeq.index()] / m.ns_per_access[AccessKind::LocalSeq.index()];
-        let rand_penalty =
-            m.ns_per_access[AccessKind::RemoteRand.index()] / m.ns_per_access[AccessKind::LocalRand.index()];
+        let seq_penalty = m.ns_per_access[AccessKind::RemoteSeq.index()]
+            / m.ns_per_access[AccessKind::LocalSeq.index()];
+        let rand_penalty = m.ns_per_access[AccessKind::RemoteRand.index()]
+            / m.ns_per_access[AccessKind::LocalRand.index()];
         assert!(seq_penalty < 1.5);
         assert!(rand_penalty > 3.0);
     }

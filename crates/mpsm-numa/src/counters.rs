@@ -127,10 +127,8 @@ impl CounterScope {
     pub fn touch_interleaved(&mut self, sequential: bool, count: u64) {
         let remote = (count as f64 * self.topology.remote_fraction()).round() as u64;
         let local = count - remote.min(count);
-        self.counters
-            .record(AccessKind::from_flags(true, sequential), local);
-        self.counters
-            .record(AccessKind::from_flags(false, sequential), remote.min(count));
+        self.counters.record(AccessKind::from_flags(true, sequential), local);
+        self.counters.record(AccessKind::from_flags(false, sequential), remote.min(count));
     }
 
     /// Record `count` synchronization events.

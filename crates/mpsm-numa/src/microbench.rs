@@ -119,9 +119,7 @@ impl ExperimentResult {
 
 fn gen_chunk(n: usize, seed: u64) -> Vec<Rec> {
     let mut rng = SplitMix64(seed);
-    (0..n)
-        .map(|_| Rec { key: rng.next() & 0xffff_ffff, payload: rng.next() })
-        .collect()
+    (0..n).map(|_| Rec { key: rng.next() & 0xffff_ffff, payload: rng.next() }).collect()
 }
 
 /// Number of priced accesses for sorting `n` tuples with the paper's
@@ -242,7 +240,8 @@ pub fn exp2_partition(cfg: &MicrobenchConfig) -> ExperimentResult {
             part_sizes[p] += c;
         }
     }
-    let mut outputs: Vec<Vec<Rec>> = part_sizes.iter().map(|&sz| vec![Rec::default(); sz]).collect();
+    let mut outputs: Vec<Vec<Rec>> =
+        part_sizes.iter().map(|&sz| vec![Rec::default(); sz]).collect();
     // Carve each partition into per-worker windows.
     let mut windows: Vec<Vec<&mut [Rec]>> = Vec::with_capacity(t);
     {
@@ -289,10 +288,8 @@ pub fn exp2_partition(cfg: &MicrobenchConfig) -> ExperimentResult {
     // --- Agnostic/red: every write first does fetch_add on the target
     // partition's shared index variable.
     let started = Instant::now();
-    let sync_outputs: Vec<Vec<AtomicU64>> = part_sizes
-        .iter()
-        .map(|&sz| (0..sz * 2).map(|_| AtomicU64::new(0)).collect())
-        .collect();
+    let sync_outputs: Vec<Vec<AtomicU64>> =
+        part_sizes.iter().map(|&sz| (0..sz * 2).map(|_| AtomicU64::new(0)).collect()).collect();
     let indices: Vec<AtomicU64> = (0..parts).map(|_| AtomicU64::new(0)).collect();
     std::thread::scope(|s| {
         for chunk in &chunks {
@@ -427,11 +424,7 @@ mod tests {
     use super::*;
 
     fn tiny_cfg() -> MicrobenchConfig {
-        MicrobenchConfig {
-            workers: 4,
-            tuples_per_worker: 1 << 12,
-            ..MicrobenchConfig::default()
-        }
+        MicrobenchConfig { workers: 4, tuples_per_worker: 1 << 12, ..MicrobenchConfig::default() }
     }
 
     #[test]
@@ -446,10 +439,7 @@ mod tests {
     fn exp1_at_paper_scale_matches_absolute_numbers() {
         // At 50M tuples/worker the modeled local sort should be within
         // 20% of the paper's 12 946 ms.
-        let cfg = MicrobenchConfig {
-            tuples_per_worker: 50 << 20,
-            ..MicrobenchConfig::default()
-        };
+        let cfg = MicrobenchConfig { tuples_per_worker: 50 << 20, ..MicrobenchConfig::default() };
         let n = cfg.tuples_per_worker;
         let mut scope = CounterScope::new(cfg.topology.clone(), CoreId(0));
         scope.touch(crate::topology::NodeId(0), false, sort_access_count(n));

@@ -59,9 +59,7 @@ impl Topology {
     /// distances; the simulated topology is what experiments configure
     /// explicitly).
     pub fn host() -> Self {
-        let cores = std::thread::available_parallelism()
-            .map(|n| n.get() as u32)
-            .unwrap_or(1);
+        let cores = std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(1);
         Self::flat(cores)
     }
 

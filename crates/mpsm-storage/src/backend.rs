@@ -66,7 +66,8 @@ impl SimDiskProfile {
 
     /// Cost of transferring `bytes`, in ns.
     pub fn io_ns(&self, bytes: usize) -> u64 {
-        self.latency_ns + (bytes as u128 * 1_000_000_000u128 / self.bandwidth_bytes_per_sec as u128) as u64
+        self.latency_ns
+            + (bytes as u128 * 1_000_000_000u128 / self.bandwidth_bytes_per_sec as u128) as u64
     }
 }
 
@@ -200,11 +201,12 @@ impl DiskBackend for FileBackend {
     fn read_page(&self, run: RunId, page: u32) -> Result<Vec<u8>> {
         let mut runs = self.runs.lock();
         let (file, offsets) = runs.get_mut(&run).ok_or(crate::StorageError::UnknownRun(run))?;
-        let &(offset, len) = offsets.get(page as usize).ok_or(crate::StorageError::PageOutOfBounds {
-            run,
-            page,
-            pages: offsets.len() as u32,
-        })?;
+        let &(offset, len) =
+            offsets.get(page as usize).ok_or(crate::StorageError::PageOutOfBounds {
+                run,
+                page,
+                pages: offsets.len() as u32,
+            })?;
         let mut buf = vec![0u8; len as usize];
         file.seek(SeekFrom::Start(offset))?;
         file.read_exact(&mut buf)?;
@@ -254,10 +256,7 @@ impl<B: DiskBackend> DiskBackend for FaultyBackend<B> {
     fn read_page(&self, run: RunId, page: u32) -> Result<Vec<u8>> {
         let ordinal = self.read_ordinal.fetch_add(1, Ordering::Relaxed);
         if self.fail_reads.contains(&ordinal) {
-            return Err(std::io::Error::other(
-                format!("injected fault on read #{ordinal}"),
-            )
-            .into());
+            return Err(std::io::Error::other(format!("injected fault on read #{ordinal}")).into());
         }
         self.inner.read_page(run, page)
     }
@@ -334,7 +333,10 @@ mod tests {
 
     #[test]
     fn single_hdd_is_slower_than_array() {
-        assert!(SimDiskProfile::single_hdd().io_ns(1 << 20) > SimDiskProfile::disk_array().io_ns(1 << 20));
+        assert!(
+            SimDiskProfile::single_hdd().io_ns(1 << 20)
+                > SimDiskProfile::disk_array().io_ns(1 << 20)
+        );
     }
 
     #[test]

@@ -105,7 +105,8 @@ impl Prefetcher {
                     }
                     // Prefetch the lookahead window.
                     let horizon = m.saturating_add(lookahead);
-                    while next_entry < index.len() && index.entries()[next_entry].min_key <= horizon {
+                    while next_entry < index.len() && index.entries()[next_entry].min_key <= horizon
+                    {
                         let e = index.entries()[next_entry];
                         if pool.prefetch(e.run, e.page).is_err() {
                             // Backend fault: leave the page to demand
@@ -212,7 +213,8 @@ mod tests {
         let (store, index) = setup(4);
         let pool = Arc::new(BufferPool::<_, KvRecord>::new(store, 64));
         let progress = Arc::new(Progress::new(2));
-        let pf = Prefetcher::spawn(pool, index, Arc::clone(&progress), 4, Duration::from_micros(50));
+        let pf =
+            Prefetcher::spawn(pool, index, Arc::clone(&progress), 4, Duration::from_micros(50));
         progress.finish(0);
         progress.finish(1);
         // Drop joins the thread; the loop must have exited on its own.
@@ -223,5 +225,126 @@ mod tests {
     fn empty_progress_board_is_finished() {
         let p = Progress::new(0);
         assert_eq!(p.workers(), 1, "board always tracks at least one slot");
+    }
+
+    /// Spins until `cond` holds or two seconds elapse.
+    fn wait_for(mut cond: impl FnMut() -> bool) -> bool {
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while !cond() {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        true
+    }
+
+    #[test]
+    fn lookahead_horizon_bounds_prefetch() {
+        // 8 pages of 4 keys each; lookahead of 3 keys from key 0 covers
+        // only page 0 (keys 0..=3): pages past the horizon must stay cold.
+        let (store, index) = setup(8);
+        let pool = Arc::new(BufferPool::<_, KvRecord>::new(store, 64));
+        let progress = Arc::new(Progress::new(1));
+        let pf = Prefetcher::spawn(
+            Arc::clone(&pool),
+            Arc::clone(&index),
+            Arc::clone(&progress),
+            3,
+            Duration::from_micros(100),
+        );
+        assert!(wait_for(|| pool.is_resident(RunId(0), 0)), "page 0 within horizon");
+        // Give the prefetcher time to (wrongly) run ahead before checking.
+        std::thread::sleep(Duration::from_millis(20));
+        for page in 2..8 {
+            assert!(!pool.is_resident(RunId(0), page), "page {page} beyond horizon loaded");
+        }
+        progress.finish(0);
+        pf.stop();
+    }
+
+    #[test]
+    fn straddling_pages_stay_resident() {
+        // Worker at key 2 sits inside page 0 (keys 0..=3): the page is
+        // below the frontier but not yet passed, so it must not be
+        // released even as later pages load.
+        let (store, index) = setup(4);
+        let pool = Arc::new(BufferPool::<_, KvRecord>::new(store, 64));
+        let progress = Arc::new(Progress::new(1));
+        let pf = Prefetcher::spawn(
+            Arc::clone(&pool),
+            Arc::clone(&index),
+            Arc::clone(&progress),
+            8,
+            Duration::from_micros(100),
+        );
+        progress.update(0, 2);
+        assert!(wait_for(|| pool.is_resident(RunId(0), 1)), "lookahead page loaded");
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(pool.is_resident(RunId(0), 0), "straddling page released too early");
+        assert_eq!(pool.stats().releases, 0);
+        progress.finish(0);
+        pf.stop();
+    }
+
+    #[test]
+    fn prefetch_fault_falls_back_to_demand_loading() {
+        use crate::backend::{FaultyBackend, MemBackend};
+        // Fail the very first backend read (the prefetcher's): the page
+        // must remain loadable on demand and the prefetcher must survive.
+        let store =
+            Arc::new(RunStore::new(FaultyBackend::new(MemBackend::disk_array(), vec![0]), 4));
+        let recs: Vec<KvRecord> = (0..16).map(|i| KvRecord::new(i, i)).collect();
+        store.store_run(&recs).unwrap();
+        let index = Arc::new(PageIndex::build(&store.all_metas()));
+        let pool = Arc::new(BufferPool::<_, KvRecord>::new(Arc::clone(&store), 64));
+        let progress = Arc::new(Progress::new(1));
+        let pf = Prefetcher::spawn(
+            Arc::clone(&pool),
+            index,
+            Arc::clone(&progress),
+            u64::MAX, // whole file in the window: all pages attempted
+            Duration::from_micros(100),
+        );
+        assert!(wait_for(|| pool.is_resident(RunId(0), 3)), "later prefetches proceed");
+        // The faulted page was skipped; a worker's demand read succeeds.
+        let page = pool.get(RunId(0), 0).unwrap();
+        assert_eq!(page[0].key, 0);
+        progress.finish(0);
+        pf.stop();
+        assert!(pool.stats().prefetches >= 3, "prefetcher kept going past the fault");
+    }
+
+    #[test]
+    fn multiple_runs_interleave_in_key_order() {
+        // Two runs covering disjoint halves of the domain: the index
+        // orders run 1's pages after run 0's, and the prefetcher walks
+        // them in that global key order.
+        let store = Arc::new(RunStore::new(MemBackend::disk_array(), 4));
+        let low: Vec<KvRecord> = (0..8).map(|i| KvRecord::new(i, i)).collect();
+        let high: Vec<KvRecord> = (8..16).map(|i| KvRecord::new(i, i)).collect();
+        store.store_run(&low).unwrap();
+        store.store_run(&high).unwrap();
+        let index = Arc::new(PageIndex::build(&store.all_metas()));
+        let pool = Arc::new(BufferPool::<_, KvRecord>::new(Arc::clone(&store), 64));
+        let progress = Arc::new(Progress::new(1));
+        let pf = Prefetcher::spawn(
+            Arc::clone(&pool),
+            Arc::clone(&index),
+            Arc::clone(&progress),
+            4,
+            Duration::from_micros(100),
+        );
+        assert!(wait_for(|| pool.is_resident(RunId(0), 0)));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!pool.is_resident(RunId(1), 1), "far page of second run loaded too early");
+        // Advance past run 0 entirely; run 1 loads, run 0 drains. (Run 1's
+        // page 0 may already be released again at key 12, so observe its
+        // page 1, which stays in the active window.)
+        progress.update(0, 12);
+        assert!(wait_for(|| pool.is_resident(RunId(1), 1)));
+        assert!(wait_for(|| !pool.is_resident(RunId(0), 0)), "passed run released");
+        progress.finish(0);
+        pf.stop();
     }
 }

@@ -85,7 +85,13 @@ impl<B: DiskBackend> RunStore<B> {
             });
             id
         };
-        RunWriter { store: self, id, buf: Vec::with_capacity(self.page_records as usize), next_page: 0, written: 0 }
+        RunWriter {
+            store: self,
+            id,
+            buf: Vec::with_capacity(self.page_records as usize),
+            next_page: 0,
+            written: 0,
+        }
     }
 
     /// Write a whole pre-sorted slice as a run (convenience for tests and
@@ -101,11 +107,7 @@ impl<B: DiskBackend> RunStore<B> {
 
     /// Metadata of run `id`.
     pub fn meta(&self, id: RunId) -> Result<RunMeta> {
-        self.metas
-            .lock()
-            .get(id.0 as usize)
-            .cloned()
-            .ok_or(StorageError::UnknownRun(id))
+        self.metas.lock().get(id.0 as usize).cloned().ok_or(StorageError::UnknownRun(id))
     }
 
     /// Metadata of all runs, in id order.

@@ -54,8 +54,7 @@ pub fn unique_keys(n: usize, seed: u64) -> Vec<u64> {
 /// `multiplicity` times, shuffled. Payloads are sequential row ids.
 pub fn fk_uniform(r_len: usize, multiplicity: usize, seed: u64) -> Workload {
     let keys = unique_keys(r_len, seed);
-    let r: Vec<Tuple> =
-        keys.iter().enumerate().map(|(i, &k)| Tuple::new(k, i as u64)).collect();
+    let r: Vec<Tuple> = keys.iter().enumerate().map(|(i, &k)| Tuple::new(k, i as u64)).collect();
 
     let mut s_keys: Vec<u64> = Vec::with_capacity(r_len * multiplicity);
     for _ in 0..multiplicity {

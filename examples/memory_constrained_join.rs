@@ -36,7 +36,11 @@ fn main() {
         .join_on::<MemBackend, CountSink>(MemBackend::disk_array(), &w.r, &w.s)
         .expect("in-memory backend cannot fail");
     println!("simulated disk array:");
-    println!("  matches: {count}, wall {:.1} ms, simulated I/O {:.1} ms", stats.wall_ms(), report.simulated_io_ms);
+    println!(
+        "  matches: {count}, wall {:.1} ms, simulated I/O {:.1} ms",
+        stats.wall_ms(),
+        report.simulated_io_ms
+    );
     println!(
         "  spooled {} MiB, read back {} MiB",
         report.bytes_written >> 20,
@@ -44,8 +48,11 @@ fn main() {
     );
     println!(
         "  buffer pool: high-water {} pages (of {} total), {} prefetches, {} releases, {} misses\n",
-        report.buffer.high_water_pages, total_pages, report.buffer.prefetches,
-        report.buffer.releases, report.buffer.misses
+        report.buffer.high_water_pages,
+        total_pages,
+        report.buffer.prefetches,
+        report.buffer.releases,
+        report.buffer.misses
     );
 
     // Real files.
@@ -58,5 +65,7 @@ fn main() {
     assert_eq!(count, count_file, "backend must not change the result");
     let _ = std::fs::remove_dir_all(&dir);
 
-    println!("\n(Figure 4: only the active window is RAM-resident; the rest is released/prefetched)");
+    println!(
+        "\n(Figure 4: only the active window is RAM-resident; the rest is released/prefetched)"
+    );
 }

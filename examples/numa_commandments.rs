@@ -28,11 +28,8 @@ fn main() {
     }
     println!("  sync event: {:.0}\n", model.ns_per_sync);
 
-    let cfg = MicrobenchConfig {
-        workers: 8,
-        tuples_per_worker: 1 << 18,
-        ..MicrobenchConfig::default()
-    };
+    let cfg =
+        MicrobenchConfig { workers: 8, tuples_per_worker: 1 << 18, ..MicrobenchConfig::default() };
     for result in figure1(&cfg) {
         println!(
             "{}: NUMA-affine {:.1} ms vs NUMA-agnostic {:.1} ms → {:.2}x penalty",

@@ -43,7 +43,10 @@ fn main() {
     let wisconsin = WisconsinHashJoin::new(cfg);
 
     let mut reference = None;
-    println!("{:<12} {:>10} {:>10} {:>12}  phases ms", "algorithm", "selected R", "selected S", "total ms");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12}  phases ms",
+        "algorithm", "selected R", "selected S", "total ms"
+    );
     macro_rules! run {
         ($name:expr, $algo:expr) => {{
             let out = paper_query(&orders, &lineitems, recent, recent, &$algo, threads);
@@ -65,5 +68,8 @@ fn main() {
     run!("Radix (VW)", radix);
     run!("Wisconsin", wisconsin);
 
-    println!("\nmax(orders.payload + lineitems.payload) over recent orders = {:?}", reference.unwrap());
+    println!(
+        "\nmax(orders.payload + lineitems.payload) over recent orders = {:?}",
+        reference.unwrap()
+    );
 }

@@ -1,0 +1,417 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The container building this repository cannot reach a crates
+//! registry, so the slice of criterion's API used by the benches under
+//! `crates/mpsm-bench/benches/` is implemented here: benchmark groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! throughput annotation, and the `criterion_group!` /
+//! `criterion_main!` macros (`harness = false` targets, as with real
+//! criterion).
+//!
+//! Instead of criterion's statistical machinery, each benchmark is
+//! warmed up briefly, timed over a fixed wall-clock budget, and
+//! reported as mean time per iteration (plus derived throughput). Good
+//! enough to spot order-of-magnitude regressions; not a substitute for
+//! real criterion's confidence intervals.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle passed to `criterion_group!` functions.
+pub struct Criterion {
+    /// Wall-clock measurement budget per benchmark.
+    measurement_time: Duration,
+    /// Substring filter from the CLI (`cargo bench -- <filter>`).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>`: the filter is the first positional
+        // arg. Flags are ignored, and a `--flag value` pair's value must
+        // not be mistaken for the filter, so skip the token after any
+        // `--flag` that does not carry `=value` inline.
+        let mut filter = None;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            if arg.starts_with('-') {
+                // Valueless flags cargo/criterion pass to bench
+                // executables; anything else is assumed to take the
+                // next token as its value.
+                let valueless = matches!(arg.as_str(), "--bench" | "--test" | "--quiet" | "-q");
+                if !valueless && !arg.contains('=') {
+                    if let Some(next) = args.peek() {
+                        if !next.starts_with('-') {
+                            args.next(); // the flag's value
+                        }
+                    }
+                }
+            } else {
+                filter = Some(arg);
+                break;
+            }
+        }
+        Criterion { measurement_time: Duration::from_millis(300), filter }
+    }
+}
+
+impl Criterion {
+    /// Overrides the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, budget: Duration) -> Self {
+        self.measurement_time = budget;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            measurement_time: None,
+        }
+    }
+
+    /// Ungrouped single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Benchmark identifier: a function name, optionally with a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id for `function` at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// Id distinguished only by `parameter`.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function[..], &self.parameter) {
+            ("", Some(p)) => p.clone(),
+            (f, Some(p)) => format!("{f}/{p}"),
+            (f, None) => f.to_string(),
+        }
+    }
+}
+
+/// Things accepted where a benchmark id is expected.
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { function: self.to_string(), parameter: None }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { function: self, parameter: None }
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup (accepted, not load-bearing here:
+/// every batch size runs setup once per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates following benchmarks with a work rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the measurement budget for this group only.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.measurement_time = Some(budget);
+        self
+    }
+
+    /// Times `f`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_benchmark_id(), |b| f(b));
+        self
+    }
+
+    /// Times `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_benchmark_id(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let label = if self.name.is_empty() {
+            id.render()
+        } else {
+            format!("{}/{}", self.name, id.render())
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            budget: self.measurement_time.unwrap_or(self.criterion.measurement_time),
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        report(&label, &bencher, self.throughput);
+    }
+
+    /// Ends the group (report flushing in real criterion; no-op here).
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and per-iteration estimate.
+        let warm = Instant::now();
+        black_box(routine());
+        let est = warm.elapsed().max(Duration::from_nanos(1));
+        let target = (self.budget.as_nanos() / est.as_nanos()).clamp(1, 1_000_000) as u64;
+        let iters = target.max(self.samples as u64);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Times `routine` on inputs produced by `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let warm = Instant::now();
+        black_box(routine(input));
+        let est = warm.elapsed().max(Duration::from_nanos(1));
+        let target = (self.budget.as_nanos() / est.as_nanos()).clamp(1, 1_000_000) as u64;
+        let iters = target.max(self.samples as u64);
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+        self.iters = iters;
+    }
+
+    /// Like `iter_batched`, with the input passed by mutable reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), _size);
+    }
+}
+
+fn report(label: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if bencher.iters == 0 {
+        println!("{label:<48} (not measured)");
+        return;
+    }
+    let per_iter = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.1} Melem/s", n as f64 / per_iter * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.1} MiB/s", n as f64 / per_iter * 1e9 / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!("{label:<48} {:>12} /iter  ({} iters){rate}", format_ns(per_iter), bencher.iters);
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a group function running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_counts_iters() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut runs = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        assert!(runs >= 3, "routine ran only {runs} times");
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim");
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::new("batched", 1), &7u64, |b, &x| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![x; 4]
+                },
+                |v| {
+                    runs += 1;
+                    v.iter().sum::<u64>()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+        assert!(runs >= 1 && setups >= runs, "setup must run per iteration");
+    }
+
+    #[test]
+    fn group_measurement_time_does_not_leak_to_later_groups() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("fast");
+            group.measurement_time(Duration::from_millis(1));
+            group.finish();
+        }
+        assert_eq!(
+            c.measurement_time,
+            Duration::from_millis(300),
+            "group override must stay scoped to its group"
+        );
+    }
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 32).render(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("p").render(), "p");
+        assert_eq!("plain".into_benchmark_id().render(), "plain");
+    }
+}

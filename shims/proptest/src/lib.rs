@@ -1,0 +1,348 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container building this repository cannot reach a crates
+//! registry, so the slice of proptest's API used by the test suites is
+//! implemented here: the [`proptest!`] macro, [`Strategy`] for integer
+//! ranges / `any::<T>()` / `collection::vec`, `prop_assert!`-family
+//! macros, and [`ProptestConfig`] case counts.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its case index and the
+//!   run's seed instead of a minimized input.
+//! * **Fixed deterministic seeding.** Cases are generated from a fixed
+//!   base seed (overridable via `PROPTEST_SEED`), so every run and
+//!   every CI box sees the same inputs — reproducibility is promoted
+//!   from "persisted regression file" to "always".
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod collection;
+
+/// Re-exports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Runner configuration (subset: case count).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values of type [`Strategy::Value`].
+///
+/// Real proptest separates strategies from value trees to support
+/// shrinking; without shrinking a strategy is just a seeded generator.
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy for the full domain of `T`, as in `proptest::arbitrary`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — uniform over `T`'s whole domain.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types `any::<T>()` can produce.
+pub trait ArbitraryValue: Sized {
+    /// Draws one value covering the whole domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Error type carried by `prop_assert!` failures (message only).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Result type of a single property-case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives the cases of one property. Used by the [`proptest!`]
+/// expansion; not public API in real proptest, minimal here.
+pub struct TestRunner {
+    config: ProptestConfig,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// Runner for `config`, seeded from `PROPTEST_SEED` when set.
+    pub fn new(config: ProptestConfig) -> Self {
+        let base_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x4D50_534D_2012_0510); // "MPSM", PVLDB 5(10) 2012
+        TestRunner { config, base_seed }
+    }
+
+    /// Runs `case` once per configured case with a per-case RNG; on
+    /// failure reports the case index and reproduction seed, then
+    /// propagates the failure.
+    pub fn run(&mut self, property: &str, mut case: impl FnMut(&mut StdRng) -> TestCaseResult) {
+        for i in 0..self.config.cases {
+            let case_seed = self.base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = StdRng::seed_from_u64(case_seed);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+            let failure = match outcome {
+                Ok(Ok(())) => None,
+                Ok(Err(TestCaseError(msg))) => Some(msg),
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "<non-string panic>".to_string());
+                    Some(msg)
+                }
+            };
+            if let Some(msg) = failure {
+                panic!(
+                    "property `{property}` failed at case {i}/{total} \
+                     (reproduce with PROPTEST_SEED={seed}): {msg}",
+                    total = self.config.cases,
+                    seed = self.base_seed,
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests. Supports the grammar the repository uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop_name(x in 0u64..10, mut v in proptest::collection::vec(any::<u64>(), 0..50)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$meta:meta])+ fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let mut runner = $crate::TestRunner::new($cfg);
+                runner.run(stringify!($name), |__proptest_rng| {
+                    $(let $pat = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} at {}:{}", stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "{} (assertion `{}` at {}:{})",
+                format!($($fmt)*), stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?} at {}:{}",
+                stringify!($left), stringify!($right), l, r, file!(), line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError(format!(
+                "{}\n  left: {:?}\n right: {:?} at {}:{}",
+                format!($($fmt)*), l, r, file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: `{} != {}`\n  both: {:?} at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when `cond` is false (counted as a pass; the
+/// real proptest retries — good enough without shrinking).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 1usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_in_bounds(v in crate::collection::vec(any::<u64>(), 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn nested_vec_and_mut_patterns(
+            mut vs in crate::collection::vec(crate::collection::vec(0u32..5, 0..4), 1..5),
+        ) {
+            vs.push(vec![0]);
+            for v in &vs {
+                for &x in v {
+                    prop_assert!(x < 5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_case_info() {
+        let err = std::panic::catch_unwind(|| {
+            let mut runner = crate::TestRunner::new(crate::ProptestConfig::with_cases(4));
+            runner.run("always_fails", |_| {
+                crate::prop_assert!(false, "expected failure");
+                Ok(())
+            });
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "missing property name: {msg}");
+        assert!(msg.contains("PROPTEST_SEED"), "missing seed hint: {msg}");
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut collected = Vec::new();
+        for _ in 0..2 {
+            let mut vals = Vec::new();
+            let mut runner = crate::TestRunner::new(crate::ProptestConfig::with_cases(8));
+            runner.run("collect", |rng| {
+                vals.push(crate::Strategy::generate(&(0u64..1000), rng));
+                Ok(())
+            });
+            collected.push(vals);
+        }
+        assert_eq!(collected[0], collected[1]);
+    }
+}

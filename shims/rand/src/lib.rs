@@ -1,0 +1,314 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The container building this repository cannot reach a crates
+//! registry, so the slice of `rand`'s API that the workload generators
+//! use is implemented here from scratch: `RngCore`/`Rng`/`SeedableRng`,
+//! a deterministic `StdRng` (xoshiro256** seeded via SplitMix64),
+//! uniform `gen_range` over integer/float ranges, and
+//! `seq::SliceRandom::{shuffle, choose}`.
+//!
+//! The stream is *not* bit-compatible with crates-io `rand`'s `StdRng`
+//! (which is ChaCha12) — it is merely deterministic under a seed, which
+//! is the property the generators and tests rely on. Every consumer in
+//! this repository seeds explicitly; there is no OS entropy source.
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling interface (blanket-implemented for any
+/// [`RngCore`], as in `rand` 0.8).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A uniformly random value of a [`Standard`]-samplable type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable uniformly over their whole domain via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $m:ident),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$m() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+                   usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+                   i64 => next_u64, isize => next_u64);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+/// Uniform `[0, 1)` double from 53 random mantissa bits.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Seedable deterministic RNGs (subset of `rand`'s trait: `from_seed`
+/// and the convenience `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Constructs the RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a 64-bit seed into a full seed via SplitMix64 (the same
+    /// construction `rand` documents for this method).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let mut out = splitmix64(&mut state);
+            for byte in chunk.iter_mut() {
+                *byte = out as u8;
+                out >>= 8;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One SplitMix64 step (Vigna's reference constants).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample; panics on an empty range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_u64(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX as u64 {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_u64(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_u64(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + uniform_u64(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let v = self.start + (self.end - self.start) * unit_f64(rng.next_u64());
+        // The lerp can round up onto the exclusive bound; clamp to the
+        // largest representable value below it (as real rand does).
+        if v >= self.end {
+            self.end.next_down().max(self.start)
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let unit = (rng.next_u32() >> 8) as f32 / (1u32 << 24) as f32;
+        let v = self.start + (self.end - self.start) * unit;
+        if v >= self.end {
+            self.end.next_down().max(self.start)
+        } else {
+            v
+        }
+    }
+}
+
+/// Unbiased uniform draw from `[0, span)` via Lemire's widening
+/// multiply with rejection; `span > 0`.
+pub(crate) fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Threshold below which the low 64 bits of the product are biased.
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let wide = rng.next_u64() as u128 * span as u128;
+        if (wide as u64) >= threshold {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c = StdRng::seed_from_u64(43).next_u64();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(1u32..=5);
+            assert!((1..=5).contains(&w));
+            let f = r.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[r.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c} far from 10k");
+        }
+    }
+
+    #[test]
+    fn float_range_never_returns_exclusive_bound() {
+        let mut r = StdRng::seed_from_u64(11);
+        // A one-ULP-wide range forces the lerp onto the bound; the
+        // clamp must keep the result strictly below `end`.
+        let lo = 1.0f64;
+        let hi = 1.0f64.next_up();
+        for _ in 0..1000 {
+            let v = r.gen_range(lo..hi);
+            assert!(v >= lo && v < hi, "{v} escaped [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut buf = [0u8; 11];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

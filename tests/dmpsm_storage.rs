@@ -33,19 +33,15 @@ fn budget_does_not_change_results_only_residency() {
     let mut hwms = Vec::new();
     for budget in [8usize, 32, 4096] {
         let join = DMpsmJoin::new(dconfig(4, 64, budget));
-        let (count, _stats, report) = join
-            .join_on::<MemBackend, CountSink>(MemBackend::disk_array(), &w.r, &w.s)
-            .unwrap();
+        let (count, _stats, report) =
+            join.join_on::<MemBackend, CountSink>(MemBackend::disk_array(), &w.r, &w.s).unwrap();
         if let Some(prev) = last {
             assert_eq!(prev, count, "budget {budget} changed the result");
         }
         last = Some(count);
         hwms.push(report.buffer.high_water_pages);
     }
-    assert!(
-        hwms[0] <= hwms[2],
-        "tighter budgets must not increase residency: {hwms:?}"
-    );
+    assert!(hwms[0] <= hwms[2], "tighter budgets must not increase residency: {hwms:?}");
 }
 
 #[test]
@@ -92,9 +88,8 @@ fn injected_faults_surface_as_errors_not_corruption() {
 fn simulated_io_is_accounted() {
     let w = fk_uniform(2000, 1, 11);
     let join = DMpsmJoin::new(dconfig(2, 64, 16));
-    let (_, _, report) = join
-        .join_on::<MemBackend, CountSink>(MemBackend::disk_array(), &w.r, &w.s)
-        .unwrap();
+    let (_, _, report) =
+        join.join_on::<MemBackend, CountSink>(MemBackend::disk_array(), &w.r, &w.s).unwrap();
     assert!(report.simulated_io_ms > 0.0);
     assert!(report.bytes_read >= report.bytes_written, "every page is read at least once");
 }

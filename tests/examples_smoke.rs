@@ -1,0 +1,58 @@
+//! Builds every example and runs `quickstart` to completion.
+//!
+//! `cargo test` does not build example targets by itself, so a broken
+//! example would otherwise only surface in CI's `cargo build --examples`
+//! step; this suite makes the tier-1 `cargo test -q` catch it too.
+
+use std::path::Path;
+use std::process::Command;
+
+/// All examples registered in Cargo.toml, in `examples/`.
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "memory_constrained_join",
+    "numa_commandments",
+    "operational_bi",
+    "skew_resilient_analytics",
+    "tpch_revenue",
+];
+
+fn cargo() -> Command {
+    let mut cmd = Command::new(std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into()));
+    // Run against this same workspace no matter where the test binary lives.
+    cmd.current_dir(env!("CARGO_MANIFEST_DIR"));
+    cmd
+}
+
+#[test]
+fn all_examples_build() {
+    for example in EXAMPLES {
+        assert!(
+            Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("examples/{example}.rs")).exists(),
+            "example source missing: {example}"
+        );
+    }
+    let output = cargo()
+        .args(["build", "--examples"])
+        .output()
+        .expect("failed to spawn cargo build --examples");
+    assert!(
+        output.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn quickstart_runs_to_completion() {
+    let output = cargo()
+        .args(["run", "--example", "quickstart"])
+        .output()
+        .expect("failed to spawn cargo run --example quickstart");
+    assert!(
+        output.status.success(),
+        "quickstart exited nonzero:\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

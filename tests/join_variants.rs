@@ -14,8 +14,7 @@ use mpsm::workload::{fk_uniform, uniform_independent};
 
 fn reference_variant_count(variant: JoinVariant, r: &[Tuple], s: &[Tuple]) -> u64 {
     let s_keys: HashSet<u64> = s.iter().map(|t| t.key).collect();
-    let inner: u64 =
-        r.iter().map(|rt| s.iter().filter(|st| st.key == rt.key).count() as u64).sum();
+    let inner: u64 = r.iter().map(|rt| s.iter().filter(|st| st.key == rt.key).count() as u64).sum();
     let matched = r.iter().filter(|rt| s_keys.contains(&rt.key)).count() as u64;
     let unmatched = r.len() as u64 - matched;
     match variant {
@@ -33,9 +32,12 @@ fn variants_match_reference_on_both_mpsm_topologies() {
         let cfg = JoinConfig::with_threads(threads);
         let p = PMpsmJoin::new(cfg.clone());
         let b = BMpsmJoin::new(cfg);
-        for variant in
-            [JoinVariant::Inner, JoinVariant::LeftOuter, JoinVariant::LeftSemi, JoinVariant::LeftAnti]
-        {
+        for variant in [
+            JoinVariant::Inner,
+            JoinVariant::LeftOuter,
+            JoinVariant::LeftSemi,
+            JoinVariant::LeftAnti,
+        ] {
             let expected = reference_variant_count(variant, &w.r, &w.s);
             let (pc, _) = p.join_variant_with_sink::<CountSink>(variant, &w.r, &w.s);
             let (bc, _) = b.join_variant_with_sink::<CountSink>(variant, &w.r, &w.s);
@@ -81,13 +83,10 @@ fn band_join_matches_reference() {
     let w = uniform_independent(300, 600, 10_000, 11);
     let join = BMpsmJoin::new(JoinConfig::with_threads(4));
     for delta in [0u64, 3, 50] {
-        let expected: u64 = w
-            .r
-            .iter()
-            .map(|rt| {
-                w.s.iter().filter(|st| st.key.abs_diff(rt.key) <= delta).count() as u64
-            })
-            .sum();
+        let expected: u64 =
+            w.r.iter()
+                .map(|rt| w.s.iter().filter(|st| st.key.abs_diff(rt.key) <= delta).count() as u64)
+                .sum();
         let (count, _) = join.band_join_with_sink::<CountSink>(delta, &w.r, &w.s);
         assert_eq!(count, expected, "delta {delta}");
     }
@@ -124,8 +123,11 @@ fn sorted_runs_flow_into_group_by() {
     let mut ref_counts: HashMap<u64, u64> = HashMap::new();
     for rt in &w.r {
         for st in w.s.iter().filter(|st| st.key == rt.key) {
-            *ref_sums.entry(rt.key).or_default() =
-                ref_sums.get(&rt.key).copied().unwrap_or(0).wrapping_add(rt.payload.wrapping_add(st.payload));
+            *ref_sums.entry(rt.key).or_default() = ref_sums
+                .get(&rt.key)
+                .copied()
+                .unwrap_or(0)
+                .wrapping_add(rt.payload.wrapping_add(st.payload));
             *ref_counts.entry(rt.key).or_default() += 1;
         }
     }

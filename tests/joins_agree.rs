@@ -10,17 +10,18 @@ use mpsm::core::join::p_mpsm::{PMpsmJoin, SplitterPolicy};
 use mpsm::core::join::{JoinAlgorithm, JoinConfig};
 use mpsm::core::Tuple;
 use mpsm::workload::{
-    apply_location_skew, fk_uniform, skewed_negative_correlation, uniform_independent,
-    ZipfSampler,
+    apply_location_skew, fk_uniform, skewed_negative_correlation, uniform_independent, ZipfSampler,
 };
 
 /// Run `check` for every algorithm in the suite.
-fn for_all_algorithms(threads: usize, mut check: impl FnMut(&str, &dyn Fn(&[Tuple], &[Tuple]) -> u64)) {
+fn for_all_algorithms(
+    threads: usize,
+    mut check: impl FnMut(&str, &dyn Fn(&[Tuple], &[Tuple]) -> u64),
+) {
     let cfg = JoinConfig::with_threads(threads);
     let p = PMpsmJoin::new(cfg.clone());
     check("P-MPSM", &|r, s| p.count(r, s));
-    let p_eq =
-        PMpsmJoin::new(cfg.clone()).with_splitter_policy(SplitterPolicy::EquiHeight);
+    let p_eq = PMpsmJoin::new(cfg.clone()).with_splitter_policy(SplitterPolicy::EquiHeight);
     check("P-MPSM/equi-height", &|r, s| p_eq.count(r, s));
     let b = BMpsmJoin::new(cfg.clone());
     check("B-MPSM", &|r, s| b.count(r, s));
