@@ -15,6 +15,7 @@
 //! keeps the classic join behind MPSM — the paper's argument holds
 //! against the strong strawman too.
 
+use mpsm_core::worker::{run_parallel, WorkerPool};
 use mpsm_core::Tuple;
 
 /// Per-run split positions for one output rank boundary: positions
@@ -90,6 +91,23 @@ fn merge_segment(runs: &[Vec<Tuple>], from: &[usize], to: &[usize], out: &mut [T
 /// Merge sorted runs into one globally sorted vector using `threads`
 /// workers over disjoint rank ranges.
 pub fn parallel_kway_merge(runs: Vec<Vec<Tuple>>, threads: usize) -> Vec<Tuple> {
+    merge_dispatch(runs, threads, None)
+}
+
+/// [`parallel_kway_merge`] on a persistent [`WorkerPool`] (one rank
+/// range per pool worker) so phase-structured callers — the classic
+/// sort-merge join merges both inputs back to back — do not re-spawn
+/// threads per merge.
+pub fn parallel_kway_merge_in(pool: &mut WorkerPool, runs: Vec<Vec<Tuple>>) -> Vec<Tuple> {
+    let threads = pool.threads();
+    merge_dispatch(runs, threads, Some(pool))
+}
+
+fn merge_dispatch(
+    runs: Vec<Vec<Tuple>>,
+    threads: usize,
+    pool: Option<&mut WorkerPool>,
+) -> Vec<Tuple> {
     assert!(threads > 0);
     let total: usize = runs.iter().map(|r| r.len()).sum();
     if total == 0 {
@@ -102,7 +120,8 @@ pub fn parallel_kway_merge(runs: Vec<Vec<Tuple>>, threads: usize) -> Vec<Tuple> 
 
     let mut out = vec![Tuple::default(); total];
     {
-        // Carve the output into the workers' disjoint windows.
+        // Carve the output into the workers' disjoint windows, handed
+        // to their worker through take-once cells.
         let mut windows: Vec<&mut [Tuple]> = Vec::with_capacity(threads);
         let mut rest = out.as_mut_slice();
         for t in 0..threads {
@@ -111,15 +130,19 @@ pub fn parallel_kway_merge(runs: Vec<Vec<Tuple>>, threads: usize) -> Vec<Tuple> 
             windows.push(head);
             rest = tail;
         }
-        let runs_ref = &runs;
-        let bounds_ref = &bounds;
-        std::thread::scope(|scope| {
-            for (t, win) in windows.into_iter().enumerate() {
-                scope.spawn(move || {
-                    merge_segment(runs_ref, &bounds_ref[t], &bounds_ref[t + 1], win);
-                });
+        let slots = mpsm_core::worker::OwnedSlots::new(windows);
+        let merge_one = |t: usize| {
+            let win = slots.take(t);
+            merge_segment(&runs, &bounds[t], &bounds[t + 1], win);
+        };
+        match pool {
+            Some(pool) => {
+                pool.run(merge_one);
             }
-        });
+            None => {
+                run_parallel(threads, merge_one);
+            }
+        }
     }
     out
 }
@@ -250,5 +273,20 @@ mod tests {
         let merged = parallel_kway_merge(runs, 16);
         assert_eq!(merged.len(), 2);
         assert!(is_key_sorted(&merged));
+    }
+
+    #[test]
+    fn pooled_merge_matches_standalone() {
+        let runs = random_runs(5, 800, 13);
+        let seq = sequential_kway_merge(runs.clone());
+        let mut pool = WorkerPool::new(4);
+        // Two merges on the same pool — the classic SMJ's usage pattern.
+        for _ in 0..2 {
+            let merged = parallel_kway_merge_in(&mut pool, runs.clone());
+            assert_eq!(
+                merged.iter().map(|t| (t.key, t.payload)).collect::<Vec<_>>(),
+                seq.iter().map(|t| (t.key, t.payload)).collect::<Vec<_>>()
+            );
+        }
     }
 }

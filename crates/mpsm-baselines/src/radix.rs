@@ -23,11 +23,11 @@
 
 use mpsm_core::histogram::RadixDomain;
 use mpsm_core::join::{JoinAlgorithm, JoinConfig};
-use mpsm_core::partition::range_partition;
+use mpsm_core::partition::range_partition_in;
 use mpsm_core::sink::JoinSink;
 use mpsm_core::splitter::Splitters;
 use mpsm_core::stats::{JoinStats, Phase};
-use mpsm_core::worker::{chunk_ranges, run_parallel_timed};
+use mpsm_core::worker::{chunk_ranges, WorkerPool};
 use mpsm_core::Tuple;
 
 use crate::hash_table::LocalChainedTable;
@@ -79,6 +79,8 @@ impl JoinAlgorithm for RadixJoin {
         let (r, s, _swapped) = self.config.assign_roles(r, s);
         let wall = std::time::Instant::now();
         let mut stats = JoinStats::new(t);
+        // One pool for both partition passes and the fragment joins.
+        let mut pool = WorkerPool::new(t);
 
         // The two inputs must agree on the fragment boundaries, so the
         // domain spans both key ranges.
@@ -89,14 +91,14 @@ impl JoinAlgorithm for RadixJoin {
         let p1 = std::time::Instant::now();
         let r_ranges = chunk_ranges(r.len(), t);
         let r_chunks: Vec<&[Tuple]> = r_ranges.iter().map(|rng| &r[rng.clone()]).collect();
-        let r_frags = range_partition(&r_chunks, &domain, &splitters);
+        let r_frags = range_partition_in(&mut pool, &r_chunks, &domain, &splitters);
         stats.record_phase(Phase::One, &vec![p1.elapsed(); t]);
 
         // ---- Pass 1 over S. ----
         let p2 = std::time::Instant::now();
         let s_ranges = chunk_ranges(s.len(), t);
         let s_chunks: Vec<&[Tuple]> = s_ranges.iter().map(|rng| &s[rng.clone()]).collect();
-        let s_frags = range_partition(&s_chunks, &domain, &splitters);
+        let s_frags = range_partition_in(&mut pool, &s_chunks, &domain, &splitters);
         stats.record_phase(Phase::Two, &vec![p2.elapsed(); t]);
 
         // ---- Assign fragments to workers by size (largest-first). ----
@@ -112,7 +114,7 @@ impl JoinAlgorithm for RadixJoin {
 
         // ---- Pass 2 + fragment joins, in parallel. ----
         let pass2_bits = self.pass2_bits;
-        let (partials, d3) = run_parallel_timed(t, |w| {
+        let (partials, d3) = pool.run_timed(|w| {
             let mut sink = S::default();
             for &f in &assignment[w] {
                 join_fragment(&r_frags[f], &s_frags[f], pass2_bits, &mut sink);

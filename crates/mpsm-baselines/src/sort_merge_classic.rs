@@ -26,7 +26,7 @@ use mpsm_core::merge::merge_join;
 use mpsm_core::sink::JoinSink;
 use mpsm_core::sort::three_phase_sort;
 use mpsm_core::stats::{JoinStats, Phase};
-use mpsm_core::worker::{chunk_ranges, run_parallel_timed};
+use mpsm_core::worker::{chunk_ranges, WorkerPool};
 use mpsm_core::Tuple;
 
 /// The classic (global-merge) sort-merge join.
@@ -67,16 +67,20 @@ impl JoinAlgorithm for ClassicSortMergeJoin {
         let wall = std::time::Instant::now();
         let mut stats = JoinStats::new(t);
 
+        // One pool for run generation and (when steel-manning) the
+        // parallel merges; workers park between the phases.
+        let mut pool = WorkerPool::new(t);
+
         // Phase 1: parallel run generation for both inputs.
         let r_ranges = chunk_ranges(r.len(), t);
-        let (r_runs, d1r) = run_parallel_timed(t, |w| {
+        let (r_runs, d1r) = pool.run_timed(|w| {
             let mut run = r[r_ranges[w].clone()].to_vec();
             three_phase_sort(&mut run);
             run
         });
         stats.record_phase(Phase::One, &d1r);
         let s_ranges = chunk_ranges(s.len(), t);
-        let (s_runs, d1s) = run_parallel_timed(t, |w| {
+        let (s_runs, d1s) = pool.run_timed(|w| {
             let mut run = s[s_ranges[w].clone()].to_vec();
             three_phase_sort(&mut run);
             run
@@ -86,10 +90,18 @@ impl JoinAlgorithm for ClassicSortMergeJoin {
         // Phase 2: the global merges — the bottleneck. Sequential by
         // default (the traditional algorithm); rank-partitioned parallel
         // when steel-manning.
-        let merge_threads = if self.parallel_merge { t } else { 1 };
         let merge_start = std::time::Instant::now();
-        let r_sorted = crate::parallel_merge::kway_merge(r_runs, merge_threads);
-        let s_sorted = crate::parallel_merge::kway_merge(s_runs, merge_threads);
+        let (r_sorted, s_sorted) = if self.parallel_merge && t > 1 {
+            (
+                crate::parallel_merge::parallel_kway_merge_in(&mut pool, r_runs),
+                crate::parallel_merge::parallel_kway_merge_in(&mut pool, s_runs),
+            )
+        } else {
+            (
+                crate::parallel_merge::sequential_kway_merge(r_runs),
+                crate::parallel_merge::sequential_kway_merge(s_runs),
+            )
+        };
         let merge_time = merge_start.elapsed();
         let mut merge_durations = vec![std::time::Duration::ZERO; t];
         if self.parallel_merge {

@@ -1,8 +1,10 @@
 //! Criterion bench: the merge-join kernel over different match rates
-//! and duplicate densities.
+//! and duplicate densities — the galloping kernel ([`merge_join`])
+//! against the linear reference ([`merge_join_linear`]) on every
+//! scenario, including the one-sided-skew layout where galloping wins.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mpsm_core::merge::merge_join;
+use mpsm_core::merge::{merge_join, merge_join_linear};
 use mpsm_core::sink::{ChecksumSink, JoinSink};
 use mpsm_core::Tuple;
 use mpsm_workload::unique_keys;
@@ -14,45 +16,53 @@ fn sorted(keys: Vec<u64>) -> Vec<Tuple> {
     v
 }
 
+/// Bench one scenario with both kernels (the `gallop`/`linear` pair is
+/// the ablation the acceptance numbers come from).
+fn bench_pair(group: &mut criterion::BenchmarkGroup<'_>, scenario: &str, r: &[Tuple], s: &[Tuple]) {
+    group.bench_function(BenchmarkId::new("gallop", scenario), |b| {
+        b.iter(|| {
+            let mut sink = ChecksumSink::default();
+            merge_join(r, s, &mut sink);
+            sink.finish()
+        })
+    });
+    group.bench_function(BenchmarkId::new("linear", scenario), |b| {
+        b.iter(|| {
+            let mut sink = ChecksumSink::default();
+            merge_join_linear(r, s, &mut sink);
+            sink.finish()
+        })
+    });
+}
+
 fn bench_merge(c: &mut Criterion) {
     let n = 1usize << 19;
     let mut group = c.benchmark_group("merge_kernel");
     group.throughput(Throughput::Elements(2 * n as u64));
 
-    // Disjoint: zero matches, pure scan speed.
+    // Disjoint interleaved: zero matches, pure scan speed.
     let r0 = sorted((0..n as u64).map(|k| k * 2).collect());
     let s0 = sorted((0..n as u64).map(|k| k * 2 + 1).collect());
-    group.bench_function(BenchmarkId::new("match_rate", "0pct"), |b| {
-        b.iter(|| {
-            let mut sink = ChecksumSink::default();
-            merge_join(&r0, &s0, &mut sink);
-            sink.finish()
-        })
-    });
+    bench_pair(&mut group, "0pct", &r0, &s0);
 
     // FK 1:1 — every key matches once.
     let keys = unique_keys(n, 5);
     let r1 = sorted(keys.clone());
     let s1 = sorted(keys);
-    group.bench_function(BenchmarkId::new("match_rate", "100pct"), |b| {
-        b.iter(|| {
-            let mut sink = ChecksumSink::default();
-            merge_join(&r1, &s1, &mut sink);
-            sink.finish()
-        })
-    });
+    bench_pair(&mut group, "100pct", &r1, &s1);
 
     // Duplicate-heavy: each key 16 times on each side (16×16 groups).
     let dup: Vec<u64> = (0..n as u64).map(|i| i / 16).collect();
     let r2 = sorted(dup.clone());
     let s2 = sorted(dup);
-    group.bench_function(BenchmarkId::new("match_rate", "16x16_groups"), |b| {
-        b.iter(|| {
-            let mut sink = ChecksumSink::default();
-            merge_join(&r2, &s2, &mut sink);
-            sink.finish()
-        })
-    });
+    bench_pair(&mut group, "16x16_groups", &r2, &s2);
+
+    // One-sided skew: a sparse r (every 1024th key) against a dense s —
+    // the P-MPSM phase-4 shape where the private run covers a sliver of
+    // each public run's domain and galloping skips the dead stretches.
+    let r3 = sorted((0..(n as u64 / 1024)).map(|k| k * 1024).collect());
+    let s3 = sorted((0..n as u64).collect());
+    bench_pair(&mut group, "sparse_vs_dense", &r3, &s3);
 
     group.finish();
 }

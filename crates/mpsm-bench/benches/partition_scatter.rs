@@ -1,11 +1,18 @@
 //! Criterion bench: the synchronization-free scatter (§3.2.1) across
-//! worker counts and histogram granularities.
+//! worker counts and histogram granularities, plus two ablation pairs:
+//!
+//! * `scatter_ablation` — write-combining ([`range_partition`]) vs.
+//!   per-tuple random stores ([`range_partition_naive`]), single
+//!   worker, radix-join-like fan-outs: isolates the store pattern;
+//! * `scatter_phase` — the scatter phase as the joins execute it:
+//!   pool-resident write-combining ([`range_partition_in`]) vs. the
+//!   seed path (thread spawn per call + per-tuple stores).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpsm_core::histogram::{combine_histograms, compute_histogram, RadixDomain};
-use mpsm_core::partition::range_partition;
-use mpsm_core::splitter::equi_height_splitters;
-use mpsm_core::worker::chunk_ranges;
+use mpsm_core::partition::{range_partition, range_partition_in, range_partition_naive};
+use mpsm_core::splitter::{equi_height_splitters, Splitters};
+use mpsm_core::worker::{chunk_ranges, WorkerPool};
 use mpsm_core::Tuple;
 use mpsm_workload::unique_keys;
 
@@ -32,6 +39,48 @@ fn bench_scatter(c: &mut Criterion) {
                 b.iter(|| range_partition(&chunks, &domain, &splitters))
             });
         }
+    }
+    group.finish();
+
+    // Ablation: write-combining vs. per-tuple stores at radix-join-like
+    // fan-outs (identity splitters: every bucket its own partition).
+    // Single worker isolates the store pattern from thread scheduling.
+    let mut group = c.benchmark_group("scatter_ablation");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(20);
+    for &bits in &[4u32, 8] {
+        let parts = 1usize << bits;
+        let domain = RadixDomain::from_range(0, (1 << 32) - 1, bits);
+        let splitters = Splitters::from_assignment((0..parts as u32).collect(), parts);
+        let chunks: Vec<&[Tuple]> = vec![&data];
+        group.bench_function(BenchmarkId::new("write_combining", parts), |b| {
+            b.iter(|| range_partition(&chunks, &domain, &splitters))
+        });
+        group.bench_function(BenchmarkId::new("naive", parts), |b| {
+            b.iter(|| range_partition_naive(&chunks, &domain, &splitters))
+        });
+    }
+    group.finish();
+
+    // End-to-end scatter phase as the joins run it.
+    let mut group = c.benchmark_group("scatter_phase");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(20);
+    for &workers in &[4usize, 8] {
+        let domain = RadixDomain::from_range(0, (1 << 32) - 1, 8);
+        let ranges = chunk_ranges(data.len(), workers);
+        let chunks: Vec<&[Tuple]> = ranges.iter().map(|r| &data[r.clone()]).collect();
+        let hist = combine_histograms(
+            &chunks.iter().map(|ch| compute_histogram(ch, &domain)).collect::<Vec<_>>(),
+        );
+        let splitters = equi_height_splitters(&hist, workers);
+        let mut pool = WorkerPool::new(workers);
+        group.bench_function(BenchmarkId::new("pooled_wc", workers), |b| {
+            b.iter(|| range_partition_in(&mut pool, &chunks, &domain, &splitters))
+        });
+        group.bench_function(BenchmarkId::new("seed_spawning", workers), |b| {
+            b.iter(|| range_partition_naive(&chunks, &domain, &splitters))
+        });
     }
     group.finish();
 }

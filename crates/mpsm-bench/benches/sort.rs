@@ -1,8 +1,12 @@
-//! Criterion bench: the paper's three-phase sort vs. std sort vs.
-//! introsort-only (§2.3 ablation).
+//! Criterion bench: the paper's three-phase sort (cache-conscious:
+//! recursive radix + per-bucket finishing) vs. the seed's naive variant
+//! (global insertion pass) vs. std sort vs. introsort-only (§2.3
+//! ablation).
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
-use mpsm_core::sort::{introsort_only, three_phase_sort, three_phase_sort_bitonic};
+use mpsm_core::sort::{
+    introsort_only, three_phase_sort, three_phase_sort_bitonic, three_phase_sort_naive,
+};
 use mpsm_core::Tuple;
 use mpsm_workload::unique_keys;
 
@@ -21,6 +25,16 @@ fn bench_sorts(c: &mut Criterion) {
                 || data.clone(),
                 |mut d| {
                     three_phase_sort(&mut d);
+                    d
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("three_phase_naive", n), &data, |b, data| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| {
+                    three_phase_sort_naive(&mut d);
                     d
                 },
                 BatchSize::LargeInput,

@@ -1,0 +1,57 @@
+//! Criterion bench: the persistent [`WorkerPool`] vs. per-phase thread
+//! spawning ([`run_parallel`]) over a phase-structured workload — the
+//! shape of one MPSM join (several short parallel sections separated by
+//! barriers), where respawn overhead is paid once per phase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpsm_core::worker::{chunk_ranges, run_parallel, WorkerPool};
+
+/// Phases per measured iteration — B-MPSM runs 3, P-MPSM runs 7
+/// parallel sections (phases + scans + scatter).
+const PHASES: usize = 8;
+/// Work items per phase (small on purpose: the spawn overhead, not the
+/// work, is what the pair isolates).
+const ITEMS: usize = 1 << 14;
+
+fn phase_work(data: &[u64], range: std::ops::Range<usize>) -> u64 {
+    data[range].iter().fold(0u64, |acc, &x| acc.wrapping_add(x.wrapping_mul(2654435761)))
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let data: Vec<u64> = (0..ITEMS as u64).collect();
+    let mut group = c.benchmark_group("worker_pool");
+    group.throughput(Throughput::Elements((PHASES * ITEMS) as u64));
+    group.sample_size(20);
+    for &threads in &[2usize, 4, 8] {
+        let ranges = chunk_ranges(data.len(), threads);
+        group.bench_function(BenchmarkId::new("persistent_pool", threads), |b| {
+            b.iter(|| {
+                let mut pool = WorkerPool::new(threads);
+                let mut total = 0u64;
+                for _ in 0..PHASES {
+                    total = total.wrapping_add(
+                        pool.run(|w| phase_work(&data, ranges[w].clone())).iter().sum::<u64>(),
+                    );
+                }
+                total
+            })
+        });
+        group.bench_function(BenchmarkId::new("spawn_per_phase", threads), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for _ in 0..PHASES {
+                    total = total.wrapping_add(
+                        run_parallel(threads, |w| phase_work(&data, ranges[w].clone()))
+                            .iter()
+                            .sum::<u64>(),
+                    );
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool);
+criterion_main!(benches);

@@ -1,0 +1,273 @@
+//! `bench_baseline` — the recorded perf trajectory of this repository.
+//!
+//! Runs the Figure-12-style contender sweep (all six join algorithms on
+//! the uniform FK workload) plus the hot-path ablation pairs
+//! (write-combining vs. naive scatter, per-bucket vs. global-insertion
+//! sort, galloping vs. linear merge, persistent pool vs. per-phase
+//! spawning) and writes the medians as JSON — `BENCH_2.json` at the
+//! repo root is the committed first point of the trajectory; future
+//! perf PRs are judged against it.
+//!
+//! ```text
+//! cargo run --release -p mpsm-bench --bin bench_baseline
+//!     [--scale N] [--threads N] [--seed N] [--trials N] [--quick]
+//!     [--out PATH]
+//! ```
+//!
+//! `--quick` divides the scale by 8 (the CI `bench-smoke` job). The
+//! binary validates every reported number is finite and panics
+//! otherwise, so a broken hot path cannot silently write garbage into
+//! the trajectory.
+
+use std::time::Instant;
+
+use mpsm_bench::Contender;
+use mpsm_core::histogram::RadixDomain;
+use mpsm_core::merge::{merge_join, merge_join_linear};
+use mpsm_core::partition::{range_partition, range_partition_naive};
+use mpsm_core::sink::{ChecksumSink, CountSink, JoinSink};
+use mpsm_core::sort::{three_phase_sort, three_phase_sort_naive};
+use mpsm_core::splitter::Splitters;
+use mpsm_core::worker::{run_parallel, WorkerPool};
+use mpsm_core::Tuple;
+use mpsm_workload::{fk_uniform, unique_keys};
+
+struct Args {
+    scale: usize,
+    threads: usize,
+    seed: u64,
+    trials: usize,
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 1 << 20,
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        seed: 42,
+        trials: 3,
+        quick: false,
+        out: "BENCH_2.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    let num = |it: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
+        it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| panic!("{flag} needs a number"))
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => args.scale = num(&mut it, "--scale"),
+            "--threads" => args.threads = num(&mut it, "--threads"),
+            "--seed" => args.seed = num(&mut it, "--seed") as u64,
+            "--trials" => args.trials = num(&mut it, "--trials"),
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next().unwrap_or_else(|| panic!("--out needs a path")),
+            other => panic!(
+                "unknown flag {other}; supported: --scale --threads --seed --trials --quick --out"
+            ),
+        }
+    }
+    // Applied after the loop so `--quick --scale N` and `--scale N
+    // --quick` agree: quick mode always means an eighth of the scale.
+    if args.quick {
+        args.scale /= 8;
+    }
+    assert!(args.scale > 0 && args.threads > 0 && args.trials > 0);
+    args
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    assert!(!v.is_empty());
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in measurements"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// A number destined for the JSON file: validated finite at creation.
+fn finite(label: &str, v: f64) -> f64 {
+    assert!(v.is_finite(), "{label} is not finite: {v}");
+    v
+}
+
+fn fmt(v: f64) -> String {
+    format!("{:.3}", v)
+}
+
+/// Median ns/tuple (normalized by `norm` tuples) of `trials` timed runs.
+fn timed_ns_per_tuple(trials: usize, norm: usize, mut f: impl FnMut()) -> f64 {
+    let samples: Vec<f64> = (0..trials)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e9 / norm as f64
+        })
+        .collect();
+    median(samples)
+}
+
+fn contender_sweep(args: &Args, out: &mut Vec<String>) {
+    let w = fk_uniform(args.scale, 1, args.seed);
+    let contenders = [
+        Contender::Mpsm,
+        Contender::BMpsm,
+        Contender::DMpsm,
+        Contender::Radix,
+        Contender::Wisconsin,
+        Contender::ClassicSmj,
+    ];
+    let mut expected: Option<u64> = None;
+    let mut rows = Vec::new();
+    for &c in &contenders {
+        let mut phase_samples: [Vec<f64>; 4] = Default::default();
+        let mut wall_samples = Vec::new();
+        for _ in 0..args.trials {
+            let (count, stats) = c.run::<CountSink>(args.threads, &w.r, &w.s);
+            // The perf harness doubles as a correctness tripwire: all
+            // contenders must produce the same cardinality.
+            match expected {
+                None => expected = Some(count),
+                Some(e) => assert_eq!(count, e, "{} disagrees on the join result", c.name()),
+            }
+            let p = stats.phases_ms();
+            for (samples, ms) in phase_samples.iter_mut().zip(p) {
+                samples.push(ms * 1e6 / args.scale as f64);
+            }
+            wall_samples.push(stats.wall_ms() * 1e6 / args.scale as f64);
+        }
+        let phases: Vec<String> =
+            phase_samples.iter().map(|s| fmt(finite(c.name(), median(s.clone())))).collect();
+        let total = fmt(finite(c.name(), median(wall_samples)));
+        eprintln!("  {:<12} total {total} ns/tuple  phases [{}]", c.name(), phases.join(", "));
+        rows.push(format!(
+            "    {{\"algorithm\": \"{}\", \"phases_ns_per_tuple\": [{}], \"total_ns_per_tuple\": {total}}}",
+            c.name(),
+            phases.join(", ")
+        ));
+    }
+    out.push(format!("  \"contenders\": [\n{}\n  ]", rows.join(",\n")));
+}
+
+fn ablation_pair(name: &str, optimized: f64, naive: f64, out: &mut Vec<String>) {
+    let optimized = finite(name, optimized);
+    let naive = finite(name, naive);
+    let speedup = finite(name, naive / optimized);
+    eprintln!(
+        "  {name:<24} optimized {} naive {} speedup {}x",
+        fmt(optimized),
+        fmt(naive),
+        fmt(speedup)
+    );
+    out.push(format!(
+        "    \"{name}\": {{\"optimized_ns_per_tuple\": {}, \"naive_ns_per_tuple\": {}, \"speedup\": {}}}",
+        fmt(optimized),
+        fmt(naive),
+        fmt(speedup)
+    ));
+}
+
+fn ablations(args: &Args, out: &mut Vec<String>) {
+    let n = args.scale;
+    let data: Vec<Tuple> = unique_keys(n, args.seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| Tuple::new(k, i as u64))
+        .collect();
+    let mut rows = Vec::new();
+
+    // Scatter: one worker, 256-way fan (the radix-join pass-1 shape).
+    {
+        let bits = 8u32;
+        let parts = 1usize << bits;
+        let domain = RadixDomain::from_range(0, (1 << 32) - 1, bits);
+        let splitters = Splitters::from_assignment((0..parts as u32).collect(), parts);
+        let chunks: Vec<&[Tuple]> = vec![&data];
+        let opt = timed_ns_per_tuple(args.trials, n, || {
+            std::hint::black_box(range_partition(&chunks, &domain, &splitters));
+        });
+        let naive = timed_ns_per_tuple(args.trials, n, || {
+            std::hint::black_box(range_partition_naive(&chunks, &domain, &splitters));
+        });
+        ablation_pair("scatter_parts256", opt, naive, &mut rows);
+    }
+
+    // Sort: per-bucket finishing (+ recursion) vs. global insertion.
+    {
+        let opt = timed_ns_per_tuple(args.trials, n, || {
+            let mut d = data.clone();
+            three_phase_sort(&mut d);
+            std::hint::black_box(d);
+        });
+        let naive = timed_ns_per_tuple(args.trials, n, || {
+            let mut d = data.clone();
+            three_phase_sort_naive(&mut d);
+            std::hint::black_box(d);
+        });
+        ablation_pair("sort_three_phase", opt, naive, &mut rows);
+    }
+
+    // Merge: galloping vs. linear on the sparse-vs-dense shape.
+    {
+        let r: Vec<Tuple> = (0..(n as u64 / 1024)).map(|k| Tuple::new(k * 1024, k)).collect();
+        let s: Vec<Tuple> = (0..n as u64).map(|k| Tuple::new(k, k)).collect();
+        let opt = timed_ns_per_tuple(args.trials, n, || {
+            let mut sink = ChecksumSink::default();
+            merge_join(&r, &s, &mut sink);
+            std::hint::black_box(sink.finish());
+        });
+        let naive = timed_ns_per_tuple(args.trials, n, || {
+            let mut sink = ChecksumSink::default();
+            merge_join_linear(&r, &s, &mut sink);
+            std::hint::black_box(sink.finish());
+        });
+        ablation_pair("merge_sparse_vs_dense", opt, naive, &mut rows);
+    }
+
+    // Worker pool: 8 phases of small parallel sections at 4 workers.
+    {
+        let phases = 8usize;
+        let threads = 4usize;
+        let work = |w: usize| -> u64 { (w as u64).wrapping_mul(2654435761) };
+        let opt = timed_ns_per_tuple(args.trials, phases * threads, || {
+            let mut pool = WorkerPool::new(threads);
+            for _ in 0..phases {
+                std::hint::black_box(pool.run(work));
+            }
+        });
+        let naive = timed_ns_per_tuple(args.trials, phases * threads, || {
+            for _ in 0..phases {
+                std::hint::black_box(run_parallel(threads, work));
+            }
+        });
+        ablation_pair("worker_pool_8_phases", opt, naive, &mut rows);
+    }
+
+    out.push(format!("  \"ablations\": {{\n{}\n  }}", rows.join(",\n")));
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "bench_baseline: |R| = {}, threads = {}, seed = {}, trials = {}",
+        args.scale, args.threads, args.seed, args.trials
+    );
+
+    let mut sections = Vec::new();
+    sections.push(format!(
+        "  \"config\": {{\"scale\": {}, \"threads\": {}, \"seed\": {}, \"trials\": {}, \"quick\": {}}}",
+        args.scale, args.threads, args.seed, args.trials, args.quick
+    ));
+    sections.push("  \"unit\": \"median ns per |R|-tuple\"".to_string());
+    eprintln!("contender sweep (fig. 12 shape, multiplicity 1):");
+    contender_sweep(&args, &mut sections);
+    eprintln!("hot-path ablations:");
+    ablations(&args, &mut sections);
+
+    let json = format!("{{\n{}\n}}\n", sections.join(",\n"));
+    assert!(!json.to_ascii_lowercase().contains("nan"), "NaN leaked into the report");
+    std::fs::write(&args.out, &json).expect("write report");
+    eprintln!("wrote {}", args.out);
+}

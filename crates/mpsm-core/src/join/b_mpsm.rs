@@ -24,7 +24,7 @@ use crate::sink::JoinSink;
 use crate::sort::three_phase_sort;
 use crate::stats::{JoinStats, Phase};
 use crate::tuple::Tuple;
-use crate::worker::{chunk_ranges, run_parallel_timed};
+use crate::worker::{chunk_ranges, WorkerPool};
 
 /// The basic MPSM join.
 #[derive(Debug, Clone)]
@@ -97,12 +97,15 @@ impl BMpsmJoin {
         let (r, s, _swapped) = self.config.assign_roles(r, s);
         let wall = std::time::Instant::now();
         let mut stats = JoinStats::new(t);
+        // One pool for the whole join: each worker thread is spawned
+        // exactly once and parks between the three phases.
+        let mut pool = WorkerPool::new(t);
 
         // Phase 1: sorted public runs (copy to worker-local storage,
         // sort there — the copy is the paper's "redistribute, then work
         // locally").
         let s_ranges = chunk_ranges(s.len(), t);
-        let (s_runs, d1) = run_parallel_timed(t, |w| {
+        let (s_runs, d1) = pool.run_timed(|w| {
             let mut run = s[s_ranges[w].clone()].to_vec();
             three_phase_sort(&mut run);
             run
@@ -111,7 +114,7 @@ impl BMpsmJoin {
 
         // Phase 2: sorted private runs.
         let r_ranges = chunk_ranges(r.len(), t);
-        let (r_runs, d2) = run_parallel_timed(t, |w| {
+        let (r_runs, d2) = pool.run_timed(|w| {
             let mut run = r[r_ranges[w].clone()].to_vec();
             three_phase_sort(&mut run);
             run
@@ -121,7 +124,7 @@ impl BMpsmJoin {
         // Phase 3: every worker joins its private run with all public
         // runs. The own run is re-scanned per public run (T times),
         // which the complexity analysis of §2.2 accounts as T · |R|/T.
-        let (partials, d3) = run_parallel_timed(t, |w| {
+        let (partials, d3) = pool.run_timed(|w| {
             let mut sink = S::default();
             let run = &r_runs[w];
             match kernel {

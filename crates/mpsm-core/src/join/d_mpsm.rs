@@ -33,7 +33,7 @@ use crate::sink::JoinSink;
 use crate::sort::three_phase_sort;
 use crate::stats::{JoinStats, Phase};
 use crate::tuple::Tuple;
-use crate::worker::{chunk_ranges, run_parallel_timed};
+use crate::worker::{chunk_ranges, WorkerPool};
 
 /// Storage-related knobs of D-MPSM.
 #[derive(Debug, Clone)]
@@ -147,12 +147,16 @@ impl DMpsmJoin {
         let (r, s, _swapped) = self.config.join.assign_roles(r, s);
         let wall = std::time::Instant::now();
         let mut stats = JoinStats::new(t);
+        // One pool for run generation and the join phase; only the
+        // prefetcher and the optional residency sampler live on their
+        // own (long-running, asynchronous) threads.
+        let mut workers = WorkerPool::new(t);
 
         let store = Arc::new(RunStore::new(backend, self.config.page_records));
 
         // ---- Phase 1: sort and spool public runs. ----
         let s_ranges = chunk_ranges(s.len(), t);
-        let (s_metas, d1) = run_parallel_timed(t, |w| {
+        let (s_metas, d1) = workers.run_timed(|w| {
             let mut run = s[s_ranges[w].clone()].to_vec();
             three_phase_sort(&mut run);
             store.store_run(&run)
@@ -162,7 +166,7 @@ impl DMpsmJoin {
 
         // ---- Phase 2: sort and spool private runs. ----
         let r_ranges = chunk_ranges(r.len(), t);
-        let (r_metas, d2) = run_parallel_timed(t, |w| {
+        let (r_metas, d2) = workers.run_timed(|w| {
             let mut run = r[r_ranges[w].clone()].to_vec();
             three_phase_sort(&mut run);
             store.store_run(&run)
@@ -201,7 +205,7 @@ impl DMpsmJoin {
             })
         });
 
-        let (partials, d4) = run_parallel_timed(t, |w| -> Result<S::Result> {
+        let (partials, d4) = workers.run_timed(|w| -> Result<S::Result> {
             let mut sink = S::default();
             let mut r_reader = PooledReader::new(&pool, r_metas[w].clone());
             let mut s_readers: Vec<PooledReader<'_, B>> =

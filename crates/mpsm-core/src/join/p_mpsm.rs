@@ -32,13 +32,13 @@ use crate::interpolation::interpolation_lower_bound;
 use crate::join::variant::{emit_variant_rows, merge_join_mark, JoinVariant};
 use crate::join::{JoinAlgorithm, JoinConfig};
 use crate::merge::merge_join;
-use crate::partition::range_partition;
+use crate::partition::range_partition_in;
 use crate::sink::JoinSink;
 use crate::sort::three_phase_sort;
 use crate::splitter::{compute_splitters, equi_height_splitters, Splitters};
 use crate::stats::{JoinStats, Phase};
 use crate::tuple::{key_range, Tuple};
-use crate::worker::{chunk_ranges, run_parallel_timed};
+use crate::worker::{chunk_ranges, WorkerPool};
 
 /// How phase 4 locates the start of the relevant range in each public
 /// run (the §3.2.2 design decision; `ablation_entry_points` measures
@@ -140,10 +140,14 @@ impl PMpsmJoin {
         let (r, s, _swapped) = self.config.assign_roles(r, s);
         let wall = std::time::Instant::now();
         let mut stats = JoinStats::new(t);
+        // One pool for the whole join: each worker thread is spawned
+        // exactly once and parks between all phases, including the
+        // scatter inside `range_partition_in`.
+        let mut pool = WorkerPool::new(t);
 
         // ---- Phase 1: sort public chunks into runs S_1 … S_T. ----
         let s_ranges = chunk_ranges(s.len(), t);
-        let (s_runs, d1) = run_parallel_timed(t, |w| {
+        let (s_runs, d1) = pool.run_timed(|w| {
             let mut run = s[s_ranges[w].clone()].to_vec();
             three_phase_sort(&mut run);
             run
@@ -153,7 +157,7 @@ impl PMpsmJoin {
         // ---- Phase 2.1: global S distribution (CDF). ----
         let fan = (self.config.cdf_fan * t).max(1);
         let (locals, d21) =
-            run_parallel_timed(t, |w| (equi_height_bounds(&s_runs[w], fan), s_runs[w].len()));
+            pool.run_timed(|w| (equi_height_bounds(&s_runs[w], fan), s_runs[w].len()));
         stats.record_phase(Phase::Two, &d21);
         let cdf = Cdf::from_local_bounds(&locals);
 
@@ -162,7 +166,7 @@ impl PMpsmJoin {
         let r_chunks: Vec<&[Tuple]> = r_ranges.iter().map(|rng| &r[rng.clone()]).collect();
         // Key domain of R: cheap parallel min/max scan (the "bitwise
         // shift preprocessing" of §3.2.1 needs the bounds).
-        let (ranges, d_scan) = run_parallel_timed(t, |w| key_range(r_chunks[w]));
+        let (ranges, d_scan) = pool.run_timed(|w| key_range(r_chunks[w]));
         stats.record_phase(Phase::Two, &d_scan);
         let (min, max) = ranges
             .into_iter()
@@ -173,7 +177,7 @@ impl PMpsmJoin {
         } else {
             RadixDomain::from_range(0, 0, self.config.radix_bits)
         };
-        let (histograms, d22) = run_parallel_timed(t, |w| compute_histogram(r_chunks[w], &domain));
+        let (histograms, d22) = pool.run_timed(|w| compute_histogram(r_chunks[w], &domain));
         stats.record_phase(Phase::Two, &d22);
         let global_hist = combine_histograms(&histograms);
 
@@ -183,7 +187,7 @@ impl PMpsmJoin {
             SplitterPolicy::EquiHeight => equi_height_splitters(&global_hist, t),
         };
         let scatter_start = std::time::Instant::now();
-        let mut partitions = range_partition(&r_chunks, &domain, &splitters);
+        let partitions = range_partition_in(&mut pool, &r_chunks, &domain, &splitters);
         let scatter = scatter_start.elapsed();
         // The scatter is a parallel section; attribute its wall time to
         // every worker's phase 2 (all workers participate end-to-end).
@@ -191,21 +195,14 @@ impl PMpsmJoin {
 
         // ---- Phase 3: sort private partitions R_i. Each worker takes
         // ownership of its partition and sorts it in place (on a real
-        // NUMA box this is where the run lives in local RAM).
-        let (r_runs, d3): (Vec<Vec<Tuple>>, Vec<std::time::Duration>) =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = partitions
-                    .drain(..)
-                    .map(|mut part| {
-                        scope.spawn(move || {
-                            let start = std::time::Instant::now();
-                            three_phase_sort(&mut part);
-                            (part, start.elapsed())
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("sort worker panicked")).unzip()
-            });
+        // NUMA box this is where the run lives in local RAM). The
+        // take-once slots hand each partition to its pool worker.
+        let slots = crate::worker::OwnedSlots::new(partitions);
+        let (r_runs, d3) = pool.run_timed(|w| {
+            let mut part = slots.take(w);
+            three_phase_sort(&mut part);
+            part
+        });
         stats.record_phase(Phase::Three, &d3);
 
         // ---- Phase 4: merge join R_i with every S_j, starting at an
@@ -219,7 +216,7 @@ impl PMpsmJoin {
                 EntrySearch::FullScan => 0,
             }
         };
-        let (partials, d4) = run_parallel_timed(t, |w| {
+        let (partials, d4) = pool.run_timed(|w| {
             let mut sink = S::default();
             let run = &r_runs[w];
             if let Some(first) = run.first() {

@@ -9,13 +9,124 @@
 //!
 //! Both runs are only ever scanned forward, which is what makes the
 //! remote reads of the join phase sequential (commandment C2).
+//!
+//! ## Galloping
+//!
+//! [`merge_join`] skips non-matching stretches with *galloping*
+//! (exponential search): after [`GALLOP_LINEAR`] plain comparisons in a
+//! row fail to reach the other run's key, the cursor probes at
+//! exponentially growing offsets and finishes with a binary search in
+//! the final bracket — `O(log d)` comparisons for a skip of length `d`
+//! instead of `d`. On runs whose key ranges barely overlap (exactly
+//! what P-MPSM's phase 4 sees: a worker's `R_i` covers `1/T`-th of the
+//! domain of every public run it scans past its entry point) this
+//! collapses long dead stretches to a handful of probes, while the
+//! linear prefix keeps densely interleaved runs as cheap as before.
+//! Equal singleton keys (the dominant case on FK joins) take a
+//! branch-reduced fast path that emits the pair without the general
+//! group-scan machinery.
+//!
+//! The plain linear kernel is retained as [`merge_join_linear`] — the
+//! reference oracle for tests and the ablation benches
+//! (`cargo bench --bench merge_kernel`).
 
 use crate::sink::JoinSink;
 use crate::tuple::Tuple;
 
-/// Merge-join two key-sorted runs into `sink`.
-/// `r` is the private input (first argument of `on_match`).
+/// Failed plain comparisons before the cursor switches to exponential
+/// probing. Keeps densely interleaved runs on the branch-predictable
+/// linear path; 8 × 16 B is also exactly one cache line of lookahead.
+pub const GALLOP_LINEAR: usize = 8;
+
+/// First index `>= from` whose key is `>= key`: a short linear scan,
+/// then exponential probing, then binary search inside the final
+/// bracket.
+#[inline]
+fn gallop_to(run: &[Tuple], from: usize, key: u64) -> usize {
+    let mut idx = from;
+    let lin_end = (from + GALLOP_LINEAR).min(run.len());
+    while idx < lin_end {
+        if run[idx].key >= key {
+            return idx;
+        }
+        idx += 1;
+    }
+    if idx >= run.len() || run[idx].key >= key {
+        return idx;
+    }
+    // run[idx].key < key: double the step until a probe reaches `key`
+    // or the end, keeping `lo` on the last known-below position.
+    let mut lo = idx;
+    let mut step = 1usize;
+    let hi = loop {
+        let probe = match lo.checked_add(step) {
+            Some(p) if p < run.len() => p,
+            _ => break run.len(),
+        };
+        if run[probe].key >= key {
+            break probe;
+        }
+        lo = probe;
+        step <<= 1;
+    };
+    // Invariant: run[lo].key < key, run[hi].key >= key (or hi == len).
+    lo + 1 + run[lo + 1..hi].partition_point(|t| t.key < key)
+}
+
+/// Merge-join two key-sorted runs into `sink`, galloping over
+/// non-matching stretches. `r` is the private input (first argument of
+/// `on_match`).
 pub fn merge_join<S: JoinSink>(r: &[Tuple], s: &[Tuple], sink: &mut S) {
+    debug_assert!(crate::tuple::is_key_sorted(r), "private run must be sorted");
+    debug_assert!(crate::tuple::is_key_sorted(s), "public run must be sorted");
+    let mut i = 0;
+    let mut j = 0;
+    while i < r.len() && j < s.len() {
+        let rk = r[i].key;
+        let sk = s[j].key;
+        if rk < sk {
+            // One inline step first: densely interleaved runs advance by
+            // a single position almost always, and the main loop's own
+            // comparison then re-dispatches without a call.
+            i += 1;
+            if i < r.len() && r[i].key < sk {
+                i = gallop_to(r, i + 1, sk);
+            }
+        } else if rk > sk {
+            j += 1;
+            if j < s.len() && s[j].key < rk {
+                j = gallop_to(s, j + 1, rk);
+            }
+        } else {
+            // Equal keys. Fast path: both groups are singletons (the
+            // dominant case on FK joins) — emit without group scans.
+            let i1 = i + 1;
+            let j1 = j + 1;
+            let r_single = i1 == r.len() || r[i1].key != rk;
+            let s_single = j1 == s.len() || s[j1].key != rk;
+            if r_single & s_single {
+                sink.on_match(r[i], s[j]);
+                i = i1;
+                j = j1;
+            } else {
+                let i_end = group_end(r, i);
+                let j_end = group_end(s, j);
+                for rt in &r[i..i_end] {
+                    for st in &s[j..j_end] {
+                        sink.on_match(*rt, *st);
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+}
+
+/// The seed's purely linear kernel — the reference oracle the galloping
+/// kernel is verified against, and the ablation baseline of the
+/// `merge_kernel` bench.
+pub fn merge_join_linear<S: JoinSink>(r: &[Tuple], s: &[Tuple], sink: &mut S) {
     debug_assert!(crate::tuple::is_key_sorted(r), "private run must be sorted");
     debug_assert!(crate::tuple::is_key_sorted(s), "public run must be sorted");
     let mut i = 0;
@@ -83,6 +194,16 @@ mod tests {
         r.iter().map(|rt| s.iter().filter(|st| st.key == rt.key).count() as u64).sum()
     }
 
+    /// Both kernels must emit the same rows in the same order.
+    fn assert_kernels_agree(r: &[Tuple], s: &[Tuple], label: &str) {
+        let mut gallop = CollectSink::default();
+        merge_join(r, s, &mut gallop);
+        let mut linear = CollectSink::default();
+        merge_join_linear(r, s, &mut linear);
+        assert_eq!(gallop.finish(), linear.finish(), "{label}");
+        assert_eq!(merge_join_count(r, s), nested_loop_count(r, s), "{label} vs oracle");
+    }
+
     #[test]
     fn joins_simple_runs() {
         let r = sorted(&[(1, 10), (3, 30), (5, 50)]);
@@ -128,7 +249,7 @@ mod tests {
         };
         let r = sorted(&(0..300).map(|i| (next(), i)).collect::<Vec<_>>());
         let s = sorted(&(0..500).map(|i| (next(), i)).collect::<Vec<_>>());
-        assert_eq!(merge_join_count(&r, &s), nested_loop_count(&r, &s));
+        assert_kernels_agree(&r, &s, "random narrow-domain input");
     }
 
     #[test]
@@ -145,5 +266,70 @@ mod tests {
         let r = sorted(&(0..50u64).map(|i| (9, i)).collect::<Vec<_>>());
         let s = sorted(&(0..40u64).map(|i| (9, i)).collect::<Vec<_>>());
         assert_eq!(merge_join_count(&r, &s), 50 * 40);
+    }
+
+    #[test]
+    fn gallop_to_finds_lower_bound() {
+        let run = sorted(&(0..1000u64).map(|k| (k * 2, 0)).collect::<Vec<_>>());
+        for &key in &[0u64, 1, 2, 3, 500, 999, 1000, 1001, 1997, 1998, 1999, 2000, 5000] {
+            let expect = run.partition_point(|t| t.key < key);
+            for from in [0usize, 1, 5, 250, expect.min(run.len())] {
+                if from <= expect {
+                    assert_eq!(gallop_to(&run, from, key), expect, "key {key} from {from}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_sided_skew_agrees_with_linear() {
+        // r holds a handful of far-apart keys; s is dense — the gallop
+        // path does all the work on s.
+        let r = sorted(&(0..16u64).map(|i| (i * 10_000, i)).collect::<Vec<_>>());
+        let s = sorted(&(0..50_000u64).map(|i| (i * 3, i)).collect::<Vec<_>>());
+        assert_kernels_agree(&r, &s, "one-sided skew");
+        // And mirrored.
+        assert_kernels_agree(&s, &r, "one-sided skew mirrored");
+    }
+
+    #[test]
+    fn duplicate_heavy_runs_agree_with_linear() {
+        // 64-tuple groups on both sides with gaps between group keys.
+        let r = sorted(&(0..2048u64).map(|i| ((i / 64) * 37, i)).collect::<Vec<_>>());
+        let s = sorted(&(0..2048u64).map(|i| ((i / 64) * 51, i)).collect::<Vec<_>>());
+        assert_kernels_agree(&r, &s, "duplicate-heavy");
+    }
+
+    #[test]
+    fn disjoint_ranges_agree_with_linear() {
+        let r = sorted(&(0..5000u64).map(|i| (i, i)).collect::<Vec<_>>());
+        let s = sorted(&(0..5000u64).map(|i| (1_000_000 + i, i)).collect::<Vec<_>>());
+        assert_kernels_agree(&r, &s, "disjoint ranges");
+        assert_kernels_agree(&s, &r, "disjoint ranges mirrored");
+    }
+
+    #[test]
+    fn alternating_blocks_force_repeated_gallops() {
+        // Blocks of 100 matching keys alternating with dead stretches of
+        // 3000 keys present on only one side.
+        let mut r_keys = Vec::new();
+        let mut s_keys = Vec::new();
+        for block in 0..8u64 {
+            let base = block * 10_000;
+            for k in 0..100 {
+                r_keys.push((base + k, k));
+                s_keys.push((base + k, k));
+            }
+            for k in 0..3000 {
+                if block % 2 == 0 {
+                    r_keys.push((base + 200 + k, k));
+                } else {
+                    s_keys.push((base + 200 + k, k));
+                }
+            }
+        }
+        let r = sorted(&r_keys);
+        let s = sorted(&s_keys);
+        assert_kernels_agree(&r, &s, "alternating blocks");
     }
 }

@@ -15,22 +15,147 @@
 //! materialized as `&mut [Tuple]` slices carved with `split_at_mut`, so
 //! the compiler proves what the paper argues: no two workers can touch
 //! the same element.
+//!
+//! ## Software write-combining
+//!
+//! The scatter's store pattern is adversarial: each tuple goes to one
+//! of `P` target windows, so a naive loop issues one random 16-byte
+//! store per tuple and touches up to `P` distant cache lines (plus
+//! their TLB entries) round-robin. [`range_partition`] therefore stages
+//! tuples in per-worker, per-partition buffers of
+//! [`WC_BUFFER_TUPLES`] × 16 B = 128 B (a cache-line pair) and flushes
+//! each buffer with a single contiguous `copy_from_slice` when it
+//! fills. The working set of the inner loop shrinks from `P` scattered
+//! target lines to `P` *local* staging lines that live in L1/L2, and
+//! every target line is written exactly once, back to back. Staging is
+//! FIFO per partition, so the emitted layout is bit-identical to the
+//! naive scatter (the Figure 6 guarantee; the
+//! `scatter_write_combining_matches_naive` proptest pins this).
+//!
+//! The per-tuple-store loop is retained as [`range_partition_naive`]
+//! for the ablation benches (`cargo bench --bench partition_scatter`).
 
 use crate::histogram::{
     compute_histogram, fold_histogram, partition_sizes, prefix_sums, RadixDomain,
 };
 use crate::splitter::Splitters;
 use crate::tuple::Tuple;
-use crate::worker::run_parallel;
+use crate::worker::{run_parallel, OwnedSlots, WorkerPool};
 
-/// Range-partition `chunks` (one per worker) into
-/// `splitters.parts()` target runs. Returns the unsorted target runs;
-/// within each run, worker sub-partitions appear in worker order, each
-/// in original chunk order (exactly the paper's Figure 6 layout).
-pub fn range_partition(
+/// Tuples staged per partition before a contiguous flush: 8 × 16 B =
+/// 128 B, one cache-line pair (and exactly two 64-B lines of stores
+/// per flush).
+pub const WC_BUFFER_TUPLES: usize = 8;
+
+/// Carve each target run into per-worker disjoint windows following the
+/// prefix sums: `windows[w][p]` is worker `w`'s slice of partition `p`,
+/// starting at `ps[w][p]`.
+fn carve_windows<'a>(
+    partitions: &'a mut [Vec<Tuple>],
+    histograms: &[Vec<usize>],
+    sizes: &[usize],
+    ps: &[Vec<usize>],
+) -> Vec<Vec<&'a mut [Tuple]>> {
+    let workers = histograms.len();
+    let mut windows: Vec<Vec<&mut [Tuple]>> =
+        (0..workers).map(|_| Vec::with_capacity(partitions.len())).collect();
+    let mut remaining: Vec<&mut [Tuple]> =
+        partitions.iter_mut().map(|p| p.as_mut_slice()).collect();
+    for (w, row) in windows.iter_mut().enumerate() {
+        for (p, rem) in remaining.iter_mut().enumerate() {
+            debug_assert_eq!(
+                sizes[p] - rem.len(),
+                ps[w][p],
+                "window carving must follow the prefix sums"
+            );
+            let take = histograms[w][p];
+            let slot = std::mem::take(rem);
+            let (head, tail) = slot.split_at_mut(take);
+            row.push(head);
+            *rem = tail;
+        }
+    }
+    debug_assert!(remaining.iter().all(|r| r.is_empty()), "windows must cover the runs");
+    windows
+}
+
+/// One worker's scatter with software write-combining: tuples are
+/// staged per partition and flushed contiguously, 128 B at a time.
+///
+/// The staging slot doubles as the low bits of the per-partition
+/// tuple count (`seen`), so the hot loop maintains a single counter
+/// per partition — no separate fill array.
+///
+/// # Safety of the unchecked indexing
+///
+/// * `p < parts`: [`Splitters::from_assignment`] asserts every
+///   assignment value is `< parts`, and `partition_of_bucket` returns
+///   assignment values verbatim (the bucket lookup itself is checked).
+/// * `seen[p]` never exceeds `row[p].len()`: the window was carved to
+///   exactly `fold_histogram(...)[p]` slots, computed by the same pure
+///   `bucket_of` + `partition_of_bucket` functions over the same chunk
+///   that the scatter iterates — every tuple lands in the partition the
+///   histogram counted it for (checked by a debug assertion).
+fn scatter_write_combined(
+    chunk: &[Tuple],
+    row: &mut [&mut [Tuple]],
+    domain: &RadixDomain,
+    splitters: &Splitters,
+) {
+    const WC: usize = WC_BUFFER_TUPLES;
+    let parts = row.len();
+    // The u32 counters cap a single worker's chunk at 2^32 − 1 tuples
+    // (64 GiB); enforce it so the unchecked stores cannot wrap.
+    assert!(u32::try_from(chunk.len()).is_ok(), "worker chunk exceeds u32 tuple count");
+    let mut staging: Vec<Tuple> = vec![Tuple::default(); parts * WC];
+    let mut seen = vec![0u32; parts];
+    for t in chunk {
+        let p = splitters.partition_of_bucket(domain.bucket_of(t.key));
+        debug_assert!(p < parts && (seen[p] as usize) < row[p].len());
+        // SAFETY: `p < parts` and `seen[p] < row[p].len()` — see above.
+        unsafe {
+            let c = *seen.get_unchecked(p) as usize;
+            let slot = c & (WC - 1);
+            *staging.get_unchecked_mut(p * WC + slot) = *t;
+            *seen.get_unchecked_mut(p) = (c + 1) as u32;
+            if slot == WC - 1 {
+                // 128 contiguous bytes into the target window.
+                let dst = row.get_unchecked_mut(p).as_mut_ptr().add(c + 1 - WC);
+                std::ptr::copy_nonoverlapping(staging.as_ptr().add(p * WC), dst, WC);
+            }
+        }
+    }
+    // Drain partially filled staging buffers (still contiguous writes).
+    for p in 0..parts {
+        let c = seen[p] as usize;
+        let pending = c & (WC - 1);
+        row[p][c - pending..c].copy_from_slice(&staging[p * WC..p * WC + pending]);
+    }
+}
+
+/// One worker's scatter with one random store per tuple — the seed
+/// implementation, retained as the ablation baseline.
+fn scatter_per_tuple(
+    chunk: &[Tuple],
+    row: &mut [&mut [Tuple]],
+    domain: &RadixDomain,
+    splitters: &Splitters,
+) {
+    let mut cursors = vec![0usize; row.len()];
+    for t in chunk {
+        let p = splitters.partition_of_bucket(domain.bucket_of(t.key));
+        row[p][cursors[p]] = *t;
+        cursors[p] += 1;
+    }
+}
+
+/// Shared skeleton: histograms → prefix sums → windows → scatter.
+fn partition_skeleton(
     chunks: &[&[Tuple]],
     domain: &RadixDomain,
     splitters: &Splitters,
+    pool: Option<&mut WorkerPool>,
+    write_combining: bool,
 ) -> Vec<Vec<Tuple>> {
     let workers = chunks.len();
     let parts = splitters.parts();
@@ -40,57 +165,83 @@ pub fn range_partition(
 
     // Local histograms over *partitions* (bucket histogram folded
     // through the splitter assignment), in parallel.
-    let histograms: Vec<Vec<usize>> = run_parallel(workers, |w| {
+    let histogram_of = |w: usize| {
         let bucket_hist = compute_histogram(chunks[w], domain);
         fold_histogram(&bucket_hist, splitters.assignment(), parts)
-    });
+    };
+    let mut pool = pool;
+    let histograms: Vec<Vec<usize>> = match pool.as_deref_mut() {
+        Some(pool) => pool.run(histogram_of),
+        None => run_parallel(workers, histogram_of),
+    };
 
     let sizes = partition_sizes(&histograms);
     let ps = prefix_sums(&histograms);
 
-    // Allocate target runs and carve per-worker windows. `windows[w][p]`
-    // is worker w's disjoint slice of partition p, starting at ps[w][p].
     let mut partitions: Vec<Vec<Tuple>> =
         sizes.iter().map(|&sz| vec![Tuple::default(); sz]).collect();
-    let mut windows: Vec<Vec<&mut [Tuple]>> =
-        (0..workers).map(|_| Vec::with_capacity(parts)).collect();
-    {
-        let mut remaining: Vec<&mut [Tuple]> =
-            partitions.iter_mut().map(|p| p.as_mut_slice()).collect();
-        for (w, row) in windows.iter_mut().enumerate() {
-            for (p, rem) in remaining.iter_mut().enumerate() {
-                debug_assert_eq!(
-                    sizes[p] - rem.len(),
-                    ps[w][p],
-                    "window carving must follow the prefix sums"
-                );
-                let take = histograms[w][p];
-                let slot = std::mem::take(rem);
-                let (head, tail) = slot.split_at_mut(take);
-                row.push(head);
-                *rem = tail;
-            }
-        }
-        debug_assert!(remaining.iter().all(|r| r.is_empty()), "windows must cover the runs");
-    }
+    let windows = carve_windows(&mut partitions, &histograms, &sizes, &ps);
 
     // Parallel scatter: sequential writes into precomputed windows, no
-    // synchronization (commandments C1 + C3).
-    std::thread::scope(|scope| {
-        for (w, mut row) in windows.into_iter().enumerate() {
-            let chunk = chunks[w];
-            scope.spawn(move || {
-                let mut cursors = vec![0usize; row.len()];
-                for t in chunk {
-                    let p = splitters.partition_of_bucket(domain.bucket_of(t.key));
-                    row[p][cursors[p]] = *t;
-                    cursors[p] += 1;
-                }
-            });
+    // synchronization (commandments C1 + C3). Window rows are handed to
+    // their worker through take-once slots so the pool's `Fn` closure
+    // can move them.
+    let slots = OwnedSlots::new(windows);
+    let scatter_of = |w: usize| {
+        let mut row = slots.take(w);
+        if write_combining {
+            scatter_write_combined(chunks[w], &mut row, domain, splitters);
+        } else {
+            scatter_per_tuple(chunks[w], &mut row, domain, splitters);
         }
-    });
+    };
+    match pool {
+        Some(pool) => {
+            pool.run(scatter_of);
+        }
+        None => {
+            run_parallel(workers, scatter_of);
+        }
+    }
 
     partitions
+}
+
+/// Range-partition `chunks` (one per worker) into
+/// `splitters.parts()` target runs with the write-combining scatter.
+/// Returns the unsorted target runs; within each run, worker
+/// sub-partitions appear in worker order, each in original chunk order
+/// (exactly the paper's Figure 6 layout).
+pub fn range_partition(
+    chunks: &[&[Tuple]],
+    domain: &RadixDomain,
+    splitters: &Splitters,
+) -> Vec<Vec<Tuple>> {
+    partition_skeleton(chunks, domain, splitters, None, true)
+}
+
+/// [`range_partition`] on a persistent [`WorkerPool`] (one worker per
+/// chunk) so phase-structured callers do not re-spawn threads for the
+/// histogram and scatter sections.
+pub fn range_partition_in(
+    pool: &mut WorkerPool,
+    chunks: &[&[Tuple]],
+    domain: &RadixDomain,
+    splitters: &Splitters,
+) -> Vec<Vec<Tuple>> {
+    assert_eq!(pool.threads(), chunks.len().max(1), "one pool worker per chunk");
+    partition_skeleton(chunks, domain, splitters, Some(pool), true)
+}
+
+/// The seed scatter — one random 16-byte store per tuple into the huge
+/// target windows. Bit-identical output to [`range_partition`];
+/// reachable only from the ablation benches and equivalence tests.
+pub fn range_partition_naive(
+    chunks: &[&[Tuple]],
+    domain: &RadixDomain,
+    splitters: &Splitters,
+) -> Vec<Vec<Tuple>> {
+    partition_skeleton(chunks, domain, splitters, None, false)
 }
 
 #[cfg(test)]
@@ -198,5 +349,43 @@ mod tests {
         let non_empty = runs.iter().filter(|r| !r.is_empty()).count();
         assert_eq!(non_empty, 1, "equal keys cannot be split across partitions");
         assert_eq!(runs.iter().map(|r| r.len()).sum::<usize>(), 1024);
+    }
+
+    #[test]
+    fn write_combining_matches_naive_across_fill_patterns() {
+        // Chunk sizes straddling multiples of the staging buffer so both
+        // full flushes and the final drain are exercised.
+        for &n in &[0usize, 1, 7, 8, 9, 63, 64, 65, 1000] {
+            let chunks_data: Vec<Vec<Tuple>> = (0..3u64)
+                .map(|w| (0..n as u64).map(|i| Tuple::new((i * 131 + w * 17) % 512, i)).collect())
+                .collect();
+            let chunks: Vec<&[Tuple]> = chunks_data.iter().map(|c| c.as_slice()).collect();
+            let domain = RadixDomain::from_range(0, 511, 5);
+            let hist = crate::histogram::combine_histograms(
+                &chunks.iter().map(|c| compute_histogram(c, &domain)).collect::<Vec<_>>(),
+            );
+            let sp = equi_height_splitters(&hist, 3);
+            assert_eq!(
+                range_partition(&chunks, &domain, &sp),
+                range_partition_naive(&chunks, &domain, &sp),
+                "layouts must be tuple-for-tuple identical at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_scatter_matches_standalone() {
+        let domain = RadixDomain::from_range(0, 4095, 6);
+        let chunks_data: Vec<Vec<Tuple>> = (0..4)
+            .map(|w| (0..700u64).map(|i| Tuple::new((i * 37 + w * 13) % 4096, i)).collect())
+            .collect();
+        let chunks: Vec<&[Tuple]> = chunks_data.iter().map(|c| c.as_slice()).collect();
+        let hist = crate::histogram::combine_histograms(
+            &chunks.iter().map(|c| compute_histogram(c, &domain)).collect::<Vec<_>>(),
+        );
+        let sp = equi_height_splitters(&hist, 4);
+        let mut pool = WorkerPool::new(4);
+        let pooled = range_partition_in(&mut pool, &chunks, &domain, &sp);
+        assert_eq!(pooled, range_partition(&chunks, &domain, &sp));
     }
 }

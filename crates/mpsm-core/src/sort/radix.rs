@@ -33,6 +33,15 @@ impl RadixShift {
     /// Derive the shift for `bits` leading bits over `[min, max]`.
     pub fn for_range(min: u64, max: u64, bits: u32) -> Self {
         debug_assert!(min <= max);
+        if min == max {
+            // Degenerate single-key domain. Without the early-out,
+            // `needed` collapses to 0 and shift 0 sends any key above
+            // `base` through the top-bucket `.min()` clamp — the
+            // opposite end of the domain. Shift 63 routes everything
+            // within 2^63 of the base into bucket 0, which is the only
+            // meaningful bucket of a one-key domain.
+            return RadixShift { base: min, shift: 63 };
+        }
         let span = max - min;
         let needed = 64 - span.leading_zeros(); // bits needed for the span
         let shift = needed.saturating_sub(bits);
@@ -207,6 +216,24 @@ mod tests {
     fn shift_for_single_key_range() {
         let shift = RadixShift::for_range(42, 42, RADIX_BITS);
         assert_eq!(shift.bucket(42, RADIX_BITS), 0);
+    }
+
+    #[test]
+    fn single_key_domain_routes_everything_to_bucket_zero() {
+        // The degenerate min == max early-out: stray keys above the base
+        // must land in bucket 0, not be funneled into the top bucket by
+        // the clamp.
+        let shift = RadixShift::for_range(42, 42, RADIX_BITS);
+        assert_eq!(shift.shift, 63);
+        for key in [42u64, 43, 1000, 1 << 40, (1 << 62) + 41] {
+            assert_eq!(shift.bucket(key, RADIX_BITS), 0, "key {key}");
+        }
+        // A partition pass over an all-equal slice stays a no-op.
+        let mut data: Vec<Tuple> = (0..200).map(|i| Tuple::new(42, i)).collect();
+        let before = data.clone();
+        let bounds = msd_radix_partition(&mut data);
+        assert_eq!(data, before);
+        assert_eq!(bounds[1] - bounds[0], 200, "all tuples in bucket 0");
     }
 
     #[test]

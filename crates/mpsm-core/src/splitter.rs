@@ -34,7 +34,13 @@ impl Splitters {
     /// starting at 0, with no gaps).
     pub fn from_assignment(assignment: Vec<u32>, parts: usize) -> Self {
         debug_assert!(assignment.windows(2).all(|w| w[0] <= w[1]), "assignment must be monotone");
-        debug_assert!(assignment.iter().all(|&p| (p as usize) < parts));
+        // Hard invariant (not just a debug check): the write-combining
+        // scatter elides bounds checks on the strength of every
+        // assignment value being a valid partition index.
+        assert!(
+            assignment.iter().all(|&p| (p as usize) < parts),
+            "assignment values must be < parts"
+        );
         Splitters { assignment, parts }
     }
 

@@ -1,12 +1,27 @@
-//! Worker orchestration: chunking and phase-parallel execution.
+//! Worker orchestration: chunking, phase-parallel execution, and the
+//! persistent worker pool.
 //!
 //! MPSM assigns every worker an equal share of each input and runs the
 //! four phases as parallel sections separated by barriers (the paper
 //! needs only *one* real synchronization point — public runs must exist
-//! before the join phase; we realize phase boundaries by joining scoped
-//! threads, which is the same barrier expressed structurally).
+//! before the join phase; we realize phase boundaries structurally).
+//!
+//! Two execution primitives are provided:
+//!
+//! * [`run_parallel`] / [`run_parallel_timed`] — spawn fresh scoped
+//!   threads per call. Simple, but a join that runs four phases pays
+//!   four rounds of thread creation and teardown. Retained as the
+//!   naive path for the ablation benches and for one-shot callers.
+//! * [`WorkerPool`] — spawns each worker thread **once** and parks it
+//!   between phases on a condvar. All three join variants route their
+//!   parallel sections through a pool, so one join run creates each
+//!   worker exactly once no matter how many phases it executes
+//!   (commandment C3 still holds: workers synchronize only at phase
+//!   boundaries, never inside one).
 
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Split `len` items into `parts` contiguous ranges whose sizes differ
@@ -29,6 +44,9 @@ pub fn chunk_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
 /// Run `f(worker_id)` on `threads` parallel workers, returning their
 /// results in worker order. A `threads == 1` call runs inline (useful
 /// for debugging and for the single-core baseline of Figure 13).
+///
+/// Spawns fresh OS threads on every call; phase-structured algorithms
+/// should prefer a [`WorkerPool`].
 pub fn run_parallel<R, F>(threads: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -62,6 +80,240 @@ where
         (r, start.elapsed())
     });
     pairs.into_iter().unzip()
+}
+
+// ---------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------
+
+/// Type-erased pointer to the current phase closure. Only dereferenced
+/// by workers between the epoch bump and the final `remaining`
+/// decrement of that epoch; [`WorkerPool::run`] keeps the closure alive
+/// (and does not return) until every worker has finished, so the
+/// erased lifetime never outlives the borrow.
+struct Job(*const (dyn Fn(usize) + Sync));
+// SAFETY: the pointee is `Sync` and the pool's barrier protocol
+// guarantees it outlives every use (see `Job` docs).
+unsafe impl Send for Job {}
+
+struct PoolState {
+    /// Incremented once per submitted phase; workers wake on a change.
+    epoch: u64,
+    /// The phase closure of the current epoch.
+    job: Option<Job>,
+    /// Workers that have not yet finished the current epoch.
+    remaining: usize,
+    /// Set when any worker's closure panicked during this epoch.
+    panicked: bool,
+    /// Tells parked workers to exit.
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here between phases.
+    work_cv: Condvar,
+    /// `run` parks here until `remaining` drops to zero.
+    done_cv: Condvar,
+}
+
+/// Per-worker result slots. Worker `w` writes only slot `w`, and the
+/// caller reads only after the phase barrier, so no per-slot locking
+/// is needed.
+struct Slots<R>(Vec<std::cell::UnsafeCell<Option<R>>>);
+// SAFETY: disjoint index access per worker; reads happen only after
+// all writers finished (enforced by the pool's done barrier).
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+/// A pool of `threads` worker threads that parks between phases
+/// instead of being re-spawned per parallel section.
+///
+/// [`WorkerPool::run`] has the same contract as [`run_parallel`] —
+/// `f(worker_id)` on every worker, results in worker order, panics
+/// propagated — but amortizes thread creation over the whole join. A
+/// 1-thread pool spawns no OS thread at all and runs phases inline
+/// (the single-core baseline of Figure 13 stays allocation-free).
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `threads` parked workers.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker");
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = if threads == 1 {
+            Vec::new()
+        } else {
+            (0..threads)
+                .map(|w| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || worker_loop(w, &shared))
+                })
+                .collect()
+        };
+        WorkerPool { shared, handles, threads }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run one phase: `f(worker_id)` on every worker, returning results
+    /// in worker order. Blocks until the whole phase finished (the
+    /// phase boundary barrier). `&mut self` serializes phases at
+    /// compile time — the pool runs one phase at a time by design.
+    pub fn run<R, F>(&mut self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.threads == 1 {
+            return vec![f(0)];
+        }
+        let slots = Slots((0..self.threads).map(|_| std::cell::UnsafeCell::new(None)).collect());
+        {
+            let slots = &slots;
+            let f = &f;
+            let call = move |w: usize| {
+                let r = f(w);
+                // SAFETY: worker `w` owns slot `w` for this phase.
+                unsafe { *slots.0[w].get() = Some(r) };
+            };
+            let job: &(dyn Fn(usize) + Sync) = &call;
+            // SAFETY: lifetime erasure only — `run` blocks until every
+            // worker finished with the pointer (see `Job` docs).
+            let job: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(job) };
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            st.job = Some(Job(job));
+            st.remaining = self.threads;
+            st.panicked = false;
+            st.epoch += 1;
+            drop(st);
+            self.shared.work_cv.notify_all();
+
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            while st.remaining > 0 {
+                st = self.shared.done_cv.wait(st).expect("pool state poisoned");
+            }
+            st.job = None;
+            if st.panicked {
+                // Mirror run_parallel's message so callers see one
+                // failure mode regardless of the execution primitive.
+                drop(st);
+                panic!("worker thread panicked");
+            }
+        }
+        slots
+            .0
+            .into_iter()
+            .map(|c| c.into_inner().expect("every worker must produce a result"))
+            .collect()
+    }
+
+    /// Like [`WorkerPool::run`], additionally timing each worker.
+    pub fn run_timed<R, F>(&mut self, f: F) -> (Vec<R>, Vec<Duration>)
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let pairs = self.run(|w| {
+            let start = Instant::now();
+            let r = f(w);
+            (r, start.elapsed())
+        });
+        pairs.into_iter().unzip()
+    }
+}
+
+/// Take-once cells handing *owned* per-worker values through a pool
+/// phase: [`WorkerPool::run`] takes a `Fn` closure (every worker shares
+/// it), so moving a distinct owned input into each worker goes through
+/// one of these — worker `w` calls [`OwnedSlots::take`]`(w)` exactly
+/// once.
+pub struct OwnedSlots<T>(Vec<Mutex<Option<T>>>);
+
+impl<T> OwnedSlots<T> {
+    /// Wrap one slot per item, in order.
+    pub fn new(items: impl IntoIterator<Item = T>) -> Self {
+        OwnedSlots(items.into_iter().map(|v| Mutex::new(Some(v))).collect())
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Take slot `w`'s value. Panics if it was already taken — each
+    /// slot belongs to exactly one worker for exactly one phase.
+    pub fn take(&self, w: usize) -> T {
+        self.0[w].lock().expect("slot poisoned").take().expect("slot taken twice")
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = match self.shared.state.lock() {
+                Ok(st) => st,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(w: usize, shared: &PoolShared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool state poisoned");
+            while !st.shutdown && st.epoch == seen_epoch {
+                st = shared.work_cv.wait(st).expect("pool state poisoned");
+            }
+            if st.shutdown {
+                return;
+            }
+            seen_epoch = st.epoch;
+            st.job.as_ref().expect("epoch bumped without a job").0
+        };
+        // SAFETY: `run` keeps the closure alive until `remaining`
+        // reaches zero, which happens strictly after this call.
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (*job)(w) }));
+        let mut st = shared.state.lock().expect("pool state poisoned");
+        if outcome.is_err() {
+            // The default panic hook already printed the payload on this
+            // worker's stderr; the caller re-panics with the same uniform
+            // message `run_parallel` uses.
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -121,5 +373,84 @@ mod tests {
     #[should_panic(expected = "zero parts")]
     fn zero_parts_panics() {
         let _ = chunk_ranges(10, 0);
+    }
+
+    // ---- pool ----
+
+    #[test]
+    fn pool_results_arrive_in_worker_order() {
+        let mut pool = WorkerPool::new(8);
+        let out = pool.run(|w| w * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn pool_reuses_the_same_threads_across_phases() {
+        let mut pool = WorkerPool::new(4);
+        let ids_a = pool.run(|_| std::thread::current().id());
+        let ids_b = pool.run(|_| std::thread::current().id());
+        let ids_c = pool.run(|_| std::thread::current().id());
+        assert_eq!(ids_a, ids_b, "phase 2 must run on the same parked workers");
+        assert_eq!(ids_b, ids_c, "phase 3 must run on the same parked workers");
+        let distinct: std::collections::HashSet<_> = ids_a.iter().collect();
+        assert_eq!(distinct.len(), 4, "each worker is its own thread");
+    }
+
+    #[test]
+    fn pool_phases_can_borrow_local_state() {
+        let data: Vec<u64> = (0..1000).collect();
+        let mut pool = WorkerPool::new(3);
+        let ranges = chunk_ranges(data.len(), 3);
+        let sums = pool.run(|w| data[ranges[w].clone()].iter().sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn pool_of_one_runs_inline() {
+        let mut pool = WorkerPool::new(1);
+        let here = std::thread::current().id();
+        let ids = pool.run(|_| std::thread::current().id());
+        assert_eq!(ids, vec![here]);
+    }
+
+    #[test]
+    fn pool_timed_reports_durations() {
+        let mut pool = WorkerPool::new(4);
+        let (out, times) = pool.run_timed(|w| w);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(times.len(), 4);
+    }
+
+    #[test]
+    fn pool_runs_many_phases_without_respawning() {
+        let mut pool = WorkerPool::new(4);
+        let mut total = 0usize;
+        for phase in 0..32 {
+            total += pool.run(|w| w + phase).iter().sum::<usize>();
+        }
+        assert_eq!(total, (0..32).map(|p| 4 * p + 6).sum::<usize>());
+    }
+
+    #[test]
+    fn pool_propagates_worker_panics() {
+        let mut pool = WorkerPool::new(4);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|w| {
+                if w == 2 {
+                    panic!("boom");
+                }
+                w
+            })
+        }));
+        assert!(caught.is_err(), "panic must propagate to the caller");
+        // The pool stays usable after a propagated panic.
+        let out = pool.run(|w| w);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_thread_pool_panics() {
+        let _ = WorkerPool::new(0);
     }
 }
