@@ -1,0 +1,226 @@
+//! `bench_concurrent` — throughput of the multi-query scheduler vs.
+//! serialized single-query execution.
+//!
+//! N closed-loop clients submit paper queries to one
+//! [`mpsm_exec::Scheduler`] over a shared worker pool; the serialized
+//! baseline runs the same queries one after another through the classic
+//! [`mpsm_exec::paper_query`] path (which provisions fresh workers per
+//! query — exactly what every concurrent caller would do without the
+//! scheduler). `BENCH_3.json` at the repo root records the committed
+//! trajectory point: aggregate queries/second at 1, 2, 4, and 8
+//! clients, each with its speedup over the serialized baseline.
+//!
+//! ```text
+//! cargo run --release -p mpsm-bench --bin bench_concurrent
+//!     [--scale N] [--threads N] [--seed N] [--trials N]
+//!     [--queries N] [--quick] [--out PATH]
+//! ```
+//!
+//! `--queries` is per client; `--quick` divides the scale by 8. Every
+//! reported number is validated finite, and every scheduled query's
+//! result is compared against its serial twin, so a broken scheduler
+//! cannot write a plausible-looking report.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mpsm_core::join::p_mpsm::PMpsmJoin;
+use mpsm_core::{JoinConfig, Tuple};
+use mpsm_exec::{paper_query, QuerySpec, Relation, Scheduler, SchedulerConfig};
+use mpsm_workload::fk_uniform;
+
+struct Args {
+    scale: usize,
+    threads: usize,
+    seed: u64,
+    trials: usize,
+    queries: usize,
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        // Short operational-BI-sized queries: the regime where
+        // multi-query scheduling (vs. per-query worker provisioning)
+        // is the interesting design point. At much larger scales the
+        // per-query setup cost this bench isolates amortizes away.
+        scale: 1 << 14,
+        threads: 4,
+        seed: 42,
+        trials: 5,
+        queries: 8,
+        quick: false,
+        out: "BENCH_3.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    let num = |it: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
+        it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| panic!("{flag} needs a number"))
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => args.scale = num(&mut it, "--scale"),
+            "--threads" => args.threads = num(&mut it, "--threads"),
+            "--seed" => args.seed = num(&mut it, "--seed") as u64,
+            "--trials" => args.trials = num(&mut it, "--trials"),
+            "--queries" => args.queries = num(&mut it, "--queries"),
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next().unwrap_or_else(|| panic!("--out needs a path")),
+            other => panic!(
+                "unknown flag {other}; supported: --scale --threads --seed --trials --queries --quick --out"
+            ),
+        }
+    }
+    if args.quick {
+        args.scale /= 8;
+    }
+    assert!(args.scale > 0 && args.threads > 0 && args.trials > 0 && args.queries > 0);
+    args
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    assert!(!v.is_empty());
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in measurements"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+fn finite(label: &str, v: f64) -> f64 {
+    assert!(v.is_finite(), "{label} is not finite: {v}");
+    v
+}
+
+/// Query `i`'s selections — distinct per query so the clients are not
+/// all running one cached plan shape.
+fn preds(i: u64) -> (impl Fn(&Tuple) -> bool + Copy, impl Fn(&Tuple) -> bool + Copy) {
+    let modulus = 2 + i % 4;
+    (move |t: &Tuple| t.key % modulus != 0, move |t: &Tuple| t.key % 7 != i % 7)
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "bench_concurrent: |R| = {}, pool = {} workers, {} queries/client, seed = {}, trials = {}",
+        args.scale, args.threads, args.queries, args.seed, args.trials
+    );
+
+    let w = fk_uniform(args.scale, 1, args.seed);
+    let r = Arc::new(Relation::new("R", w.r.clone()));
+    let s = Arc::new(Relation::new("S", w.s.clone()));
+    let algo = PMpsmJoin::new(JoinConfig::with_threads(args.threads));
+
+    // Expected results per query shape (correctness tripwire for every
+    // measured run below).
+    let expected: Vec<Option<u64>> = (0..args.queries as u64)
+        .map(|i| {
+            let (pr, ps) = preds(i);
+            paper_query(&r, &s, pr, ps, &algo, args.threads).max_payload_sum
+        })
+        .collect();
+
+    let client_counts = [1usize, 2, 4, 8];
+    let mut rows = Vec::new();
+    for &clients in &client_counts {
+        let total_queries = clients * args.queries;
+
+        // Serialized baseline: the same query mix, one at a time,
+        // through the single-query API (fresh workers per query).
+        let serial_qps = median(
+            (0..args.trials)
+                .map(|_| {
+                    let start = Instant::now();
+                    for q in 0..total_queries {
+                        let i = (q % args.queries) as u64;
+                        let (pr, ps) = preds(i);
+                        let out = paper_query(&r, &s, pr, ps, &algo, args.threads);
+                        assert_eq!(
+                            out.max_payload_sum, expected[i as usize],
+                            "serial query {i} disagrees"
+                        );
+                    }
+                    total_queries as f64 / start.elapsed().as_secs_f64()
+                })
+                .collect(),
+        );
+
+        // Concurrent: `clients` closed-loop submitters over one shared
+        // pool.
+        let mut queue_waits_ms = Vec::new();
+        let concurrent_qps = median(
+            (0..args.trials)
+                .map(|_| {
+                    // More in-flight queries than pool widths buys no
+                    // extra parallelism (the pool is the bottleneck) but
+                    // does buy coordinator contention; cap the budget.
+                    let scheduler = Scheduler::new(
+                        SchedulerConfig::new(args.threads)
+                            .max_in_flight(clients.min(args.threads))
+                            .queue_capacity(total_queries),
+                    );
+                    let start = Instant::now();
+                    std::thread::scope(|scope| {
+                        for _ in 0..clients {
+                            let scheduler = &scheduler;
+                            let r = &r;
+                            let s = &s;
+                            let expected = &expected;
+                            scope.spawn(move || {
+                                for i in 0..args.queries as u64 {
+                                    let (pr, ps) = preds(i);
+                                    let ticket = scheduler
+                                        .submit(QuerySpec::join(r, s).filter_r(pr).filter_s(ps))
+                                        .expect("within admission budget");
+                                    let out = ticket.wait().expect("scheduled query failed");
+                                    assert_eq!(
+                                        out.result.max_payload_sum, expected[i as usize],
+                                        "scheduled query {i} disagrees"
+                                    );
+                                }
+                            });
+                        }
+                    });
+                    let elapsed = start.elapsed().as_secs_f64();
+                    let m = scheduler.metrics();
+                    assert_eq!(m.completed, total_queries as u64, "all queries must finish");
+                    queue_waits_ms.push(m.queue_wait_micros as f64 / 1e3 / total_queries as f64);
+                    total_queries as f64 / elapsed
+                })
+                .collect(),
+        );
+
+        let label = format!("clients={clients}");
+        let serial_qps = finite(&label, serial_qps);
+        let concurrent_qps = finite(&label, concurrent_qps);
+        let speedup = finite(&label, concurrent_qps / serial_qps);
+        let mean_queue_wait = finite(&label, median(queue_waits_ms));
+        eprintln!(
+            "  {clients} client(s): {concurrent_qps:7.2} q/s shared pool vs {serial_qps:7.2} q/s serialized \
+             (speedup {speedup:.3}x, mean queue wait {mean_queue_wait:.3} ms)"
+        );
+        rows.push(format!(
+            "    {{\"clients\": {clients}, \"queries\": {total_queries}, \
+             \"concurrent_qps\": {concurrent_qps:.3}, \"serial_qps\": {serial_qps:.3}, \
+             \"speedup_vs_serial\": {speedup:.3}, \"mean_queue_wait_ms\": {mean_queue_wait:.3}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"config\": {{\"scale\": {}, \"pool_threads\": {}, \"queries_per_client\": {}, \
+         \"seed\": {}, \"trials\": {}, \"quick\": {}}},\n  \"unit\": \"aggregate queries per second \
+         (median of trials)\",\n  \"throughput\": [\n{}\n  ]\n}}\n",
+        args.scale,
+        args.threads,
+        args.queries,
+        args.seed,
+        args.trials,
+        args.quick,
+        rows.join(",\n")
+    );
+    assert!(!json.to_ascii_lowercase().contains("nan"), "NaN leaked into the report");
+    std::fs::write(&args.out, &json).expect("write report");
+    eprintln!("wrote {}", args.out);
+}

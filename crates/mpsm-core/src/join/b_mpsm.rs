@@ -18,13 +18,13 @@
 //! grows — the motivation for P-MPSM (§2.2).
 
 use crate::join::variant::{band_merge_join, emit_variant_rows, merge_join_mark, JoinVariant};
-use crate::join::{JoinAlgorithm, JoinConfig};
+use crate::join::{JoinAlgorithm, JoinConfig, PooledJoin};
 use crate::merge::merge_join;
 use crate::sink::JoinSink;
 use crate::sort::three_phase_sort;
 use crate::stats::{JoinStats, Phase};
 use crate::tuple::Tuple;
-use crate::worker::{chunk_ranges, WorkerPool};
+use crate::worker::{chunk_ranges, SharedWorkerPool};
 
 /// The basic MPSM join.
 #[derive(Debug, Clone)]
@@ -53,7 +53,8 @@ impl BMpsmJoin {
         r: &[Tuple],
         s: &[Tuple],
     ) -> (S::Result, JoinStats) {
-        self.execute::<S>(Kernel::Variant(variant), r, s)
+        let pool = SharedWorkerPool::new(self.config.threads);
+        self.execute::<S>(&pool, Kernel::Variant(variant), r, s)
     }
 
     /// Band (non-equi) join: all pairs with `|r.key − s.key| ≤ delta`.
@@ -65,7 +66,20 @@ impl BMpsmJoin {
         r: &[Tuple],
         s: &[Tuple],
     ) -> (S::Result, JoinStats) {
-        self.execute::<S>(Kernel::Band(delta), r, s)
+        let pool = SharedWorkerPool::new(self.config.threads);
+        self.execute::<S>(&pool, Kernel::Band(delta), r, s)
+    }
+
+    /// [`BMpsmJoin::join_variant_with_sink`] on a caller-provided
+    /// shared pool (the pool's width is the worker count `T`).
+    pub fn join_variant_with_sink_on<S: JoinSink>(
+        &self,
+        pool: &SharedWorkerPool,
+        variant: JoinVariant,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> (S::Result, JoinStats) {
+        self.execute::<S>(pool, Kernel::Variant(variant), r, s)
     }
 }
 
@@ -82,24 +96,35 @@ impl JoinAlgorithm for BMpsmJoin {
     }
 
     fn join_with_sink<S: JoinSink>(&self, r: &[Tuple], s: &[Tuple]) -> (S::Result, JoinStats) {
-        self.execute::<S>(Kernel::Variant(JoinVariant::Inner), r, s)
+        let pool = SharedWorkerPool::new(self.config.threads);
+        self.execute::<S>(&pool, Kernel::Variant(JoinVariant::Inner), r, s)
+    }
+}
+
+impl PooledJoin for BMpsmJoin {
+    fn join_with_sink_on<S: JoinSink>(
+        &self,
+        pool: &SharedWorkerPool,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> (S::Result, JoinStats) {
+        self.execute::<S>(pool, Kernel::Variant(JoinVariant::Inner), r, s)
     }
 }
 
 impl BMpsmJoin {
     fn execute<S: JoinSink>(
         &self,
+        pool: &SharedWorkerPool,
         kernel: Kernel,
         r: &[Tuple],
         s: &[Tuple],
     ) -> (S::Result, JoinStats) {
-        let t = self.config.threads;
+        // The pool decides the worker count (see `PooledJoin`).
+        let t = pool.threads();
         let (r, s, _swapped) = self.config.assign_roles(r, s);
         let wall = std::time::Instant::now();
         let mut stats = JoinStats::new(t);
-        // One pool for the whole join: each worker thread is spawned
-        // exactly once and parks between the three phases.
-        let mut pool = WorkerPool::new(t);
 
         // Phase 1: sorted public runs (copy to worker-local storage,
         // sort there — the copy is the paper's "redistribute, then work

@@ -33,7 +33,7 @@ use crate::sink::JoinSink;
 use crate::sort::three_phase_sort;
 use crate::stats::{JoinStats, Phase};
 use crate::tuple::Tuple;
-use crate::worker::{chunk_ranges, WorkerPool};
+use crate::worker::{chunk_ranges, SharedWorkerPool};
 
 /// Storage-related knobs of D-MPSM.
 #[derive(Debug, Clone)]
@@ -143,14 +143,34 @@ impl DMpsmJoin {
         B: DiskBackend + 'static,
         S: JoinSink,
     {
-        let t = self.config.join.threads;
-        let (r, s, _swapped) = self.config.join.assign_roles(r, s);
-        let wall = std::time::Instant::now();
-        let mut stats = JoinStats::new(t);
         // One pool for run generation and the join phase; only the
         // prefetcher and the optional residency sampler live on their
         // own (long-running, asynchronous) threads.
-        let mut workers = WorkerPool::new(t);
+        let workers = SharedWorkerPool::new(self.config.join.threads);
+        self.join_variant_on_pool::<B, S>(&workers, variant, backend, r, s)
+    }
+
+    /// [`DMpsmJoin::join_variant_on`] with run generation and the join
+    /// phase submitted to a caller-provided shared pool (whose width is
+    /// the worker count `T`). The prefetcher and the optional residency
+    /// sampler still run on their own asynchronous threads — they are
+    /// continuous background services, not barrier-separated phases.
+    pub fn join_variant_on_pool<B, S>(
+        &self,
+        workers: &SharedWorkerPool,
+        variant: JoinVariant,
+        backend: B,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> Result<(S::Result, JoinStats, DMpsmReport)>
+    where
+        B: DiskBackend + 'static,
+        S: JoinSink,
+    {
+        let t = workers.threads();
+        let (r, s, _swapped) = self.config.join.assign_roles(r, s);
+        let wall = std::time::Instant::now();
+        let mut stats = JoinStats::new(t);
 
         let store = Arc::new(RunStore::new(backend, self.config.page_records));
 

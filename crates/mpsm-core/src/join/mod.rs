@@ -130,6 +130,26 @@ pub trait JoinAlgorithm {
     }
 }
 
+/// A join algorithm whose parallel phases can run on a caller-provided
+/// [`SharedWorkerPool`](crate::worker::SharedWorkerPool) instead of
+/// workers the join spawns for itself — the hook multi-query schedulers
+/// use to serve many concurrent joins from one set of worker threads.
+///
+/// On this path the **pool's width decides the worker count `T`**; the
+/// algorithm's configured thread count applies only to the self-pooled
+/// [`JoinAlgorithm::join_with_sink`] entry point.
+pub trait PooledJoin: JoinAlgorithm {
+    /// Join `r ⋈ s`, submitting every parallel phase to `pool` (tagged
+    /// with the handle's owner id, interleaving FIFO-fairly with other
+    /// owners' phases).
+    fn join_with_sink_on<S: JoinSink>(
+        &self,
+        pool: &crate::worker::SharedWorkerPool,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> (S::Result, JoinStats);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -30,15 +30,15 @@ use crate::cdf::{equi_height_bounds, Cdf};
 use crate::histogram::{combine_histograms, compute_histogram, RadixDomain};
 use crate::interpolation::interpolation_lower_bound;
 use crate::join::variant::{emit_variant_rows, merge_join_mark, JoinVariant};
-use crate::join::{JoinAlgorithm, JoinConfig};
+use crate::join::{JoinAlgorithm, JoinConfig, PooledJoin};
 use crate::merge::merge_join;
-use crate::partition::range_partition_in;
+use crate::partition::range_partition_shared;
 use crate::sink::JoinSink;
 use crate::sort::three_phase_sort;
 use crate::splitter::{compute_splitters, equi_height_splitters, Splitters};
 use crate::stats::{JoinStats, Phase};
 use crate::tuple::{key_range, Tuple};
-use crate::worker::{chunk_ranges, WorkerPool};
+use crate::worker::{chunk_ranges, SharedWorkerPool};
 
 /// How phase 4 locates the start of the relevant range in each public
 /// run (the §3.2.2 design decision; `ablation_entry_points` measures
@@ -115,7 +115,20 @@ impl PMpsmJoin {
         r: &[Tuple],
         s: &[Tuple],
     ) -> (S::Result, JoinStats) {
-        self.execute::<S>(variant, r, s)
+        let pool = SharedWorkerPool::new(self.config.threads);
+        self.execute::<S>(&pool, variant, r, s)
+    }
+
+    /// [`PMpsmJoin::join_variant_with_sink`] on a caller-provided
+    /// shared pool (the pool's width is the worker count `T`).
+    pub fn join_variant_with_sink_on<S: JoinSink>(
+        &self,
+        pool: &SharedWorkerPool,
+        variant: JoinVariant,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> (S::Result, JoinStats) {
+        self.execute::<S>(pool, variant, r, s)
     }
 }
 
@@ -125,25 +138,37 @@ impl JoinAlgorithm for PMpsmJoin {
     }
 
     fn join_with_sink<S: JoinSink>(&self, r: &[Tuple], s: &[Tuple]) -> (S::Result, JoinStats) {
-        self.execute::<S>(JoinVariant::Inner, r, s)
+        let pool = SharedWorkerPool::new(self.config.threads);
+        self.execute::<S>(&pool, JoinVariant::Inner, r, s)
+    }
+}
+
+impl PooledJoin for PMpsmJoin {
+    fn join_with_sink_on<S: JoinSink>(
+        &self,
+        pool: &SharedWorkerPool,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> (S::Result, JoinStats) {
+        self.execute::<S>(pool, JoinVariant::Inner, r, s)
     }
 }
 
 impl PMpsmJoin {
     fn execute<S: JoinSink>(
         &self,
+        pool: &SharedWorkerPool,
         variant: JoinVariant,
         r: &[Tuple],
         s: &[Tuple],
     ) -> (S::Result, JoinStats) {
-        let t = self.config.threads;
+        // The pool decides the worker count: a self-pooled join gets
+        // `config.threads` workers, a scheduled join shares whatever
+        // width the scheduler provisioned.
+        let t = pool.threads();
         let (r, s, _swapped) = self.config.assign_roles(r, s);
         let wall = std::time::Instant::now();
         let mut stats = JoinStats::new(t);
-        // One pool for the whole join: each worker thread is spawned
-        // exactly once and parks between all phases, including the
-        // scatter inside `range_partition_in`.
-        let mut pool = WorkerPool::new(t);
 
         // ---- Phase 1: sort public chunks into runs S_1 … S_T. ----
         let s_ranges = chunk_ranges(s.len(), t);
@@ -187,7 +212,7 @@ impl PMpsmJoin {
             SplitterPolicy::EquiHeight => equi_height_splitters(&global_hist, t),
         };
         let scatter_start = std::time::Instant::now();
-        let partitions = range_partition_in(&mut pool, &r_chunks, &domain, &splitters);
+        let partitions = range_partition_shared(pool, &r_chunks, &domain, &splitters);
         let scatter = scatter_start.elapsed();
         // The scatter is a parallel section; attribute its wall time to
         // every worker's phase 2 (all workers participate end-to-end).

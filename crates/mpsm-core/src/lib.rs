@@ -49,6 +49,17 @@
 //! [`worker::WorkerPool`] parks persistent worker threads between
 //! phases instead of respawning them. `BENCH_2.json` at the repository
 //! root records the measured baseline.
+//!
+//! ## Sharing the workers between joins
+//!
+//! [`worker::SharedWorkerPool`] lets many concurrent owners submit
+//! phases to one pool through a fair FIFO turnstile, and every join
+//! variant implements [`join::PooledJoin`] (or, for D-MPSM, exposes
+//! [`join::d_mpsm::DMpsmJoin::join_variant_on_pool`]) to run on such a
+//! caller-provided pool — the substrate `mpsm-exec`'s multi-query
+//! scheduler builds on.
+
+#![warn(missing_docs)]
 
 pub mod adapter;
 pub mod cdf;
@@ -65,6 +76,6 @@ pub mod tuple;
 pub mod worker;
 
 pub use histogram::RadixDomain;
-pub use join::{JoinAlgorithm, JoinConfig, Role};
+pub use join::{JoinAlgorithm, JoinConfig, PooledJoin, Role};
 pub use stats::{JoinStats, Phase};
 pub use tuple::Tuple;

@@ -76,6 +76,21 @@ fn gallop_to(run: &[Tuple], from: usize, key: u64) -> usize {
 /// Merge-join two key-sorted runs into `sink`, galloping over
 /// non-matching stretches. `r` is the private input (first argument of
 /// `on_match`).
+///
+/// ```
+/// use mpsm_core::merge::merge_join;
+/// use mpsm_core::sink::{CollectSink, JoinSink};
+/// use mpsm_core::Tuple;
+///
+/// // Key 7 appears twice in `s`: duplicate semantics emit both pairs.
+/// let r = vec![Tuple::new(3, 0), Tuple::new(7, 1)];
+/// let s = vec![Tuple::new(7, 10), Tuple::new(7, 11), Tuple::new(9, 12)];
+/// let mut sink = CollectSink::default();
+/// merge_join(&r, &s, &mut sink);
+/// let mut pairs = sink.finish();
+/// pairs.sort_unstable();
+/// assert_eq!(pairs, vec![(7, 1, 10), (7, 1, 11)]);
+/// ```
 pub fn merge_join<S: JoinSink>(r: &[Tuple], s: &[Tuple], sink: &mut S) {
     debug_assert!(crate::tuple::is_key_sorted(r), "private run must be sorted");
     debug_assert!(crate::tuple::is_key_sorted(s), "public run must be sorted");

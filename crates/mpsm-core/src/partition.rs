@@ -40,7 +40,7 @@ use crate::histogram::{
 };
 use crate::splitter::Splitters;
 use crate::tuple::Tuple;
-use crate::worker::{run_parallel, OwnedSlots, WorkerPool};
+use crate::worker::{run_parallel, OwnedSlots, SharedWorkerPool, WorkerPool};
 
 /// Tuples staged per partition before a contiguous flush: 8 × 16 B =
 /// 128 B, one cache-line pair (and exactly two 64-B lines of stores
@@ -149,12 +149,30 @@ fn scatter_per_tuple(
     }
 }
 
+/// How the skeleton's two parallel sections (histogram, scatter) are
+/// executed: fresh threads, an exclusive pool, or a shared pool handle.
+enum Runner<'a> {
+    Spawn,
+    Exclusive(&'a mut WorkerPool),
+    Shared(&'a SharedWorkerPool),
+}
+
+impl Runner<'_> {
+    fn run<R: Send>(&mut self, workers: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        match self {
+            Runner::Spawn => run_parallel(workers, f),
+            Runner::Exclusive(pool) => pool.run(f),
+            Runner::Shared(pool) => pool.run(f),
+        }
+    }
+}
+
 /// Shared skeleton: histograms → prefix sums → windows → scatter.
 fn partition_skeleton(
     chunks: &[&[Tuple]],
     domain: &RadixDomain,
     splitters: &Splitters,
-    pool: Option<&mut WorkerPool>,
+    mut runner: Runner<'_>,
     write_combining: bool,
 ) -> Vec<Vec<Tuple>> {
     let workers = chunks.len();
@@ -169,11 +187,7 @@ fn partition_skeleton(
         let bucket_hist = compute_histogram(chunks[w], domain);
         fold_histogram(&bucket_hist, splitters.assignment(), parts)
     };
-    let mut pool = pool;
-    let histograms: Vec<Vec<usize>> = match pool.as_deref_mut() {
-        Some(pool) => pool.run(histogram_of),
-        None => run_parallel(workers, histogram_of),
-    };
+    let histograms: Vec<Vec<usize>> = runner.run(workers, histogram_of);
 
     let sizes = partition_sizes(&histograms);
     let ps = prefix_sums(&histograms);
@@ -195,14 +209,7 @@ fn partition_skeleton(
             scatter_per_tuple(chunks[w], &mut row, domain, splitters);
         }
     };
-    match pool {
-        Some(pool) => {
-            pool.run(scatter_of);
-        }
-        None => {
-            run_parallel(workers, scatter_of);
-        }
-    }
+    runner.run(workers, scatter_of);
 
     partitions
 }
@@ -212,12 +219,28 @@ fn partition_skeleton(
 /// Returns the unsorted target runs; within each run, worker
 /// sub-partitions appear in worker order, each in original chunk order
 /// (exactly the paper's Figure 6 layout).
+/// ```
+/// use mpsm_core::histogram::RadixDomain;
+/// use mpsm_core::partition::range_partition;
+/// use mpsm_core::splitter::Splitters;
+/// use mpsm_core::Tuple;
+///
+/// // Two workers scatter their chunks into two key ranges (B = 1:
+/// // keys below 32 go to partition 0, the rest to partition 1).
+/// let domain = RadixDomain::from_range(0, 63, 1);
+/// let splitters = Splitters::from_assignment(vec![0, 1], 2);
+/// let c1: Vec<Tuple> = vec![Tuple::new(40, 0), Tuple::new(3, 1)];
+/// let c2: Vec<Tuple> = vec![Tuple::new(9, 2), Tuple::new(60, 3)];
+/// let runs = range_partition(&[&c1, &c2], &domain, &splitters);
+/// let keys: Vec<u64> = runs[0].iter().map(|t| t.key).collect();
+/// assert_eq!(keys, vec![3, 9], "worker 1's small keys, then worker 2's");
+/// ```
 pub fn range_partition(
     chunks: &[&[Tuple]],
     domain: &RadixDomain,
     splitters: &Splitters,
 ) -> Vec<Vec<Tuple>> {
-    partition_skeleton(chunks, domain, splitters, None, true)
+    partition_skeleton(chunks, domain, splitters, Runner::Spawn, true)
 }
 
 /// [`range_partition`] on a persistent [`WorkerPool`] (one worker per
@@ -230,7 +253,21 @@ pub fn range_partition_in(
     splitters: &Splitters,
 ) -> Vec<Vec<Tuple>> {
     assert_eq!(pool.threads(), chunks.len().max(1), "one pool worker per chunk");
-    partition_skeleton(chunks, domain, splitters, Some(pool), true)
+    partition_skeleton(chunks, domain, splitters, Runner::Exclusive(pool), true)
+}
+
+/// [`range_partition`] on a [`SharedWorkerPool`] handle: the histogram
+/// and scatter sections are submitted as two tagged phases, so
+/// concurrent owners of the pool interleave with the scatter at phase
+/// granularity.
+pub fn range_partition_shared(
+    pool: &SharedWorkerPool,
+    chunks: &[&[Tuple]],
+    domain: &RadixDomain,
+    splitters: &Splitters,
+) -> Vec<Vec<Tuple>> {
+    assert_eq!(pool.threads(), chunks.len().max(1), "one pool worker per chunk");
+    partition_skeleton(chunks, domain, splitters, Runner::Shared(pool), true)
 }
 
 /// The seed scatter — one random 16-byte store per tuple into the huge
@@ -241,7 +278,7 @@ pub fn range_partition_naive(
     domain: &RadixDomain,
     splitters: &Splitters,
 ) -> Vec<Vec<Tuple>> {
-    partition_skeleton(chunks, domain, splitters, None, false)
+    partition_skeleton(chunks, domain, splitters, Runner::Spawn, false)
 }
 
 #[cfg(test)]
@@ -387,5 +424,10 @@ mod tests {
         let mut pool = WorkerPool::new(4);
         let pooled = range_partition_in(&mut pool, &chunks, &domain, &sp);
         assert_eq!(pooled, range_partition(&chunks, &domain, &sp));
+
+        let shared = pool.into_shared();
+        let shared_runs = range_partition_shared(&shared, &chunks, &domain, &sp);
+        assert_eq!(shared_runs, range_partition(&chunks, &domain, &sp));
+        assert_eq!(shared.phases_served(), 2, "histogram + scatter phases");
     }
 }

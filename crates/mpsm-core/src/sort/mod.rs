@@ -64,6 +64,20 @@ pub const CACHE_RESIDENT_TUPLES: usize = (32 * 1024) / std::mem::size_of::<Tuple
 /// Sort `tuples` by key with the paper's three-phase algorithm,
 /// recursing the radix pass on non-cache-resident buckets and finishing
 /// each bucket (introsort + insertion) while it is cache-hot.
+///
+/// ```
+/// use mpsm_core::sort::three_phase_sort;
+/// use mpsm_core::Tuple;
+///
+/// let mut run: Vec<Tuple> = [9u64, 2, 7, 2, 0]
+///     .iter()
+///     .enumerate()
+///     .map(|(i, &k)| Tuple::new(k, i as u64))
+///     .collect();
+/// three_phase_sort(&mut run);
+/// let keys: Vec<u64> = run.iter().map(|t| t.key).collect();
+/// assert_eq!(keys, vec![0, 2, 2, 7, 9]);
+/// ```
 pub fn three_phase_sort(tuples: &mut [Tuple]) {
     if tuples.len() < 2 {
         return;

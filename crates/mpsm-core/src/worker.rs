@@ -18,6 +18,13 @@
 //!   worker exactly once no matter how many phases it executes
 //!   (commandment C3 still holds: workers synchronize only at phase
 //!   boundaries, never inside one).
+//! * [`SharedWorkerPool`] — a cloneable handle that lets **many
+//!   concurrent owners** (e.g. the queries of
+//!   `mpsm_exec`'s scheduler) submit phases to *one* underlying
+//!   [`WorkerPool`]. Submissions are serialized through a fair FIFO
+//!   turnstile, so different owners' phases interleave at phase
+//!   granularity instead of one owner monopolizing the workers; every
+//!   served phase carries a [`PhaseTag`] naming its owner.
 
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -95,6 +102,20 @@ struct Job(*const (dyn Fn(usize) + Sync));
 // SAFETY: the pointee is `Sync` and the pool's barrier protocol
 // guarantees it outlives every use (see `Job` docs).
 unsafe impl Send for Job {}
+
+/// Identifies one phase served by a [`SharedWorkerPool`]: which owner
+/// submitted it and its position in the pool's global service order —
+/// the tag that generalizes the pool's single-owner epoch barrier to
+/// multi-owner submission. Owners are handed distinct ids by their
+/// scheduler (see [`SharedWorkerPool::with_owner`]); the default
+/// handle submits as owner `0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTag {
+    /// Caller-chosen owner id (`0` = untagged / exclusive use).
+    pub owner: u64,
+    /// Serial number of the phase on the serving pool (1-based).
+    pub seq: u64,
+}
 
 struct PoolState {
     /// Incremented once per submitted phase; workers wake on a change.
@@ -176,12 +197,26 @@ impl WorkerPool {
     /// in worker order. Blocks until the whole phase finished (the
     /// phase boundary barrier). `&mut self` serializes phases at
     /// compile time — the pool runs one phase at a time by design.
+    ///
+    /// ```
+    /// use mpsm_core::worker::WorkerPool;
+    ///
+    /// let mut pool = WorkerPool::new(4);
+    /// // Phase 1: every worker computes its share.
+    /// let squares = pool.run(|w| (w as u64) * (w as u64));
+    /// assert_eq!(squares, vec![0, 1, 4, 9]);
+    /// // Phase 2 reuses the same parked threads — no respawn.
+    /// let sum: u64 = pool.run(|w| w as u64).iter().sum();
+    /// assert_eq!(sum, 6);
+    /// ```
     pub fn run<R, F>(&mut self, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
         if self.threads == 1 {
+            // Inline mode: no workers, no locks — the single-core
+            // baseline of Figure 13 stays synchronization-free.
             return vec![f(0)];
         }
         let slots = Slots((0..self.threads).map(|_| std::cell::UnsafeCell::new(None)).collect());
@@ -236,6 +271,202 @@ impl WorkerPool {
             (r, start.elapsed())
         });
         pairs.into_iter().unzip()
+    }
+
+    /// Convert this exclusive pool into a [`SharedWorkerPool`] handle
+    /// that many concurrent owners can submit phases to.
+    pub fn into_shared(self) -> SharedWorkerPool {
+        SharedWorkerPool::from_pool(self)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared pool: many owners, one set of workers
+// ---------------------------------------------------------------------
+
+/// FIFO turnstile serializing phase submissions from many owners.
+struct Turnstile {
+    /// `(tickets handed out, tickets fully served)`.
+    turn: Mutex<(u64, u64)>,
+    cv: Condvar,
+}
+
+impl Turnstile {
+    /// Draw a ticket and block until it is up. Returns the ticket
+    /// number (the global phase sequence number on this pool).
+    fn acquire(&self) -> u64 {
+        let mut turn = self.turn.lock().expect("turnstile poisoned");
+        let my = turn.0;
+        turn.0 += 1;
+        while turn.1 != my {
+            turn = self.cv.wait(turn).expect("turnstile poisoned");
+        }
+        my
+    }
+
+    fn release(&self) {
+        let mut turn = self.turn.lock().expect("turnstile poisoned");
+        turn.1 += 1;
+        drop(turn);
+        self.cv.notify_all();
+    }
+}
+
+/// Releases the turnstile even if the phase closure panicked, so one
+/// owner's failing query cannot wedge every other owner of the pool.
+struct TurnstileGuard<'a>(&'a Turnstile);
+
+impl Drop for TurnstileGuard<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+struct SharedPoolInner {
+    /// The workers. Uncontended by construction: the turnstile admits
+    /// one phase at a time, so this lock never blocks. Poisoning is
+    /// deliberately ignored — a panicking phase already reported its
+    /// failure to its own submitter, and the pool itself survives
+    /// worker panics (see `pool_propagates_worker_panics`).
+    pool: Mutex<WorkerPool>,
+    turnstile: Turnstile,
+    /// Tag trace of served phases, when enabled (test / EXPLAIN aid).
+    trace: Mutex<Option<Vec<PhaseTag>>>,
+    threads: usize,
+}
+
+/// A cloneable handle submitting phases from **many concurrent owners**
+/// to one [`WorkerPool`].
+///
+/// This is the substrate of multi-query scheduling: every clone of the
+/// handle may call [`SharedWorkerPool::run`] from its own thread, and
+/// the pool serves the submissions one phase at a time in FIFO arrival
+/// order. Because MPSM joins are sequences of short phases, waiting
+/// owners are admitted between a competitor's phases — queries
+/// *interleave* on the shared workers instead of monopolizing them
+/// (and the machine is never oversubscribed, however many queries are
+/// in flight).
+///
+/// ```
+/// use mpsm_core::worker::SharedWorkerPool;
+///
+/// let pool = SharedWorkerPool::new(4);
+/// let query_a = pool.with_owner(1);
+/// let query_b = pool.with_owner(2);
+/// // Both handles drive the same 4 workers; phases are serialized
+/// // through a fair FIFO turnstile.
+/// let a: Vec<usize> = query_a.run(|w| w + 1);
+/// let b: Vec<usize> = query_b.run(|w| w * 2);
+/// assert_eq!(a, vec![1, 2, 3, 4]);
+/// assert_eq!(b, vec![0, 2, 4, 6]);
+/// assert_eq!(pool.phases_served(), 2);
+/// ```
+pub struct SharedWorkerPool {
+    inner: Arc<SharedPoolInner>,
+    owner: u64,
+}
+
+impl Clone for SharedWorkerPool {
+    fn clone(&self) -> Self {
+        SharedWorkerPool { inner: Arc::clone(&self.inner), owner: self.owner }
+    }
+}
+
+impl SharedWorkerPool {
+    /// Spawn `threads` workers behind a fresh shared handle (owner 0).
+    pub fn new(threads: usize) -> Self {
+        Self::from_pool(WorkerPool::new(threads))
+    }
+
+    /// Wrap an existing pool.
+    pub fn from_pool(pool: WorkerPool) -> Self {
+        let threads = pool.threads();
+        SharedWorkerPool {
+            inner: Arc::new(SharedPoolInner {
+                pool: Mutex::new(pool),
+                turnstile: Turnstile { turn: Mutex::new((0, 0)), cv: Condvar::new() },
+                trace: Mutex::new(None),
+                threads,
+            }),
+            owner: 0,
+        }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.inner.threads
+    }
+
+    /// A handle submitting phases under `owner`'s id — same workers,
+    /// same turnstile; only the [`PhaseTag`]s differ. Schedulers hand
+    /// one owner id per query so served phases are attributable.
+    pub fn with_owner(&self, owner: u64) -> SharedWorkerPool {
+        SharedWorkerPool { inner: Arc::clone(&self.inner), owner }
+    }
+
+    /// This handle's owner id.
+    pub fn owner(&self) -> u64 {
+        self.owner
+    }
+
+    /// Run one phase on the shared workers: `f(worker_id)` on every
+    /// worker, results in worker order, panics propagated to *this*
+    /// submitter only. Blocks while competitors' already-queued phases
+    /// are served (FIFO).
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let seq = self.inner.turnstile.acquire();
+        let _guard = TurnstileGuard(&self.inner.turnstile);
+        if let Some(trace) = self.inner.trace.lock().expect("trace poisoned").as_mut() {
+            trace.push(PhaseTag { owner: self.owner, seq: seq + 1 });
+        }
+        // Uncontended (the turnstile admitted us); ignore poisoning —
+        // the pool survives worker panics by design.
+        let mut pool = match self.inner.pool.lock() {
+            Ok(p) => p,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        pool.run(f)
+    }
+
+    /// Like [`SharedWorkerPool::run`], additionally timing each worker
+    /// (one turnstile admission for the whole phase).
+    pub fn run_timed<R, F>(&self, f: F) -> (Vec<R>, Vec<Duration>)
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let pairs = self.run(|w| {
+            let start = Instant::now();
+            let r = f(w);
+            (r, start.elapsed())
+        });
+        pairs.into_iter().unzip()
+    }
+
+    /// Phases fully served so far.
+    pub fn phases_served(&self) -> u64 {
+        self.inner.turnstile.turn.lock().expect("turnstile poisoned").1
+    }
+
+    /// Phases currently admitted or waiting at the turnstile.
+    pub fn pending_phases(&self) -> u64 {
+        let turn = self.inner.turnstile.turn.lock().expect("turnstile poisoned");
+        turn.0 - turn.1
+    }
+
+    /// Start recording a [`PhaseTag`] per served phase (drops any
+    /// previous trace).
+    pub fn enable_phase_trace(&self) {
+        *self.inner.trace.lock().expect("trace poisoned") = Some(Vec::new());
+    }
+
+    /// Stop tracing and return the recorded tags in service order.
+    pub fn take_phase_trace(&self) -> Vec<PhaseTag> {
+        self.inner.trace.lock().expect("trace poisoned").take().unwrap_or_default()
     }
 }
 
@@ -452,5 +683,140 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_thread_pool_panics() {
         let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn shared_pool_counts_phases_across_widths() {
+        for threads in [1, 4] {
+            let pool = SharedWorkerPool::new(threads);
+            for _ in 0..3 {
+                pool.run(|w| w);
+            }
+            assert_eq!(pool.phases_served(), 3, "threads = {threads}");
+        }
+    }
+
+    // ---- shared pool ----
+
+    #[test]
+    fn shared_pool_serves_one_owner_like_an_exclusive_pool() {
+        let pool = SharedWorkerPool::new(4);
+        let out = pool.run(|w| w * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+        let (out, times) = pool.run_timed(|w| w);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(times.len(), 4);
+        assert_eq!(pool.phases_served(), 2);
+    }
+
+    #[test]
+    fn shared_pool_runs_submissions_from_many_threads() {
+        let pool = SharedWorkerPool::new(3);
+        let totals: Vec<u64> = std::thread::scope(|scope| {
+            (0..8u64)
+                .map(|owner| {
+                    let handle = pool.with_owner(owner + 1);
+                    scope.spawn(move || {
+                        (0..4)
+                            .map(|phase| {
+                                handle
+                                    .run(|w| owner * 100 + phase * 10 + w as u64)
+                                    .iter()
+                                    .sum::<u64>()
+                            })
+                            .sum::<u64>()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("submitter panicked"))
+                .collect()
+        });
+        for (owner, total) in totals.iter().enumerate() {
+            let o = owner as u64;
+            // 4 phases × 3 workers: Σ (o·100 + p·10 + w).
+            let expected: u64 = (0..4).map(|p| 3 * (o * 100 + p * 10) + 3).sum();
+            assert_eq!(*total, expected, "owner {owner}");
+        }
+        assert_eq!(pool.phases_served(), 8 * 4);
+    }
+
+    #[test]
+    fn shared_pool_underlies_all_clones() {
+        let pool = SharedWorkerPool::new(4);
+        let ids_a = pool.run(|_| std::thread::current().id());
+        let ids_b = pool.with_owner(7).run(|_| std::thread::current().id());
+        assert_eq!(ids_a, ids_b, "clones must drive the same workers");
+    }
+
+    #[test]
+    fn shared_pool_turnstile_is_fifo() {
+        // Owner 1 runs a phase during which owner 2 queues up; owner 1
+        // immediately requests another phase. FIFO admission guarantees
+        // the trace [1, 2, 1].
+        let pool = SharedWorkerPool::new(2);
+        pool.enable_phase_trace();
+        let a = pool.with_owner(1);
+        let b = pool.with_owner(2);
+        std::thread::scope(|scope| {
+            let b_thread = {
+                let pool = pool.clone();
+                let b = b.clone();
+                scope.spawn(move || {
+                    // Wait until owner 1's first phase is admitted.
+                    while pool.pending_phases() == 0 {
+                        std::thread::yield_now();
+                    }
+                    b.run(|_| ());
+                })
+            };
+            a.run(|w| {
+                if w == 0 {
+                    // Hold the phase until owner 2 is queued behind us.
+                    while pool.pending_phases() < 2 {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            a.run(|_| ());
+            b_thread.join().expect("owner 2 panicked");
+        });
+        let owners: Vec<u64> = pool.take_phase_trace().iter().map(|t| t.owner).collect();
+        assert_eq!(owners, vec![1, 2, 1], "waiting owner must be admitted between phases");
+    }
+
+    #[test]
+    fn shared_pool_isolates_a_panicking_owner() {
+        let pool = SharedWorkerPool::new(4);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|w| {
+                if w == 1 {
+                    panic!("query gone wrong");
+                }
+            })
+        }));
+        assert!(caught.is_err(), "panic must reach the submitting owner");
+        // Other owners continue on the same pool.
+        let out = pool.with_owner(9).run(|w| w);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(pool.phases_served(), 2, "panicked phase still releases the turnstile");
+    }
+
+    #[test]
+    fn shared_pool_trace_records_owner_and_sequence() {
+        let pool = SharedWorkerPool::new(1);
+        pool.enable_phase_trace();
+        pool.with_owner(3).run(|_| ());
+        pool.with_owner(5).run(|_| ());
+        let trace = pool.take_phase_trace();
+        assert_eq!(trace, vec![PhaseTag { owner: 3, seq: 1 }, PhaseTag { owner: 5, seq: 2 }]);
+        assert!(pool.take_phase_trace().is_empty(), "trace is take-once");
+    }
+
+    #[test]
+    fn exclusive_pool_converts_into_shared() {
+        let pool = WorkerPool::new(2).into_shared();
+        assert_eq!(pool.threads(), 2);
+        assert_eq!(pool.run(|w| w), vec![0, 1]);
     }
 }

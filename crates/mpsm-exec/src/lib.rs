@@ -16,15 +16,35 @@
 //! * [`query`] — the ready-made paper query;
 //! * [`groupby`] — sort-based early aggregation exploiting MPSM's
 //!   run-structured output (the §7 extension).
+//!
+//! ## Serving many queries at once
+//!
+//! The paper's join owns the whole machine; a service cannot. The
+//! [`sched`] module adds a multi-query scheduler that admits many
+//! concurrent paper queries against **one** shared
+//! [`mpsm_core::worker::SharedWorkerPool`] — bounded admission,
+//! futures-style [`sched::QueryTicket`]s, phase-granular fair
+//! interleaving, and queue/phase timings in EXPLAIN — and [`session`]
+//! layers a client-facing relation catalog on top. Start at
+//! [`session::Session`] or [`sched::Scheduler`].
+
+#![warn(missing_docs)]
 
 pub mod groupby;
 pub mod ops;
 pub mod plan;
 pub mod query;
 pub mod scan;
+pub mod sched;
+pub mod session;
 
 pub use groupby::{sorted_group_by, CountAgg, KeyAggregate, MaxAgg, SumAgg};
 pub use ops::{CountRows, JoinOp, MaxPayloadSum, Select};
 pub use plan::{PlanStep, QueryPlan};
-pub use query::{paper_query, PaperQueryResult};
+pub use query::{paper_query, paper_query_on, PaperQueryResult};
 pub use scan::Relation;
+pub use sched::{
+    QueryError, QueryOutput, QueryStatus, QueryTicket, Scheduler, SchedulerConfig,
+    SchedulerMetrics, SubmitError,
+};
+pub use session::{JoinSpec, Predicate, QuerySpec, Session};

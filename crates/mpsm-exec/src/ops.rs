@@ -7,10 +7,10 @@
 //! executor only has to feed it realistically (a selection means "no
 //! referential integrity or indexes could be exploited", §5).
 
-use mpsm_core::join::JoinAlgorithm;
+use mpsm_core::join::{JoinAlgorithm, PooledJoin};
 use mpsm_core::sink::{CountSink, JoinSink, MaxAggSink};
 use mpsm_core::stats::JoinStats;
-use mpsm_core::worker::{chunk_ranges, run_parallel};
+use mpsm_core::worker::{chunk_ranges, run_parallel, SharedWorkerPool};
 use mpsm_core::Tuple;
 
 use crate::scan::Relation;
@@ -28,7 +28,7 @@ impl<'a, P: Fn(&Tuple) -> bool + Sync> Select<'a, P> {
         Select { relation, predicate }
     }
 
-    /// Execute with `threads` workers.
+    /// Execute with `threads` workers (fresh threads per call).
     pub fn execute(&self, threads: usize) -> Vec<Tuple> {
         let tuples = self.relation.tuples();
         let ranges = chunk_ranges(tuples.len(), threads.max(1));
@@ -39,6 +39,26 @@ impl<'a, P: Fn(&Tuple) -> bool + Sync> Select<'a, P> {
                 .copied()
                 .collect::<Vec<_>>()
         });
+        Self::concat(parts)
+    }
+
+    /// Execute on a shared worker pool: the filter scan is submitted as
+    /// one tagged phase, so scheduled queries never spawn threads for
+    /// their selections.
+    pub fn execute_on(&self, pool: &SharedWorkerPool) -> Vec<Tuple> {
+        let tuples = self.relation.tuples();
+        let ranges = chunk_ranges(tuples.len(), pool.threads());
+        let parts = pool.run(|w| {
+            tuples[ranges[w].clone()]
+                .iter()
+                .filter(|t| (self.predicate)(t))
+                .copied()
+                .collect::<Vec<_>>()
+        });
+        Self::concat(parts)
+    }
+
+    fn concat(parts: Vec<Vec<Tuple>>) -> Vec<Tuple> {
         let mut out = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
         for mut p in parts {
             out.append(&mut p);
@@ -65,6 +85,18 @@ impl<'a, J: JoinAlgorithm> JoinOp<'a, J> {
     }
 }
 
+impl<'a, J: PooledJoin> JoinOp<'a, J> {
+    /// Execute the join with its phases submitted to a shared pool.
+    pub fn execute_on<S: JoinSink>(
+        &self,
+        pool: &SharedWorkerPool,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> (S::Result, JoinStats) {
+        self.algorithm.join_with_sink_on::<S>(pool, r, s)
+    }
+}
+
 /// The paper's aggregate: `max(R.payload + S.payload)`.
 pub struct MaxPayloadSum;
 
@@ -76,6 +108,16 @@ impl MaxPayloadSum {
         s: &[Tuple],
     ) -> (Option<u64>, JoinStats) {
         join.execute::<MaxAggSink>(r, s)
+    }
+
+    /// Run over a join operator's output, on a shared pool.
+    pub fn over_on<J: PooledJoin>(
+        pool: &SharedWorkerPool,
+        join: &JoinOp<'_, J>,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> (Option<u64>, JoinStats) {
+        join.execute_on::<MaxAggSink>(pool, r, s)
     }
 }
 

@@ -6,6 +6,11 @@
 //! especially since the paper's HyPer context compiles exactly such
 //! plans \[21\]. [`QueryPlan`] describes one pipeline instance and
 //! renders the usual indented EXPLAIN tree.
+//!
+//! Scheduled executions (see [`crate::sched`]) additionally report how
+//! long the query waited in the admission queue and the per-phase
+//! critical-path timings of the join, both rendered as extra EXPLAIN
+//! nodes.
 
 use std::fmt;
 
@@ -27,6 +32,15 @@ pub enum PlanStep {
     },
 }
 
+impl PlanStep {
+    fn label(&self) -> String {
+        match self {
+            PlanStep::Scan { relation, rows } => format!("Scan {relation} [{rows} rows]"),
+            PlanStep::Select { rows_out } => format!("Select [out = {rows_out} rows]"),
+        }
+    }
+}
+
 /// A described execution of the paper's pipeline.
 #[derive(Debug, Clone)]
 pub struct QueryPlan {
@@ -42,38 +56,90 @@ pub struct QueryPlan {
     pub aggregate: String,
     /// Join output cardinality if the sink counted it.
     pub join_rows: Option<u64>,
+    /// Time the query waited in the scheduler's admission queue before
+    /// execution started, in ms (`None` for unscheduled executions).
+    pub queue_wait_ms: Option<f64>,
+    /// Critical-path duration of each join phase, in ms, when the
+    /// execution recorded them.
+    pub phases_ms: Option<[f64; 4]>,
+}
+
+/// A rendered EXPLAIN node: a label plus child nodes.
+struct Node {
+    label: String,
+    children: Vec<Node>,
+}
+
+impl Node {
+    fn new(label: impl Into<String>) -> Self {
+        Node { label: label.into(), children: Vec::new() }
+    }
+
+    fn child(mut self, c: Node) -> Self {
+        self.children.push(c);
+        self
+    }
+
+    /// Standard tree rendering: every child is introduced by `├─ ` /
+    /// `└─ `, and descendants of a non-last child keep the `│ `
+    /// continuation — correct at any depth, which the old
+    /// fixed-three-space renderer was not once a side pipeline grew
+    /// beyond two steps.
+    fn render(&self, prefix: &str, out: &mut String) {
+        let n = self.children.len();
+        for (i, child) in self.children.iter().enumerate() {
+            let last = i + 1 == n;
+            let branch = if last { "└─ " } else { "├─ " };
+            let cont = if last { "   " } else { "│  " };
+            out.push_str(prefix);
+            out.push_str(branch);
+            out.push_str(&child.label);
+            out.push('\n');
+            child.render(&format!("{prefix}{cont}"), out);
+        }
+    }
 }
 
 impl QueryPlan {
     /// Render the indented EXPLAIN tree.
     pub fn explain(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!("Aggregate [{}]\n", self.aggregate));
-        out.push_str(&format!(
-            "└─ Join [{}; T = {}{}]\n",
+        // A side's steps are stored scan-first; rendered outermost
+        // (last step) down to the scan.
+        let side = |label: &str, steps: &[PlanStep]| -> Node {
+            let mut node = Node::new(format!("{label}:"));
+            let mut slot = &mut node;
+            for step in steps.iter().rev() {
+                slot.children.push(Node::new(step.label()));
+                slot = slot.children.last_mut().expect("just pushed");
+            }
+            node
+        };
+
+        let mut join = Node::new(format!(
+            "Join [{}; T = {}{}]",
             self.algorithm,
             self.threads,
             self.join_rows.map_or(String::new(), |r| format!("; out = {r} rows")),
         ));
-        let render_side = |label: &str, steps: &[PlanStep], last: bool| -> String {
-            let (branch, pad) =
-                if last { ("   └─", "      ") } else { ("   ├─", "   │  ") };
-            let mut side = format!("{branch} {label}:\n");
-            for (i, step) in steps.iter().rev().enumerate() {
-                let indent = pad.to_string() + &"   ".repeat(i);
-                match step {
-                    PlanStep::Select { rows_out } => {
-                        side.push_str(&format!("{indent}└─ Select [out = {rows_out} rows]\n"));
-                    }
-                    PlanStep::Scan { relation, rows } => {
-                        side.push_str(&format!("{indent}└─ Scan {relation} [{rows} rows]\n"));
-                    }
-                }
-            }
-            side
+        if let Some(p) = self.phases_ms {
+            join = join.child(Node::new(format!(
+                "Phases [1: {:.3} ms, 2: {:.3} ms, 3: {:.3} ms, 4: {:.3} ms]",
+                p[0], p[1], p[2], p[3],
+            )));
+        }
+        join =
+            join.child(side("private (R)", &self.private)).child(side("public (S)", &self.public));
+
+        let aggregate = Node::new(format!("Aggregate [{}]", self.aggregate)).child(join);
+        let root = match self.queue_wait_ms {
+            Some(wait) => Node::new(format!("Queue [wait = {wait:.3} ms]")).child(aggregate),
+            None => aggregate,
         };
-        out.push_str(&render_side("private (R)", &self.private, false));
-        out.push_str(&render_side("public (S)", &self.public, true));
+
+        let mut out = String::new();
+        out.push_str(&root.label);
+        out.push('\n');
+        root.render("", &mut out);
         out
     }
 }
@@ -102,6 +168,8 @@ mod tests {
             ],
             aggregate: "max(R.payload + S.payload)".into(),
             join_rows: Some(2000),
+            queue_wait_ms: None,
+            phases_ms: None,
         }
     }
 
@@ -130,5 +198,53 @@ mod tests {
         let mut p = sample();
         p.join_rows = None;
         assert!(p.explain().contains("Join [P-MPSM; T = 8]"));
+    }
+
+    #[test]
+    fn exact_tree_at_depth_three() {
+        // Three steps per side: the tree must stay aligned below depth
+        // 2 (each nested step indents exactly one level under its
+        // parent, and the `│` continuation of the non-last side runs
+        // the full depth of its subtree).
+        let mut p = sample();
+        p.private.push(PlanStep::Select { rows_out: 100 });
+        p.public.push(PlanStep::Select { rows_out: 7 });
+        let expected = "\
+Aggregate [max(R.payload + S.payload)]
+└─ Join [P-MPSM; T = 8; out = 2000 rows]
+   ├─ private (R):
+   │  └─ Select [out = 100 rows]
+   │     └─ Select [out = 500 rows]
+   │        └─ Scan orders [1000 rows]
+   └─ public (S):
+      └─ Select [out = 7 rows]
+         └─ Select [out = 4000 rows]
+            └─ Scan lineitem [4000 rows]
+";
+        assert_eq!(p.explain(), expected);
+    }
+
+    #[test]
+    fn scheduled_plans_render_queue_and_phases() {
+        let mut p = sample();
+        p.queue_wait_ms = Some(1.25);
+        p.phases_ms = Some([0.5, 1.0, 0.25, 2.0]);
+        let text = p.explain();
+        assert!(text.starts_with("Queue [wait = 1.250 ms]\n└─ Aggregate"), "{text}");
+        assert!(
+            text.contains("      ├─ Phases [1: 0.500 ms, 2: 1.000 ms, 3: 0.250 ms, 4: 2.000 ms]"),
+            "{text}"
+        );
+        // The queue node shifts the whole pipeline one level deeper;
+        // the private side keeps its continuation bars intact.
+        assert!(text.contains("      ├─ private (R):\n      │  └─ Select"), "{text}");
+    }
+
+    #[test]
+    fn empty_side_renders_just_the_label() {
+        let mut p = sample();
+        p.private.clear();
+        let text = p.explain();
+        assert!(text.contains("├─ private (R):\n"), "{text}");
     }
 }

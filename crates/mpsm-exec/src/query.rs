@@ -10,8 +10,9 @@
 //! selection so "no referential integrity (foreign keys) or indexes
 //! could be exploited").
 
-use mpsm_core::join::JoinAlgorithm;
+use mpsm_core::join::{JoinAlgorithm, PooledJoin};
 use mpsm_core::stats::JoinStats;
+use mpsm_core::worker::SharedWorkerPool;
 use mpsm_core::Tuple;
 
 use crate::ops::{JoinOp, MaxPayloadSum, Select};
@@ -53,8 +54,53 @@ where
     let s_sel = Select::new(s, s_pred).execute(threads);
     let join = JoinOp::new(algorithm);
     let (max, stats) = MaxPayloadSum::over(&join, &r_sel, &s_sel);
+    assemble(algorithm.name(), threads, r, s, r_sel, s_sel, max, stats)
+}
+
+/// [`paper_query`] with every parallel section — both selections and
+/// all join phases — submitted to a caller-provided shared pool. The
+/// pool's width is the degree of parallelism; no threads are spawned.
+///
+/// This is the execution path of the [`crate::sched`] scheduler: many
+/// concurrent queries call this against the same pool, and their phases
+/// interleave FIFO-fairly instead of oversubscribing the machine. The
+/// returned plan carries the join's per-phase timings
+/// ([`QueryPlan::phases_ms`]); the scheduler adds the queue wait.
+pub fn paper_query_on<J, PR, PS>(
+    pool: &SharedWorkerPool,
+    r: &Relation,
+    s: &Relation,
+    r_pred: PR,
+    s_pred: PS,
+    algorithm: &J,
+) -> PaperQueryResult
+where
+    J: PooledJoin,
+    PR: Fn(&Tuple) -> bool + Sync,
+    PS: Fn(&Tuple) -> bool + Sync,
+{
+    let r_sel = Select::new(r, r_pred).execute_on(pool);
+    let s_sel = Select::new(s, s_pred).execute_on(pool);
+    let join = JoinOp::new(algorithm);
+    let (max, stats) = MaxPayloadSum::over_on(pool, &join, &r_sel, &s_sel);
+    let mut out = assemble(algorithm.name(), pool.threads(), r, s, r_sel, s_sel, max, stats);
+    out.plan.phases_ms = Some(out.stats.phases_ms());
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assemble(
+    algorithm: &str,
+    threads: usize,
+    r: &Relation,
+    s: &Relation,
+    r_sel: Vec<Tuple>,
+    s_sel: Vec<Tuple>,
+    max: Option<u64>,
+    stats: JoinStats,
+) -> PaperQueryResult {
     let plan = QueryPlan {
-        algorithm: algorithm.name().to_string(),
+        algorithm: algorithm.to_string(),
         threads,
         private: vec![
             PlanStep::Scan { relation: r.name().to_string(), rows: r.len() },
@@ -66,6 +112,8 @@ where
         ],
         aggregate: "max(R.payload + S.payload)".to_string(),
         join_rows: None,
+        queue_wait_ms: None,
+        phases_ms: None,
     };
     PaperQueryResult {
         max_payload_sum: max,
@@ -130,6 +178,21 @@ mod tests {
         assert!(text.contains("Scan R [100 rows]"), "{text}");
         assert!(text.contains("Select [out = 10 rows]"), "{text}");
         assert!(text.contains("Scan S [200 rows]"), "{text}");
+    }
+
+    #[test]
+    fn pooled_query_matches_spawning_query() {
+        let r = rel("R", 400);
+        let s = Relation::new("S", (0..1600u64).map(|i| Tuple::new(i % 400, i)).collect());
+        let algo = PMpsmJoin::new(JoinConfig::with_threads(4));
+        let spawning = paper_query(&r, &s, |t| t.key % 2 == 0, |_| true, &algo, 4);
+        let pool = SharedWorkerPool::new(4);
+        let pooled = paper_query_on(&pool, &r, &s, |t| t.key % 2 == 0, |_| true, &algo);
+        assert_eq!(pooled.max_payload_sum, spawning.max_payload_sum);
+        assert_eq!(pooled.r_selected, spawning.r_selected);
+        assert_eq!(pooled.s_selected, spawning.s_selected);
+        assert!(pooled.plan.phases_ms.is_some(), "pooled plans record phase timings");
+        assert!(pool.phases_served() > 0, "all sections ran on the shared pool");
     }
 
     #[test]

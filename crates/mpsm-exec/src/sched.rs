@@ -1,0 +1,633 @@
+//! The concurrent query scheduler: many paper queries, one shared
+//! worker pool.
+//!
+//! The MPSM paper assumes a join owns the whole machine; a system
+//! serving many clients cannot — concurrent callers of
+//! [`paper_query`](crate::query::paper_query) would each spawn their
+//! own workers and oversubscribe every core. The scheduler inverts
+//! that: it provisions **one** [`SharedWorkerPool`] and admits
+//! queries against it.
+//!
+//! * **Admission control** — at most `max_in_flight` queries execute
+//!   concurrently (one lightweight coordinator thread each); up to
+//!   `queue_capacity` more wait in a FIFO queue; beyond that,
+//!   [`Scheduler::submit`] rejects with [`SubmitError::QueueFull`]
+//!   instead of letting backlog grow without bound.
+//! * **Phase-granular fairness** — an executing query submits its
+//!   selections and join phases to the shared pool one at a time; the
+//!   pool's FIFO turnstile admits competitors between those phases, so
+//!   a large query cannot monopolize the workers while a small one
+//!   starves.
+//! * **Asynchronous results** — [`Scheduler::submit`] returns a
+//!   [`QueryTicket`] immediately; poll it with [`QueryTicket::status`]
+//!   / [`QueryTicket::try_result`] or block on [`QueryTicket::wait`].
+//! * **Isolation** — a query whose predicate (or join phase) panics
+//!   fails only its own ticket ([`QueryError::Panicked`]); the pool,
+//!   the coordinators, and every other in-flight query keep running.
+//! * **Observability** — each result's plan reports queue wait and
+//!   per-phase timings (rendered by EXPLAIN), and
+//!   [`Scheduler::metrics`] aggregates submission/completion counters
+//!   and queue latency across the scheduler's lifetime.
+//!
+//! ```
+//! use mpsm_exec::sched::{Scheduler, SchedulerConfig};
+//! use mpsm_exec::session::QuerySpec;
+//! use mpsm_exec::Relation;
+//! use mpsm_core::Tuple;
+//! use std::sync::Arc;
+//!
+//! // 2 shared workers, at most 2 queries executing, 8 queued.
+//! let scheduler = Scheduler::new(SchedulerConfig::new(2).max_in_flight(2).queue_capacity(8));
+//! let r = Arc::new(Relation::new("R", (0..100u64).map(|k| Tuple::new(k, k)).collect()));
+//! let s = Arc::new(Relation::new("S", (0..100u64).map(|k| Tuple::new(k, k)).collect()));
+//!
+//! // Five concurrent joins over two workers — more than the pool
+//! // width; the scheduler interleaves their phases.
+//! let tickets: Vec<_> = (0..5u64)
+//!     .map(|i| {
+//!         let spec = QuerySpec::join(&r, &s).filter_r(move |t| t.key >= i);
+//!         scheduler.submit(spec).expect("admission rejected")
+//!     })
+//!     .collect();
+//! for ticket in tickets {
+//!     let out = ticket.wait().expect("query failed");
+//!     assert_eq!(out.result.max_payload_sum, Some(99 + 99));
+//! }
+//! assert_eq!(scheduler.metrics().completed, 5);
+//! ```
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use mpsm_core::worker::SharedWorkerPool;
+
+use crate::query::PaperQueryResult;
+use crate::session::QuerySpec;
+
+/// Sizing of a [`Scheduler`]: pool width, concurrency budget, queue
+/// bound.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Width of the shared worker pool (the machine share this
+    /// scheduler may use; every query's phases run at this
+    /// parallelism).
+    pub pool_threads: usize,
+    /// Queries executing concurrently (coordinator threads). More
+    /// in-flight queries means better pool utilization between a
+    /// competitor's phases but more peak memory for materialized
+    /// selections and runs.
+    pub max_in_flight: usize,
+    /// Submissions allowed to wait beyond the executing ones before
+    /// [`Scheduler::submit`] starts rejecting.
+    pub queue_capacity: usize,
+}
+
+impl SchedulerConfig {
+    /// A scheduler over `pool_threads` shared workers, with 2 queries
+    /// in flight and a 16-deep admission queue.
+    pub fn new(pool_threads: usize) -> Self {
+        SchedulerConfig { pool_threads, max_in_flight: 2, queue_capacity: 16 }
+    }
+
+    /// Builder-style override of the in-flight budget.
+    pub fn max_in_flight(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one in-flight query");
+        self.max_in_flight = n;
+        self
+    }
+
+    /// Builder-style override of the queue bound (0 = execute-or-reject).
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n;
+        self
+    }
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// In-flight work already exceeds the configured budget
+    /// (`max_in_flight` executing + `queue_capacity` queued).
+    QueueFull {
+        /// The configured queue bound that was hit.
+        capacity: usize,
+    },
+    /// The scheduler is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} waiting queries)")
+            }
+            SubmitError::ShuttingDown => write!(f, "scheduler is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why a submitted query produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The submission was never admitted (blocking convenience paths
+    /// fold [`SubmitError`] into this).
+    Rejected(SubmitError),
+    /// The query panicked while executing (e.g. a predicate or a join
+    /// phase); other queries are unaffected.
+    Panicked(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Rejected(e) => write!(f, "query rejected: {e}"),
+            QueryError::Panicked(msg) => write!(f, "query panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A completed scheduled query: the paper-query result plus the
+/// scheduling times (also folded into the result's EXPLAIN plan).
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// The query result, with [`crate::plan::QueryPlan::queue_wait_ms`]
+    /// and [`crate::plan::QueryPlan::phases_ms`] populated.
+    pub result: PaperQueryResult,
+    /// Time spent waiting in the admission queue.
+    pub queue_wait: Duration,
+    /// Execution wall time (first selection through aggregate).
+    pub execution: Duration,
+}
+
+/// Where a submitted query currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// Waiting in the admission queue.
+    Queued,
+    /// Executing on the shared pool.
+    Running,
+    /// Finished (result or error available).
+    Done,
+}
+
+enum TicketState {
+    Queued,
+    Running,
+    Done(Result<QueryOutput, QueryError>),
+}
+
+struct TicketCell {
+    state: Mutex<TicketState>,
+    cv: Condvar,
+}
+
+impl TicketCell {
+    fn set(&self, state: TicketState) {
+        *self.state.lock().expect("ticket poisoned") = state;
+        self.cv.notify_all();
+    }
+}
+
+/// A futures-style handle to one submitted query: poll with
+/// [`QueryTicket::status`] / [`QueryTicket::try_result`], or block on
+/// [`QueryTicket::wait`].
+pub struct QueryTicket {
+    id: u64,
+    cell: Arc<TicketCell>,
+}
+
+impl QueryTicket {
+    /// The query's scheduler-assigned id (also the owner id tagging its
+    /// phases on the shared pool).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Non-blocking status probe.
+    pub fn status(&self) -> QueryStatus {
+        match *self.cell.state.lock().expect("ticket poisoned") {
+            TicketState::Queued => QueryStatus::Queued,
+            TicketState::Running => QueryStatus::Running,
+            TicketState::Done(_) => QueryStatus::Done,
+        }
+    }
+
+    /// The result, if the query already finished (clones; the ticket
+    /// stays usable).
+    pub fn try_result(&self) -> Option<Result<QueryOutput, QueryError>> {
+        match &*self.cell.state.lock().expect("ticket poisoned") {
+            TicketState::Done(result) => Some(result.clone()),
+            _ => None,
+        }
+    }
+
+    /// Block until the query finishes and take the result.
+    pub fn wait(self) -> Result<QueryOutput, QueryError> {
+        let mut state = self.cell.state.lock().expect("ticket poisoned");
+        loop {
+            match &*state {
+                TicketState::Done(result) => return result.clone(),
+                _ => state = self.cell.cv.wait(state).expect("ticket poisoned"),
+            }
+        }
+    }
+}
+
+/// Lifetime counters of a scheduler (monotonic; read at any time).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedulerMetrics {
+    /// Queries admitted (queued or executed).
+    pub submitted: u64,
+    /// Queries finished successfully.
+    pub completed: u64,
+    /// Submissions rejected by admission control.
+    pub rejected: u64,
+    /// Queries that panicked while executing.
+    pub panicked: u64,
+    /// Total time admitted queries spent queued, in microseconds
+    /// (divide by `completed + panicked` for the mean queue latency).
+    pub queue_wait_micros: u64,
+}
+
+#[derive(Default)]
+struct AtomicMetrics {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    panicked: AtomicU64,
+    queue_wait_micros: AtomicU64,
+}
+
+struct QueuedQuery {
+    id: u64,
+    spec: QuerySpec,
+    cell: Arc<TicketCell>,
+    submitted_at: Instant,
+}
+
+#[derive(Default)]
+struct QueueState {
+    backlog: VecDeque<QueuedQuery>,
+    /// Queries popped by a coordinator and not yet finished.
+    running: usize,
+    shutdown: bool,
+}
+
+struct SchedCore {
+    queue: Mutex<QueueState>,
+    work_cv: Condvar,
+    metrics: AtomicMetrics,
+    /// Admission budget: `backlog + running` may not exceed
+    /// `max_in_flight + queue_capacity`.
+    max_in_flight: usize,
+    queue_capacity: usize,
+    next_id: AtomicU64,
+}
+
+/// The multi-query scheduler. See the module docs for the model and a
+/// runnable example; [`crate::session::Session`] layers a relation
+/// catalog on top.
+pub struct Scheduler {
+    core: Arc<SchedCore>,
+    pool: SharedWorkerPool,
+    coordinators: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Provision the shared pool and start the coordinator threads.
+    pub fn new(config: SchedulerConfig) -> Self {
+        assert!(config.pool_threads > 0, "need at least one pool worker");
+        assert!(config.max_in_flight > 0, "need at least one in-flight query");
+        let pool = SharedWorkerPool::new(config.pool_threads);
+        let core = Arc::new(SchedCore {
+            queue: Mutex::new(QueueState::default()),
+            work_cv: Condvar::new(),
+            metrics: AtomicMetrics::default(),
+            max_in_flight: config.max_in_flight,
+            queue_capacity: config.queue_capacity,
+            next_id: AtomicU64::new(1),
+        });
+        let coordinators = (0..config.max_in_flight)
+            .map(|_| {
+                let core = Arc::clone(&core);
+                let pool = pool.clone();
+                std::thread::spawn(move || coordinator_loop(&core, &pool))
+            })
+            .collect();
+        Scheduler { core, pool, coordinators }
+    }
+
+    /// Submit a query. Returns a ticket immediately, or rejects when
+    /// the backlog already holds `queue_capacity` queries.
+    pub fn submit(&self, spec: QuerySpec) -> Result<QueryTicket, SubmitError> {
+        let mut queue = self.core.queue.lock().expect("scheduler queue poisoned");
+        if queue.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if queue.backlog.len() + queue.running >= self.core.max_in_flight + self.core.queue_capacity
+        {
+            drop(queue);
+            self.core.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull { capacity: self.core.queue_capacity });
+        }
+        let id = self.core.next_id.fetch_add(1, Ordering::Relaxed);
+        let cell =
+            Arc::new(TicketCell { state: Mutex::new(TicketState::Queued), cv: Condvar::new() });
+        queue.backlog.push_back(QueuedQuery {
+            id,
+            spec,
+            cell: Arc::clone(&cell),
+            submitted_at: Instant::now(),
+        });
+        drop(queue);
+        self.core.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        self.core.work_cv.notify_one();
+        Ok(QueryTicket { id, cell })
+    }
+
+    /// The shared pool (width, phase counters, tracing).
+    pub fn pool(&self) -> &SharedWorkerPool {
+        &self.pool
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn metrics(&self) -> SchedulerMetrics {
+        let m = &self.core.metrics;
+        SchedulerMetrics {
+            submitted: m.submitted.load(Ordering::Relaxed),
+            completed: m.completed.load(Ordering::Relaxed),
+            rejected: m.rejected.load(Ordering::Relaxed),
+            panicked: m.panicked.load(Ordering::Relaxed),
+            queue_wait_micros: m.queue_wait_micros.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Queries currently waiting in the admission queue.
+    pub fn queued(&self) -> usize {
+        self.core.queue.lock().expect("scheduler queue poisoned").backlog.len()
+    }
+
+    /// Queries currently executing on the shared pool.
+    pub fn in_flight(&self) -> usize {
+        self.core.queue.lock().expect("scheduler queue poisoned").running
+    }
+}
+
+impl Drop for Scheduler {
+    /// Graceful shutdown: already-admitted queries (executing *and*
+    /// queued) are drained to completion, then the coordinators exit.
+    fn drop(&mut self) {
+        self.core.queue.lock().expect("scheduler queue poisoned").shutdown = true;
+        self.core.work_cv.notify_all();
+        for handle in self.coordinators.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn coordinator_loop(core: &SchedCore, pool: &SharedWorkerPool) {
+    loop {
+        let job = {
+            let mut queue = core.queue.lock().expect("scheduler queue poisoned");
+            loop {
+                if let Some(job) = queue.backlog.pop_front() {
+                    queue.running += 1;
+                    break job;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = core.work_cv.wait(queue).expect("scheduler queue poisoned");
+            }
+        };
+        let queue_wait = job.submitted_at.elapsed();
+        core.metrics.queue_wait_micros.fetch_add(queue_wait.as_micros() as u64, Ordering::Relaxed);
+        job.cell.set(TicketState::Running);
+
+        // Phases of this query are tagged with its id on the pool.
+        let query_pool = pool.with_owner(job.id);
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            job.spec.join.run(
+                &query_pool,
+                &job.spec.r,
+                &job.spec.s,
+                &job.spec.r_pred,
+                &job.spec.s_pred,
+            )
+        }));
+        let done = match outcome {
+            Ok(mut result) => {
+                result.plan.queue_wait_ms = Some(queue_wait.as_secs_f64() * 1e3);
+                core.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                Ok(QueryOutput { result, queue_wait, execution: started.elapsed() })
+            }
+            Err(payload) => {
+                core.metrics.panicked.fetch_add(1, Ordering::Relaxed);
+                Err(QueryError::Panicked(panic_message(payload)))
+            }
+        };
+        // Release the admission slot *before* publishing the result: a
+        // client that resubmits the instant `wait()` returns must not
+        // be rejected because its finished query still counts as
+        // in-flight.
+        core.queue.lock().expect("scheduler queue poisoned").running -= 1;
+        job.cell.set(TicketState::Done(done));
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::paper_query;
+    use crate::scan::Relation;
+    use crate::session::QuerySpec;
+    use mpsm_core::join::p_mpsm::PMpsmJoin;
+    use mpsm_core::join::JoinConfig;
+    use mpsm_core::Tuple;
+
+    fn rel(name: &str, n: u64) -> Arc<Relation> {
+        Arc::new(Relation::new(name, (0..n).map(|k| Tuple::new(k, k)).collect()))
+    }
+
+    #[test]
+    fn single_query_matches_serial_execution() {
+        let r = rel("R", 200);
+        let s = rel("S", 200);
+        let serial = paper_query(
+            &r,
+            &s,
+            |t| t.key % 3 == 0,
+            |_| true,
+            &PMpsmJoin::new(JoinConfig::with_threads(2)),
+            2,
+        );
+        let scheduler = Scheduler::new(SchedulerConfig::new(2));
+        let out = scheduler
+            .submit(QuerySpec::join(&r, &s).filter_r(|t| t.key % 3 == 0))
+            .expect("admitted")
+            .wait()
+            .expect("query failed");
+        assert_eq!(out.result.max_payload_sum, serial.max_payload_sum);
+        assert_eq!(out.result.r_selected, serial.r_selected);
+        assert_eq!(out.result.plan.queue_wait_ms.is_some(), true);
+        assert!(out.result.plan.explain().contains("Queue [wait ="));
+    }
+
+    #[test]
+    fn ticket_reports_lifecycle() {
+        let r = rel("R", 50);
+        let s = rel("S", 50);
+        let scheduler = Scheduler::new(SchedulerConfig::new(1));
+        let ticket = scheduler.submit(QuerySpec::join(&r, &s)).expect("admitted");
+        // The query may be anywhere in queued → running → done by now;
+        // wait() must converge regardless.
+        let _ = ticket.status();
+        let out = ticket.wait().expect("query failed");
+        assert_eq!(out.result.max_payload_sum, Some(49 + 49));
+    }
+
+    #[test]
+    fn try_result_becomes_available() {
+        let r = rel("R", 30);
+        let s = rel("S", 30);
+        let scheduler = Scheduler::new(SchedulerConfig::new(1));
+        let ticket = scheduler.submit(QuerySpec::join(&r, &s)).expect("admitted");
+        // Bounded spin: completion must arrive.
+        let mut result = None;
+        for _ in 0..10_000 {
+            if let Some(r) = ticket.try_result() {
+                result = Some(r);
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let out = result.expect("query never finished").expect("query failed");
+        assert_eq!(out.result.max_payload_sum, Some(29 + 29));
+        assert_eq!(ticket.status(), QueryStatus::Done);
+    }
+
+    #[test]
+    fn admission_control_rejects_beyond_budget() {
+        let r = rel("R", 40);
+        let s = rel("S", 40);
+        // One coordinator, zero queue slots beyond it; block the
+        // coordinator with a gated query, then overflow.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let scheduler = Scheduler::new(SchedulerConfig::new(1).max_in_flight(1).queue_capacity(1));
+        let blocker = {
+            let gate = Arc::clone(&gate);
+            QuerySpec::join(&r, &s).filter_r(move |_| {
+                let (open, cv) = &*gate;
+                let mut open = open.lock().expect("gate poisoned");
+                while !*open {
+                    open = cv.wait(open).expect("gate poisoned");
+                }
+                true
+            })
+        };
+        let t1 = scheduler.submit(blocker).expect("first query admitted");
+        // Wait until it is actually running (occupying the coordinator).
+        while t1.status() != QueryStatus::Running {
+            std::thread::yield_now();
+        }
+        let t2 = scheduler.submit(QuerySpec::join(&r, &s)).expect("one backlog slot");
+        let rejected = scheduler.submit(QuerySpec::join(&r, &s));
+        assert_eq!(rejected.err(), Some(SubmitError::QueueFull { capacity: 1 }));
+        assert_eq!(scheduler.metrics().rejected, 1);
+        assert_eq!(scheduler.in_flight(), 1);
+        assert_eq!(scheduler.queued(), 1);
+        // Open the gate; both admitted queries complete.
+        {
+            let (open, cv) = &*gate;
+            *open.lock().expect("gate poisoned") = true;
+            cv.notify_all();
+        }
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+    }
+
+    #[test]
+    fn finished_query_frees_its_admission_slot_immediately() {
+        let r = rel("R", 40);
+        let s = rel("S", 40);
+        // Execute-or-reject mode: one slot, zero backlog. A closed-loop
+        // client resubmitting right after wait() must never be
+        // rejected — the slot is released before the result publishes.
+        let scheduler = Scheduler::new(SchedulerConfig::new(1).max_in_flight(1).queue_capacity(0));
+        for round in 0..20 {
+            let ticket = scheduler
+                .submit(QuerySpec::join(&r, &s))
+                .unwrap_or_else(|e| panic!("round {round}: slot not freed: {e}"));
+            ticket.wait().expect("query failed");
+        }
+        assert_eq!(scheduler.metrics().rejected, 0);
+    }
+
+    #[test]
+    fn drop_drains_admitted_queries() {
+        let r = rel("R", 60);
+        let s = rel("S", 60);
+        let scheduler = Scheduler::new(SchedulerConfig::new(1).max_in_flight(1));
+        let tickets: Vec<_> =
+            (0..6).map(|_| scheduler.submit(QuerySpec::join(&r, &s)).expect("admitted")).collect();
+        drop(scheduler);
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok(), "admitted queries must drain on shutdown");
+        }
+    }
+
+    #[test]
+    fn submit_after_drop_is_impossible_by_construction() {
+        // (The scheduler is consumed by drop; this pins the ShuttingDown
+        // path through the internal flag instead.)
+        let r = rel("R", 10);
+        let s = rel("S", 10);
+        let scheduler = Scheduler::new(SchedulerConfig::new(1));
+        scheduler.core.queue.lock().expect("queue").shutdown = true;
+        assert_eq!(
+            scheduler.submit(QuerySpec::join(&r, &s)).err(),
+            Some(SubmitError::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn metrics_track_queue_latency() {
+        let r = rel("R", 80);
+        let s = rel("S", 80);
+        let scheduler = Scheduler::new(SchedulerConfig::new(2).max_in_flight(1));
+        let tickets: Vec<_> =
+            (0..4).map(|_| scheduler.submit(QuerySpec::join(&r, &s)).expect("admitted")).collect();
+        for t in tickets {
+            t.wait().expect("query failed");
+        }
+        let m = scheduler.metrics();
+        assert_eq!(m.submitted, 4);
+        assert_eq!(m.completed, 4);
+        assert_eq!(m.panicked, 0);
+    }
+}

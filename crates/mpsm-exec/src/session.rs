@@ -1,0 +1,257 @@
+//! Sessions: the client-facing, name-oriented API over the scheduler.
+//!
+//! A [`Session`] owns a [`Scheduler`] (and therefore one shared worker
+//! pool) plus a catalog of registered relations. Clients describe
+//! queries as [`QuerySpec`]s — owned, `'static` descriptions built
+//! from [`std::sync::Arc`]-shared relations and predicates — and
+//! either block on [`Session::query`] or go asynchronous via
+//! [`Session::submit`] and the returned [`QueryTicket`].
+//!
+//! ```
+//! use mpsm_exec::session::{QuerySpec, Session};
+//! use mpsm_exec::sched::SchedulerConfig;
+//! use mpsm_exec::Relation;
+//! use mpsm_core::Tuple;
+//!
+//! let session = Session::new(SchedulerConfig::new(2));
+//! let r = session.register(Relation::new("R", (0..50u64).map(|k| Tuple::new(k, k)).collect()));
+//! let s = session.register(Relation::new("S", (0..50u64).map(|k| Tuple::new(k, 2 * k)).collect()));
+//!
+//! // Blocking convenience path.
+//! let out = session
+//!     .query(QuerySpec::join(&r, &s).filter_r(|t| t.key < 10))
+//!     .expect("query failed");
+//! assert_eq!(out.result.max_payload_sum, Some(9 + 18));
+//!
+//! // Asynchronous path: submit many, wait later.
+//! let tickets: Vec<_> = (0..4)
+//!     .map(|i| {
+//!         let spec = QuerySpec::join(&r, &s).filter_s(move |t| t.key >= i * 10);
+//!         session.submit(spec).expect("admission rejected")
+//!     })
+//!     .collect();
+//! for ticket in tickets {
+//!     assert!(ticket.wait().expect("query failed").result.max_payload_sum.is_some());
+//! }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use mpsm_core::join::p_mpsm::PMpsmJoin;
+use mpsm_core::join::{b_mpsm::BMpsmJoin, JoinConfig, PooledJoin};
+use mpsm_core::worker::SharedWorkerPool;
+use mpsm_core::Tuple;
+
+use crate::query::{paper_query_on, PaperQueryResult};
+use crate::scan::Relation;
+use crate::sched::{QueryError, QueryOutput, QueryTicket, Scheduler, SchedulerConfig, SubmitError};
+
+/// An owned, shareable selection predicate.
+pub type Predicate = Arc<dyn Fn(&Tuple) -> bool + Send + Sync>;
+
+/// Which join algorithm a scheduled query runs, with its configuration.
+///
+/// The configured thread count is ignored on the scheduled path — the
+/// scheduler's shared pool decides the worker count `T`; the remaining
+/// knobs (radix bits, CDF fan, role policy) apply unchanged.
+#[derive(Debug, Clone)]
+pub enum JoinSpec {
+    /// Range-partitioned MPSM (the paper's main-memory variant, §3.2).
+    PMpsm(JoinConfig),
+    /// Basic MPSM (absolutely skew-immune, §2.1).
+    BMpsm(JoinConfig),
+}
+
+impl JoinSpec {
+    /// P-MPSM with paper-default knobs.
+    pub fn p_mpsm() -> Self {
+        JoinSpec::PMpsm(JoinConfig::with_threads(1))
+    }
+
+    /// B-MPSM with paper-default knobs.
+    pub fn b_mpsm() -> Self {
+        JoinSpec::BMpsm(JoinConfig::with_threads(1))
+    }
+
+    /// Run the paper query described by `spec` on `pool`.
+    pub(crate) fn run(
+        &self,
+        pool: &SharedWorkerPool,
+        r: &Relation,
+        s: &Relation,
+        r_pred: &Predicate,
+        s_pred: &Predicate,
+    ) -> PaperQueryResult {
+        fn go<J: PooledJoin>(
+            pool: &SharedWorkerPool,
+            r: &Relation,
+            s: &Relation,
+            r_pred: &Predicate,
+            s_pred: &Predicate,
+            algorithm: &J,
+        ) -> PaperQueryResult {
+            paper_query_on(pool, r, s, |t| r_pred(t), |t| s_pred(t), algorithm)
+        }
+        match self {
+            JoinSpec::PMpsm(cfg) => go(pool, r, s, r_pred, s_pred, &PMpsmJoin::new(cfg.clone())),
+            JoinSpec::BMpsm(cfg) => go(pool, r, s, r_pred, s_pred, &BMpsmJoin::new(cfg.clone())),
+        }
+    }
+}
+
+/// An owned description of one paper query — everything the scheduler
+/// needs to run `scan → select → join → max` later, on another thread.
+#[derive(Clone)]
+pub struct QuerySpec {
+    pub(crate) r: Arc<Relation>,
+    pub(crate) s: Arc<Relation>,
+    pub(crate) r_pred: Predicate,
+    pub(crate) s_pred: Predicate,
+    pub(crate) join: JoinSpec,
+}
+
+impl QuerySpec {
+    /// Join `r ⋈ s` with no selections, using P-MPSM defaults.
+    pub fn join(r: &Arc<Relation>, s: &Arc<Relation>) -> Self {
+        QuerySpec {
+            r: Arc::clone(r),
+            s: Arc::clone(s),
+            r_pred: Arc::new(|_| true),
+            s_pred: Arc::new(|_| true),
+            join: JoinSpec::p_mpsm(),
+        }
+    }
+
+    /// Set the selection on the private input `R`.
+    pub fn filter_r(mut self, pred: impl Fn(&Tuple) -> bool + Send + Sync + 'static) -> Self {
+        self.r_pred = Arc::new(pred);
+        self
+    }
+
+    /// Set the selection on the public input `S`.
+    pub fn filter_s(mut self, pred: impl Fn(&Tuple) -> bool + Send + Sync + 'static) -> Self {
+        self.s_pred = Arc::new(pred);
+        self
+    }
+
+    /// Choose the join algorithm (default: P-MPSM).
+    pub fn algorithm(mut self, join: JoinSpec) -> Self {
+        self.join = join;
+        self
+    }
+}
+
+impl std::fmt::Debug for QuerySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuerySpec")
+            .field("r", &self.r.name())
+            .field("s", &self.s.name())
+            .field("join", &self.join)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A client session: one scheduler (one shared pool) plus a relation
+/// catalog. See the module docs for a walkthrough.
+pub struct Session {
+    scheduler: Scheduler,
+    catalog: Mutex<HashMap<String, Arc<Relation>>>,
+}
+
+impl Session {
+    /// Open a session with its own scheduler.
+    pub fn new(config: SchedulerConfig) -> Self {
+        Session { scheduler: Scheduler::new(config), catalog: Mutex::new(HashMap::new()) }
+    }
+
+    /// Register a relation under its own name, returning the shared
+    /// handle query specs are built from. Re-registering a name
+    /// replaces the old relation (already-submitted queries keep the
+    /// version they captured).
+    pub fn register(&self, relation: Relation) -> Arc<Relation> {
+        let handle = Arc::new(relation);
+        self.catalog
+            .lock()
+            .expect("catalog poisoned")
+            .insert(handle.name().to_string(), Arc::clone(&handle));
+        handle
+    }
+
+    /// Look up a registered relation by name.
+    pub fn relation(&self, name: &str) -> Option<Arc<Relation>> {
+        self.catalog.lock().expect("catalog poisoned").get(name).cloned()
+    }
+
+    /// Submit a query for asynchronous execution. Fails fast when the
+    /// scheduler's admission queue is full.
+    pub fn submit(&self, spec: QuerySpec) -> Result<QueryTicket, SubmitError> {
+        self.scheduler.submit(spec)
+    }
+
+    /// Submit and block until the result is available. Admission
+    /// rejections surface as [`QueryError::Rejected`].
+    pub fn query(&self, spec: QuerySpec) -> Result<QueryOutput, QueryError> {
+        match self.scheduler.submit(spec) {
+            Ok(ticket) => ticket.wait(),
+            Err(err) => Err(QueryError::Rejected(err)),
+        }
+    }
+
+    /// The underlying scheduler (pool metrics, direct submission).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(name: &str, n: u64) -> Relation {
+        Relation::new(name, (0..n).map(|k| Tuple::new(k, k)).collect())
+    }
+
+    #[test]
+    fn catalog_registers_and_resolves() {
+        let session = Session::new(SchedulerConfig::new(1));
+        session.register(rel("orders", 10));
+        assert_eq!(session.relation("orders").expect("registered").len(), 10);
+        assert!(session.relation("lineitem").is_none());
+    }
+
+    #[test]
+    fn blocking_query_round_trip() {
+        let session = Session::new(SchedulerConfig::new(2));
+        let r = session.register(rel("R", 100));
+        let s = session.register(rel("S", 100));
+        let out = session
+            .query(QuerySpec::join(&r, &s).filter_r(|t| t.key < 50).filter_s(|t| t.key >= 40))
+            .expect("query failed");
+        assert_eq!(out.result.max_payload_sum, Some(49 + 49));
+        assert_eq!(out.result.r_selected, 50);
+        assert_eq!(out.result.s_selected, 60);
+        assert!(out.result.plan.queue_wait_ms.is_some(), "scheduled plans report queue wait");
+    }
+
+    #[test]
+    fn b_mpsm_spec_agrees_with_p_mpsm_spec() {
+        let session = Session::new(SchedulerConfig::new(2));
+        let r = session.register(rel("R", 300));
+        let s = session
+            .register(Relation::new("S", (0..900u64).map(|i| Tuple::new(i % 300, i)).collect()));
+        let p = session.query(QuerySpec::join(&r, &s)).expect("P-MPSM failed");
+        let b = session
+            .query(QuerySpec::join(&r, &s).algorithm(JoinSpec::b_mpsm()))
+            .expect("B-MPSM failed");
+        assert_eq!(p.result.max_payload_sum, b.result.max_payload_sum);
+    }
+
+    #[test]
+    fn spec_debug_is_compact() {
+        let r = Arc::new(rel("R", 1));
+        let s = Arc::new(rel("S", 1));
+        let text = format!("{:?}", QuerySpec::join(&r, &s));
+        assert!(text.contains("\"R\"") && text.contains("PMpsm"), "{text}");
+    }
+}

@@ -4,7 +4,7 @@ use crate::Strategy;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-/// Length specification accepted by [`vec`] (subset of proptest's
+/// Length specification accepted by [`vec()`] (subset of proptest's
 /// `SizeRange` conversions: exact, half-open, inclusive).
 pub trait IntoSizeRange {
     /// Lower/upper bound, inclusive.

@@ -16,7 +16,9 @@
 //!   join, radix join, classic sort-merge, nested loop);
 //! * [`workload`] — dataset generators for the paper's evaluation;
 //! * [`exec`] — a minimal relational executor running the paper's
-//!   benchmark query end to end.
+//!   benchmark query end to end, plus a concurrent query scheduler
+//!   ([`exec::sched`] / [`exec::session`]) serving many joins from one
+//!   shared worker pool.
 //!
 //! ## Quickstart
 //!

@@ -10,6 +10,7 @@ use std::process::Command;
 /// All examples registered in Cargo.toml, in `examples/`.
 const EXAMPLES: &[&str] = &[
     "quickstart",
+    "concurrent_clients",
     "memory_constrained_join",
     "numa_commandments",
     "operational_bi",
