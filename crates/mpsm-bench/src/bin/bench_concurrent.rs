@@ -98,7 +98,7 @@ fn finite(label: &str, v: f64) -> f64 {
 /// all running one cached plan shape.
 fn preds(i: u64) -> (impl Fn(&Tuple) -> bool + Copy, impl Fn(&Tuple) -> bool + Copy) {
     let modulus = 2 + i % 4;
-    (move |t: &Tuple| t.key % modulus != 0, move |t: &Tuple| t.key % 7 != i % 7)
+    (move |t: &Tuple| !t.key.is_multiple_of(modulus), move |t: &Tuple| t.key % 7 != i % 7)
 }
 
 fn main() {

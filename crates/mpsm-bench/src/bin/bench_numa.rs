@@ -1,0 +1,293 @@
+//! `bench_numa` — the NUMA commandments, measured in the *real* join
+//! code path.
+//!
+//! Runs all three MPSM variants through [`mpsm_core::ExecContext`] on
+//! the paper-machine topology (4 nodes × 8 cores, Figure 11) and
+//! records each phase's local/remote × sequential/random access split
+//! as the production execution path counted it — not a sidecar
+//! simulation. `BENCH_5.json` at the repository root holds the
+//! committed trajectory point.
+//!
+//! The report self-validates the commandments and panics (failing CI's
+//! smoke step) if any regresses:
+//!
+//! * **C1** — no remote *random* accesses in any sort or partition
+//!   phase of B-/P-MPSM (sorting happens in node-local runs; the
+//!   scatter writes remotely only sequentially into disjoint windows);
+//! * **C2** — B-MPSM's merge phase reads remote runs strictly
+//!   sequentially; P-MPSM's interpolation entry probes are its only
+//!   random remote reads and stay sub-linear;
+//! * **C3** — zero synchronization events recorded inside any phase;
+//! * **locality** — P-MPSM's private sort (phase 3) and merge
+//!   (phase 4) are ≥ 95% node-local on the paper machine.
+//!
+//! ```text
+//! cargo run --release -p mpsm-bench --bin bench_numa
+//!     [--scale N] [--trials N] [--seed N] [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` divides the scale by 8 and halves the trials (the CI smoke
+//! configuration). Wall-clock numbers are medians over `--trials`.
+
+use std::time::Instant;
+
+use mpsm_core::join::b_mpsm::BMpsmJoin;
+use mpsm_core::join::d_mpsm::{DMpsmConfig, DMpsmJoin};
+use mpsm_core::join::p_mpsm::PMpsmJoin;
+use mpsm_core::sink::CountSink;
+use mpsm_core::{ExecContext, JoinAlgorithm, JoinConfig, Phase};
+use mpsm_numa::{AccessCounters, AccessKind};
+use mpsm_workload::fk_uniform;
+
+struct Args {
+    scale: usize,
+    trials: usize,
+    seed: u64,
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        // 128k ⋈ 128k over 32 simulated workers: large enough that
+        // every worker's partition clears the cache-resident sort
+        // threshold, small enough for the CI box.
+        scale: 1 << 17,
+        trials: 5,
+        seed: 42,
+        quick: false,
+        out: "BENCH_5.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    let num = |it: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
+        it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| panic!("{flag} needs a number"))
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => args.scale = num(&mut it, "--scale"),
+            "--trials" => args.trials = num(&mut it, "--trials"),
+            "--seed" => args.seed = num(&mut it, "--seed") as u64,
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next().unwrap_or_else(|| panic!("--out needs a path")),
+            other => {
+                panic!("unknown flag {other}; supported: --scale --trials --seed --quick --out")
+            }
+        }
+    }
+    if args.quick {
+        args.scale /= 8;
+        args.trials = (args.trials / 2).max(2);
+    }
+    assert!(args.scale > 0 && args.trials > 0);
+    args
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    assert!(!v.is_empty());
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in measurements"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+fn finite(label: &str, v: f64) -> f64 {
+    assert!(v.is_finite(), "{label} is not finite: {v}");
+    v
+}
+
+/// One phase's audited split, as JSON.
+fn phase_json(variant: &str, phase: Phase, c: &AccessCounters) -> String {
+    let label = format!("{variant} phase {}", phase as usize + 1);
+    let local = 1.0 - c.remote_fraction();
+    format!(
+        "      {{\"phase\": {}, \"total\": {}, \"local_seq\": {}, \"local_rand\": {}, \
+         \"remote_seq\": {}, \"remote_rand\": {}, \"local_fraction\": {:.6}, \
+         \"random_fraction\": {:.6}, \"syncs\": {}}}",
+        phase as usize + 1,
+        c.total_accesses(),
+        c.accesses(AccessKind::LocalSeq),
+        c.accesses(AccessKind::LocalRand),
+        c.accesses(AccessKind::RemoteSeq),
+        c.accesses(AccessKind::RemoteRand),
+        finite(&label, local),
+        finite(&label, c.random_fraction()),
+        c.syncs(),
+    )
+}
+
+struct VariantReport {
+    name: &'static str,
+    wall_ms: f64,
+    count: u64,
+    phases: Vec<(Phase, AccessCounters)>,
+}
+
+impl VariantReport {
+    fn phase(&self, phase: Phase) -> &AccessCounters {
+        &self.phases.iter().find(|(p, _)| *p == phase).expect("phase recorded").1
+    }
+
+    fn json(&self) -> String {
+        let phases: Vec<String> =
+            self.phases.iter().map(|(p, c)| phase_json(self.name, *p, c)).collect();
+        format!(
+            "    {{\"name\": \"{}\", \"wall_ms_median\": {:.3}, \"join_count\": {},\n    \
+             \"phases\": [\n{}\n    ]}}",
+            self.name,
+            self.wall_ms,
+            self.count,
+            phases.join(",\n")
+        )
+    }
+}
+
+/// Run one variant `trials` times on a fresh paper-machine context,
+/// returning median wall time and the last trial's phase counters
+/// (deterministic workload → identical counters every trial, which the
+/// run asserts).
+fn run_variant(
+    name: &'static str,
+    trials: usize,
+    join: &dyn Fn(&ExecContext) -> (u64, f64),
+) -> VariantReport {
+    let mut walls = Vec::with_capacity(trials);
+    let mut count = 0;
+    let mut phases: Vec<(Phase, AccessCounters)> = Vec::new();
+    for trial in 0..trials {
+        let cx = ExecContext::paper_machine();
+        let (c, wall_ms) = join(&cx);
+        let snapshot: Vec<(Phase, AccessCounters)> =
+            Phase::ALL.iter().map(|&p| (p, cx.phase_counters(p))).collect();
+        if trial == 0 {
+            count = c;
+            phases = snapshot;
+        } else {
+            assert_eq!(c, count, "{name}: join cardinality changed between trials");
+            assert_eq!(phases, snapshot, "{name}: access audit changed between trials");
+        }
+        walls.push(wall_ms);
+    }
+    VariantReport { name, wall_ms: finite(name, median(walls)), count, phases }
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "bench_numa: |R| = |S| = {}, topology 4 nodes x 8 cores (32 workers), seed = {}, \
+         trials = {}",
+        args.scale, args.seed, args.trials
+    );
+
+    let w = fk_uniform(args.scale, 1, args.seed);
+    let threads = ExecContext::paper_machine().threads();
+    let b = BMpsmJoin::new(JoinConfig::with_threads(threads));
+    let p = PMpsmJoin::new(JoinConfig::with_threads(threads));
+    let d = DMpsmJoin::new(DMpsmConfig::with_join(JoinConfig::with_threads(threads)));
+
+    let reports = vec![
+        run_variant("B-MPSM", args.trials, &|cx| {
+            let start = Instant::now();
+            let (count, _stats) = b.join_in::<CountSink>(cx, &w.r, &w.s);
+            (count, start.elapsed().as_secs_f64() * 1e3)
+        }),
+        run_variant("P-MPSM", args.trials, &|cx| {
+            let start = Instant::now();
+            let (count, _stats) = p.join_in::<CountSink>(cx, &w.r, &w.s);
+            (count, start.elapsed().as_secs_f64() * 1e3)
+        }),
+        run_variant("D-MPSM", args.trials, &|cx| {
+            let start = Instant::now();
+            let (count, _stats) = d.join_in::<CountSink>(cx, &w.r, &w.s);
+            (count, start.elapsed().as_secs_f64() * 1e3)
+        }),
+    ];
+
+    // ---- Correctness tripwire: all variants agree. ----
+    let expected = reports[0].count;
+    for rep in &reports {
+        assert_eq!(rep.count, expected, "{} disagrees on the join cardinality", rep.name);
+    }
+
+    // ---- The commandments, asserted on the audited real path. ----
+    let b_rep = &reports[0];
+    let p_rep = &reports[1];
+    for rep in [b_rep, p_rep] {
+        // C3: nothing in any phase synchronizes on shared state.
+        for (phase, c) in &rep.phases {
+            assert_eq!(c.syncs(), 0, "{}: syncs in phase {:?} (C3)", rep.name, phase);
+        }
+        // C1: sort/partition phases never touch remote memory randomly.
+        for phase in [Phase::One, Phase::Two, Phase::Three] {
+            assert_eq!(
+                rep.phase(phase).accesses(AccessKind::RemoteRand),
+                0,
+                "{}: remote random access in phase {:?} (C1)",
+                rep.name,
+                phase
+            );
+        }
+    }
+    // C2 (B-MPSM): the merge phase scans every remote run, but only
+    // sequentially.
+    let b_merge = b_rep.phase(Phase::Three);
+    assert!(b_merge.accesses(AccessKind::RemoteSeq) > 0, "B-MPSM merge must scan remote runs");
+    assert_eq!(b_merge.accesses(AccessKind::RemoteRand), 0, "B-MPSM remote reads sequential (C2)");
+
+    // Locality (P-MPSM): private sort and merge ≥ 95% node-local.
+    let p_sort_local = 1.0 - p_rep.phase(Phase::Three).remote_fraction();
+    let p_merge_local = 1.0 - p_rep.phase(Phase::Four).remote_fraction();
+    assert!(p_sort_local >= 0.95, "P-MPSM sort locality regressed: {p_sort_local:.4} < 0.95");
+    assert!(p_merge_local >= 0.95, "P-MPSM merge locality regressed: {p_merge_local:.4} < 0.95");
+    // P-MPSM's only random remote reads are the interpolation entry
+    // probes: T² pairs × (log2|S_j| + 1) probes is a hard ceiling.
+    let probe_ceiling = {
+        let t = threads as u64;
+        let run_len = (args.scale as u64 / t).max(2);
+        t * t * (run_len.ilog2() as u64 + 1)
+    };
+    let p_probes = p_rep.phase(Phase::Four).accesses(AccessKind::RemoteRand);
+    assert!(
+        p_probes <= probe_ceiling,
+        "P-MPSM merge random remote reads exceed the entry-probe ceiling: {p_probes} > {probe_ceiling}"
+    );
+
+    for rep in &reports {
+        let merged = AccessCounters::merged(rep.phases.iter().map(|(_, c)| c));
+        // The merge/join phase per the stats table: phase 3 for B-MPSM,
+        // phase 4 for P-/D-MPSM.
+        let merge = if rep.name == "B-MPSM" { Phase::Three } else { Phase::Four };
+        eprintln!(
+            "  {:7}: {:9.2} ms median, {} results, {:.1}% local overall, merge phase {:.1}% local",
+            rep.name,
+            rep.wall_ms,
+            rep.count,
+            (1.0 - merged.remote_fraction()) * 100.0,
+            (1.0 - rep.phase(merge).remote_fraction()) * 100.0,
+        );
+    }
+
+    let variants: Vec<String> = reports.iter().map(|r| r.json()).collect();
+    let json = format!(
+        "{{\n  \"config\": {{\"scale\": {}, \"seed\": {}, \"trials\": {}, \"quick\": {}}},\n  \
+         \"topology\": {{\"nodes\": 4, \"cores_per_node\": 8, \"workers\": {}}},\n  \
+         \"model\": \"tuple-granular access audit of the real join path (see mpsm_core::context)\",\n  \
+         \"checks\": {{\"c1_no_remote_random_in_sort_phases\": true, \
+         \"c2_bmpsm_remote_reads_sequential\": true, \"c3_zero_syncs\": true, \
+         \"pmpsm_sort_local_fraction\": {:.6}, \"pmpsm_merge_local_fraction\": {:.6}, \
+         \"locality_threshold\": 0.95}},\n  \"variants\": [\n{}\n  ]\n}}\n",
+        args.scale,
+        args.seed,
+        args.trials,
+        args.quick,
+        threads,
+        p_sort_local,
+        p_merge_local,
+        variants.join(",\n")
+    );
+    assert!(!json.to_ascii_lowercase().contains("nan"), "NaN leaked into the report");
+    std::fs::write(&args.out, &json).expect("write report");
+    eprintln!("wrote {}", args.out);
+}

@@ -17,11 +17,11 @@
 //! distributed. The price is that the join phase does not shrink as `T`
 //! grows — the motivation for P-MPSM (§2.2).
 
+use crate::context::ExecContext;
 use crate::join::variant::{band_merge_join, emit_variant_rows, merge_join_mark, JoinVariant};
 use crate::join::{JoinAlgorithm, JoinConfig, PooledJoin};
-use crate::merge::merge_join;
+use crate::merge::merge_join_scanned;
 use crate::sink::JoinSink;
-use crate::sort::three_phase_sort;
 use crate::stats::{JoinStats, Phase};
 use crate::tuple::Tuple;
 use crate::worker::{chunk_ranges, SharedWorkerPool};
@@ -53,8 +53,7 @@ impl BMpsmJoin {
         r: &[Tuple],
         s: &[Tuple],
     ) -> (S::Result, JoinStats) {
-        let pool = SharedWorkerPool::new(self.config.threads);
-        self.execute::<S>(&pool, Kernel::Variant(variant), r, s)
+        self.execute::<S>(&ExecContext::flat(self.config.threads), Kernel::Variant(variant), r, s)
     }
 
     /// Band (non-equi) join: all pairs with `|r.key − s.key| ≤ delta`.
@@ -66,8 +65,7 @@ impl BMpsmJoin {
         r: &[Tuple],
         s: &[Tuple],
     ) -> (S::Result, JoinStats) {
-        let pool = SharedWorkerPool::new(self.config.threads);
-        self.execute::<S>(&pool, Kernel::Band(delta), r, s)
+        self.execute::<S>(&ExecContext::flat(self.config.threads), Kernel::Band(delta), r, s)
     }
 
     /// [`BMpsmJoin::join_variant_with_sink`] on a caller-provided
@@ -79,7 +77,31 @@ impl BMpsmJoin {
         r: &[Tuple],
         s: &[Tuple],
     ) -> (S::Result, JoinStats) {
-        self.execute::<S>(pool, Kernel::Variant(variant), r, s)
+        self.execute::<S>(&ExecContext::over_pool(pool), Kernel::Variant(variant), r, s)
+    }
+
+    /// [`BMpsmJoin::join_variant_with_sink`] inside an execution
+    /// context (placement-aware storage and access audit; the context's
+    /// pool width is the worker count `T`).
+    pub fn join_variant_in<S: JoinSink>(
+        &self,
+        cx: &ExecContext,
+        variant: JoinVariant,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> (S::Result, JoinStats) {
+        self.execute::<S>(cx, Kernel::Variant(variant), r, s)
+    }
+
+    /// [`BMpsmJoin::band_join_with_sink`] inside an execution context.
+    pub fn band_join_in<S: JoinSink>(
+        &self,
+        cx: &ExecContext,
+        delta: u64,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> (S::Result, JoinStats) {
+        self.execute::<S>(cx, Kernel::Band(delta), r, s)
     }
 }
 
@@ -96,84 +118,112 @@ impl JoinAlgorithm for BMpsmJoin {
     }
 
     fn join_with_sink<S: JoinSink>(&self, r: &[Tuple], s: &[Tuple]) -> (S::Result, JoinStats) {
-        let pool = SharedWorkerPool::new(self.config.threads);
-        self.execute::<S>(&pool, Kernel::Variant(JoinVariant::Inner), r, s)
+        self.execute::<S>(
+            &ExecContext::flat(self.config.threads),
+            Kernel::Variant(JoinVariant::Inner),
+            r,
+            s,
+        )
     }
-}
 
-impl PooledJoin for BMpsmJoin {
-    fn join_with_sink_on<S: JoinSink>(
+    fn join_in<S: JoinSink>(
         &self,
-        pool: &SharedWorkerPool,
+        cx: &ExecContext,
         r: &[Tuple],
         s: &[Tuple],
     ) -> (S::Result, JoinStats) {
-        self.execute::<S>(pool, Kernel::Variant(JoinVariant::Inner), r, s)
+        self.execute::<S>(cx, Kernel::Variant(JoinVariant::Inner), r, s)
     }
 }
+
+impl PooledJoin for BMpsmJoin {}
 
 impl BMpsmJoin {
     fn execute<S: JoinSink>(
         &self,
-        pool: &SharedWorkerPool,
+        cx: &ExecContext,
         kernel: Kernel,
         r: &[Tuple],
         s: &[Tuple],
     ) -> (S::Result, JoinStats) {
-        // The pool decides the worker count (see `PooledJoin`).
-        let t = pool.threads();
+        // The context decides the worker count (see `JoinAlgorithm::join_in`).
+        let t = cx.threads();
+        let pool = cx.pool();
         let (r, s, _swapped) = self.config.assign_roles(r, s);
         let wall = std::time::Instant::now();
         let mut stats = JoinStats::new(t);
 
-        // Phase 1: sorted public runs (copy to worker-local storage,
-        // sort there — the copy is the paper's "redistribute, then work
-        // locally").
+        // Phase 1: sorted public runs (copy the interleaved chunk into
+        // node-homed storage, sort there — the copy is the paper's
+        // "redistribute, then work locally").
         let s_ranges = chunk_ranges(s.len(), t);
-        let (s_runs, d1) = pool.run_timed(|w| {
-            let mut run = s[s_ranges[w].clone()].to_vec();
-            three_phase_sort(&mut run);
-            run
+        let (phase1, d1) = pool.run_timed(|w| {
+            let mut scope = cx.scope(w);
+            let run = cx.sorted_run(w, &s[s_ranges[w].clone()], &mut scope);
+            (run, scope.finish())
         });
+        let (s_runs, c1): (Vec<_>, Vec<_>) = phase1.into_iter().unzip();
         stats.record_phase(Phase::One, &d1);
+        cx.record(Phase::One, c1);
 
         // Phase 2: sorted private runs.
         let r_ranges = chunk_ranges(r.len(), t);
-        let (r_runs, d2) = pool.run_timed(|w| {
-            let mut run = r[r_ranges[w].clone()].to_vec();
-            three_phase_sort(&mut run);
-            run
+        let (phase2, d2) = pool.run_timed(|w| {
+            let mut scope = cx.scope(w);
+            let run = cx.sorted_run(w, &r[r_ranges[w].clone()], &mut scope);
+            (run, scope.finish())
         });
+        let (r_runs, c2): (Vec<_>, Vec<_>) = phase2.into_iter().unzip();
         stats.record_phase(Phase::Two, &d2);
+        cx.record(Phase::Two, c2);
 
         // Phase 3: every worker joins its private run with all public
         // runs. The own run is re-scanned per public run (T times),
         // which the complexity analysis of §2.2 accounts as T · |R|/T.
-        let (partials, d3) = pool.run_timed(|w| {
+        // The audit records each kernel call's actual scan extents:
+        // forward-only cursors, so every remote read here is sequential
+        // (commandment C2 — pinned by the accounting proptests).
+        let (phase3, d3) = pool.run_timed(|w| {
+            let mut scope = cx.scope(w);
             let mut sink = S::default();
             let run = &r_runs[w];
+            let my_home = run.home();
             match kernel {
                 Kernel::Variant(JoinVariant::Inner) => {
                     for s_run in &s_runs {
-                        merge_join(run, s_run, &mut sink);
+                        let scan = merge_join_scanned(run, s_run, &mut sink);
+                        scope.touch(my_home, true, scan.r_scanned as u64);
+                        scope.touch(s_run.home(), true, scan.s_scanned as u64);
                     }
                 }
                 Kernel::Variant(variant) => {
                     let mut matched = vec![false; run.len()];
                     for s_run in &s_runs {
-                        merge_join_mark(run, s_run, &mut matched, variant.emits_pairs(), &mut sink);
+                        let scan = merge_join_mark(
+                            run,
+                            s_run,
+                            &mut matched,
+                            variant.emits_pairs(),
+                            &mut sink,
+                        );
+                        scope.touch(my_home, true, scan.r_scanned as u64);
+                        scope.touch(s_run.home(), true, scan.s_scanned as u64);
                     }
                     emit_variant_rows(variant, run, &matched, &mut sink);
                 }
                 Kernel::Band(delta) => {
                     for s_run in &s_runs {
                         band_merge_join(run, s_run, delta, &mut sink);
+                        scope.touch(my_home, true, run.len() as u64);
+                        scope.touch(s_run.home(), true, s_run.len() as u64);
                     }
                 }
             }
-            sink.finish()
+            (sink.finish(), scope.finish())
         });
+        let (partials, c3): (Vec<_>, Vec<_>) = phase3.into_iter().unzip();
         stats.record_phase(Phase::Three, &d3);
+        cx.record(Phase::Three, c3);
 
         stats.wall = wall.elapsed();
         (S::combine_all(partials), stats)
@@ -252,6 +302,36 @@ mod tests {
         assert_eq!(stats.per_worker.len(), 4);
         assert!(stats.wall_ms() > 0.0);
         assert_eq!(stats.phase_ms(Phase::Four), 0.0, "B-MPSM has no phase 4");
+    }
+
+    #[test]
+    fn context_join_obeys_c1_and_c2_on_the_paper_machine() {
+        use mpsm_numa::{AccessKind, Topology};
+
+        let mut state = 77u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 44
+        };
+        let r: Vec<Tuple> = (0..2000).map(|i| Tuple::new(next(), i)).collect();
+        let s: Vec<Tuple> = (0..2000).map(|i| Tuple::new(next(), i)).collect();
+        let cx = ExecContext::new(Topology::paper_machine(), 8);
+        let join = BMpsmJoin::new(JoinConfig::with_threads(8));
+        let count = join.join_in::<CountSink>(&cx, &r, &s).0;
+        assert_eq!(count, nested_loop_count(&r, &s));
+        // C1: runs are sorted in local RAM — no remote random accesses
+        // in either sort phase.
+        for phase in [Phase::One, Phase::Two] {
+            let c = cx.phase_counters(phase);
+            assert_eq!(c.accesses(AccessKind::RemoteRand), 0, "{phase:?}");
+            assert!(c.total_accesses() > 0, "{phase:?} must be audited");
+        }
+        // C2: the merge phase reads remote runs, but only sequentially.
+        let merge = cx.phase_counters(Phase::Three);
+        assert!(merge.accesses(AccessKind::RemoteSeq) > 0, "B-MPSM scans remote runs");
+        assert_eq!(merge.accesses(AccessKind::RemoteRand), 0, "remote reads sequential-only");
+        // Every worker's runs landed on its own node's arena.
+        assert!(cx.arena().stats().iter().all(|s| s.bytes > 0), "all four nodes hold runs");
     }
 
     #[test]

@@ -27,10 +27,10 @@ use mpsm_storage::{
     RunMeta, RunStore,
 };
 
+use crate::context::ExecContext;
 use crate::join::variant::JoinVariant;
 use crate::join::{JoinAlgorithm, JoinConfig};
 use crate::sink::JoinSink;
-use crate::sort::three_phase_sort;
 use crate::stats::{JoinStats, Phase};
 use crate::tuple::Tuple;
 use crate::worker::{chunk_ranges, SharedWorkerPool};
@@ -143,18 +143,17 @@ impl DMpsmJoin {
         B: DiskBackend + 'static,
         S: JoinSink,
     {
-        // One pool for run generation and the join phase; only the
+        // One context for run generation and the join phase; only the
         // prefetcher and the optional residency sampler live on their
         // own (long-running, asynchronous) threads.
-        let workers = SharedWorkerPool::new(self.config.join.threads);
-        self.join_variant_on_pool::<B, S>(&workers, variant, backend, r, s)
+        let cx = ExecContext::flat(self.config.join.threads);
+        self.join_variant_in::<B, S>(&cx, variant, backend, r, s)
     }
 
     /// [`DMpsmJoin::join_variant_on`] with run generation and the join
     /// phase submitted to a caller-provided shared pool (whose width is
-    /// the worker count `T`). The prefetcher and the optional residency
-    /// sampler still run on their own asynchronous threads — they are
-    /// continuous background services, not barrier-separated phases.
+    /// the worker count `T`). Equivalent to [`DMpsmJoin::join_variant_in`]
+    /// with a flat context wrapped around `workers`.
     pub fn join_variant_on_pool<B, S>(
         &self,
         workers: &SharedWorkerPool,
@@ -167,6 +166,32 @@ impl DMpsmJoin {
         B: DiskBackend + 'static,
         S: JoinSink,
     {
+        self.join_variant_in::<B, S>(&ExecContext::over_pool(workers), variant, backend, r, s)
+    }
+
+    /// [`DMpsmJoin::join_variant_on`] inside an execution context: run
+    /// generation's sort buffers are drawn from the context's arena and
+    /// audited, and the windowed join phase records its page traffic as
+    /// interleaved sequential reads (spooled runs live behind the
+    /// shared buffer pool, not on any NUMA node — the commandments
+    /// D-MPSM answers to are about the *sort* staying local and the
+    /// window moving sequentially). The prefetcher and the optional
+    /// residency sampler still run on their own asynchronous threads —
+    /// they are continuous background services, not barrier-separated
+    /// phases.
+    pub fn join_variant_in<B, S>(
+        &self,
+        cx: &ExecContext,
+        variant: JoinVariant,
+        backend: B,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> Result<(S::Result, JoinStats, DMpsmReport)>
+    where
+        B: DiskBackend + 'static,
+        S: JoinSink,
+    {
+        let workers = cx.pool();
         let t = workers.threads();
         let (r, s, _swapped) = self.config.join.assign_roles(r, s);
         let wall = std::time::Instant::now();
@@ -174,24 +199,30 @@ impl DMpsmJoin {
 
         let store = Arc::new(RunStore::new(backend, self.config.page_records));
 
-        // ---- Phase 1: sort and spool public runs. ----
+        // ---- Phase 1: sort and spool public runs (the sort buffer is
+        // node-local per commandment C1; spooling to "disk" is I/O, not
+        // NUMA memory traffic, and is reported via `DMpsmReport`). ----
         let s_ranges = chunk_ranges(s.len(), t);
-        let (s_metas, d1) = workers.run_timed(|w| {
-            let mut run = s[s_ranges[w].clone()].to_vec();
-            three_phase_sort(&mut run);
-            store.store_run(&run)
+        let (phase1, d1) = workers.run_timed(|w| {
+            let mut scope = cx.scope(w);
+            let run = cx.sorted_run(w, &s[s_ranges[w].clone()], &mut scope);
+            (store.store_run(&run), scope.finish())
         });
+        let (s_metas, c1): (Vec<_>, Vec<_>) = phase1.into_iter().unzip();
         stats.record_phase(Phase::One, &d1);
+        cx.record(Phase::One, c1);
         let s_metas: Vec<RunMeta> = s_metas.into_iter().collect::<Result<_>>()?;
 
         // ---- Phase 2: sort and spool private runs. ----
         let r_ranges = chunk_ranges(r.len(), t);
-        let (r_metas, d2) = workers.run_timed(|w| {
-            let mut run = r[r_ranges[w].clone()].to_vec();
-            three_phase_sort(&mut run);
-            store.store_run(&run)
+        let (phase2, d2) = workers.run_timed(|w| {
+            let mut scope = cx.scope(w);
+            let run = cx.sorted_run(w, &r[r_ranges[w].clone()], &mut scope);
+            (store.store_run(&run), scope.finish())
         });
+        let (r_metas, c2): (Vec<_>, Vec<_>) = phase2.into_iter().unzip();
         stats.record_phase(Phase::Two, &d2);
+        cx.record(Phase::Two, c2);
         let r_metas: Vec<RunMeta> = r_metas.into_iter().collect::<Result<_>>()?;
 
         // ---- Join phase: page index over S, prefetcher, windowed
@@ -225,62 +256,77 @@ impl DMpsmJoin {
             })
         });
 
-        let (partials, d4) = workers.run_timed(|w| -> Result<S::Result> {
+        let (phase4, d4) = workers.run_timed(|w| {
+            let mut scope = cx.scope(w);
             let mut sink = S::default();
             let mut r_reader = PooledReader::new(&pool, r_metas[w].clone());
             let mut s_readers: Vec<PooledReader<'_, B>> =
                 s_metas.iter().map(|m| PooledReader::new(&pool, m.clone())).collect();
             let mut r_group: Vec<Tuple> = Vec::new();
 
-            while let Some(head) = r_reader.peek()? {
-                let key = head.key;
-                progress.update(w, key);
-                // Collect the duplicate group of `key` from R_w.
-                r_group.clear();
-                while let Some(t) = r_reader.peek()? {
-                    if t.key != key {
-                        break;
-                    }
-                    r_group.push(t);
-                    r_reader.advance()?;
-                }
-                // Join the group against every S run; the group's
-                // match status is final after this loop.
-                let mut group_matched = false;
-                for sr in s_readers.iter_mut() {
-                    sr.skip_below(key)?;
-                    while let Some(st) = sr.peek()? {
-                        if st.key != key {
+            // The streaming loop, with `?` confined so the consumed-page
+            // accounting below runs on the success *and* error paths.
+            let body = || -> Result<S::Result> {
+                while let Some(head) = r_reader.peek()? {
+                    let key = head.key;
+                    progress.update(w, key);
+                    // Collect the duplicate group of `key` from R_w.
+                    r_group.clear();
+                    while let Some(t) = r_reader.peek()? {
+                        if t.key != key {
                             break;
                         }
-                        group_matched = true;
-                        if variant.emits_pairs() {
+                        r_group.push(t);
+                        r_reader.advance()?;
+                    }
+                    // Join the group against every S run; the group's
+                    // match status is final after this loop.
+                    let mut group_matched = false;
+                    for sr in s_readers.iter_mut() {
+                        sr.skip_below(key)?;
+                        while let Some(st) = sr.peek()? {
+                            if st.key != key {
+                                break;
+                            }
+                            group_matched = true;
+                            if variant.emits_pairs() {
+                                for rt in &r_group {
+                                    sink.on_match(*rt, st);
+                                }
+                            }
+                            sr.advance()?;
+                        }
+                    }
+                    match variant {
+                        JoinVariant::Inner => {}
+                        JoinVariant::LeftOuter | JoinVariant::LeftAnti if !group_matched => {
                             for rt in &r_group {
-                                sink.on_match(*rt, st);
+                                sink.on_private(*rt);
                             }
                         }
-                        sr.advance()?;
+                        JoinVariant::LeftSemi if group_matched => {
+                            for rt in &r_group {
+                                sink.on_private(*rt);
+                            }
+                        }
+                        _ => {}
                     }
                 }
-                match variant {
-                    JoinVariant::Inner => {}
-                    JoinVariant::LeftOuter | JoinVariant::LeftAnti if !group_matched => {
-                        for rt in &r_group {
-                            sink.on_private(*rt);
-                        }
-                    }
-                    JoinVariant::LeftSemi if group_matched => {
-                        for rt in &r_group {
-                            sink.on_private(*rt);
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            progress.finish(w);
-            Ok(sink.finish())
+                progress.finish(w);
+                Ok(sink.finish())
+            };
+            let result = body();
+            // Audit: spooled pages reach the worker through the shared
+            // buffer pool, so the window's tuple traffic is interleaved
+            // and — because cursors only move forward — sequential.
+            let consumed =
+                r_reader.consumed() + s_readers.iter().map(|r| r.consumed()).sum::<u64>();
+            scope.touch_interleaved(true, consumed);
+            (result, scope.finish())
         });
+        let (partials, c4): (Vec<_>, Vec<_>) = phase4.into_iter().unzip();
         stats.record_phase(Phase::Four, &d4);
+        cx.record(Phase::Four, c4);
         prefetcher.stop();
         sampler_stop.store(true, std::sync::atomic::Ordering::Release);
         let residency_trace =
@@ -319,6 +365,27 @@ impl JoinAlgorithm for DMpsmJoin {
             .expect("in-memory backend cannot fail");
         (result, stats)
     }
+
+    /// [`DMpsmJoin::join_variant_in`] over the default simulated disk
+    /// array (the unified context entry; use the backend-typed methods
+    /// for fallible storage or the [`DMpsmReport`]).
+    fn join_in<S: JoinSink>(
+        &self,
+        cx: &ExecContext,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> (S::Result, JoinStats) {
+        let (result, stats, _report) = self
+            .join_variant_in::<MemBackend, S>(
+                cx,
+                JoinVariant::Inner,
+                MemBackend::disk_array(),
+                r,
+                s,
+            )
+            .expect("in-memory backend cannot fail");
+        (result, stats)
+    }
 }
 
 /// Sequential reader over a stored run, fetching pages through the
@@ -330,11 +397,19 @@ struct PooledReader<'a, B: DiskBackend> {
     page: u32,
     offset: usize,
     current: Option<Arc<Vec<Tuple>>>,
+    /// Tuples consumed through this reader (page-level hops in
+    /// `skip_below` touch nothing and are not counted) — feeds the
+    /// join-phase access audit.
+    consumed: u64,
 }
 
 impl<'a, B: DiskBackend> PooledReader<'a, B> {
     fn new(pool: &'a BufferPool<B, Tuple>, meta: RunMeta) -> Self {
-        PooledReader { pool, meta, page: 0, offset: 0, current: None }
+        PooledReader { pool, meta, page: 0, offset: 0, current: None, consumed: 0 }
+    }
+
+    fn consumed(&self) -> u64 {
+        self.consumed
     }
 
     fn peek(&mut self) -> Result<Option<Tuple>> {
@@ -357,6 +432,7 @@ impl<'a, B: DiskBackend> PooledReader<'a, B> {
 
     fn advance(&mut self) -> Result<()> {
         self.offset += 1;
+        self.consumed += 1;
         Ok(())
     }
 

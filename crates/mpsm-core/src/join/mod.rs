@@ -6,6 +6,7 @@ pub mod d_mpsm;
 pub mod p_mpsm;
 pub mod variant;
 
+use crate::context::ExecContext;
 use crate::sink::{CountSink, JoinSink, MaxAggSink};
 use crate::stats::JoinStats;
 use crate::tuple::Tuple;
@@ -118,6 +119,30 @@ pub trait JoinAlgorithm {
     /// [`Role::FirstPrivate`].
     fn join_with_sink<S: JoinSink>(&self, r: &[Tuple], s: &[Tuple]) -> (S::Result, JoinStats);
 
+    /// Join `r ⋈ s` inside an execution context: every parallel phase
+    /// runs on `cx`'s shared pool, run and partition storage comes from
+    /// its node-local arenas, and the context's per-phase counters
+    /// record the local-vs-remote access audit. This is the one entry
+    /// shape every execution layer uses; the classic
+    /// [`JoinAlgorithm::join_with_sink`] and the pooled
+    /// [`PooledJoin::join_with_sink_on`] are thin wrappers providing a
+    /// default (flat) context.
+    ///
+    /// The default implementation ignores the context's placement and
+    /// self-provisions workers — algorithms without NUMA integration
+    /// (the baseline contenders) stay usable through the unified shape,
+    /// they just contribute nothing to the audit. The MPSM variants
+    /// override it.
+    fn join_in<S: JoinSink>(
+        &self,
+        cx: &ExecContext,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> (S::Result, JoinStats) {
+        let _ = cx;
+        self.join_with_sink::<S>(r, s)
+    }
+
     /// Join and count result tuples.
     fn count(&self, r: &[Tuple], s: &[Tuple]) -> u64 {
         self.join_with_sink::<CountSink>(r, s).0
@@ -141,13 +166,18 @@ pub trait JoinAlgorithm {
 pub trait PooledJoin: JoinAlgorithm {
     /// Join `r ⋈ s`, submitting every parallel phase to `pool` (tagged
     /// with the handle's owner id, interleaving FIFO-fairly with other
-    /// owners' phases).
+    /// owners' phases). Equivalent to [`JoinAlgorithm::join_in`] with a
+    /// flat single-node context wrapped around `pool`
+    /// ([`ExecContext::over_pool`]) — placement-aware callers should
+    /// build a real context and call `join_in` directly.
     fn join_with_sink_on<S: JoinSink>(
         &self,
         pool: &crate::worker::SharedWorkerPool,
         r: &[Tuple],
         s: &[Tuple],
-    ) -> (S::Result, JoinStats);
+    ) -> (S::Result, JoinStats) {
+        self.join_in::<S>(&ExecContext::over_pool(pool), r, s)
+    }
 }
 
 #[cfg(test)]

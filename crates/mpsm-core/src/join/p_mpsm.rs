@@ -27,14 +27,15 @@
 //! handling at all because `R` is redistributed anyway (§5.5).
 
 use crate::cdf::{equi_height_bounds, Cdf};
+use crate::context::ExecContext;
 use crate::histogram::{combine_histograms, compute_histogram, RadixDomain};
 use crate::interpolation::interpolation_lower_bound;
 use crate::join::variant::{emit_variant_rows, merge_join_mark, JoinVariant};
 use crate::join::{JoinAlgorithm, JoinConfig, PooledJoin};
-use crate::merge::merge_join;
-use crate::partition::range_partition_shared;
+use crate::merge::merge_join_scanned;
+use crate::partition::range_partition_ctx;
 use crate::sink::JoinSink;
-use crate::sort::three_phase_sort;
+use crate::sort::three_phase_sort_audited;
 use crate::splitter::{compute_splitters, equi_height_splitters, Splitters};
 use crate::stats::{JoinStats, Phase};
 use crate::tuple::{key_range, Tuple};
@@ -115,8 +116,7 @@ impl PMpsmJoin {
         r: &[Tuple],
         s: &[Tuple],
     ) -> (S::Result, JoinStats) {
-        let pool = SharedWorkerPool::new(self.config.threads);
-        self.execute::<S>(&pool, variant, r, s)
+        self.execute::<S>(&ExecContext::flat(self.config.threads), variant, r, s)
     }
 
     /// [`PMpsmJoin::join_variant_with_sink`] on a caller-provided
@@ -128,7 +128,20 @@ impl PMpsmJoin {
         r: &[Tuple],
         s: &[Tuple],
     ) -> (S::Result, JoinStats) {
-        self.execute::<S>(pool, variant, r, s)
+        self.execute::<S>(&ExecContext::over_pool(pool), variant, r, s)
+    }
+
+    /// [`PMpsmJoin::join_variant_with_sink`] inside an execution
+    /// context (placement-aware storage and access audit; the context's
+    /// pool width is the worker count `T`).
+    pub fn join_variant_in<S: JoinSink>(
+        &self,
+        cx: &ExecContext,
+        variant: JoinVariant,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> (S::Result, JoinStats) {
+        self.execute::<S>(cx, variant, r, s)
     }
 }
 
@@ -138,48 +151,53 @@ impl JoinAlgorithm for PMpsmJoin {
     }
 
     fn join_with_sink<S: JoinSink>(&self, r: &[Tuple], s: &[Tuple]) -> (S::Result, JoinStats) {
-        let pool = SharedWorkerPool::new(self.config.threads);
-        self.execute::<S>(&pool, JoinVariant::Inner, r, s)
+        self.execute::<S>(&ExecContext::flat(self.config.threads), JoinVariant::Inner, r, s)
     }
-}
 
-impl PooledJoin for PMpsmJoin {
-    fn join_with_sink_on<S: JoinSink>(
+    fn join_in<S: JoinSink>(
         &self,
-        pool: &SharedWorkerPool,
+        cx: &ExecContext,
         r: &[Tuple],
         s: &[Tuple],
     ) -> (S::Result, JoinStats) {
-        self.execute::<S>(pool, JoinVariant::Inner, r, s)
+        self.execute::<S>(cx, JoinVariant::Inner, r, s)
     }
 }
+
+impl PooledJoin for PMpsmJoin {}
 
 impl PMpsmJoin {
     fn execute<S: JoinSink>(
         &self,
-        pool: &SharedWorkerPool,
+        cx: &ExecContext,
         variant: JoinVariant,
         r: &[Tuple],
         s: &[Tuple],
     ) -> (S::Result, JoinStats) {
-        // The pool decides the worker count: a self-pooled join gets
+        // The context decides the worker count: a self-pooled join gets
         // `config.threads` workers, a scheduled join shares whatever
         // width the scheduler provisioned.
-        let t = pool.threads();
+        let t = cx.threads();
+        let pool = cx.pool();
         let (r, s, _swapped) = self.config.assign_roles(r, s);
         let wall = std::time::Instant::now();
         let mut stats = JoinStats::new(t);
 
-        // ---- Phase 1: sort public chunks into runs S_1 … S_T. ----
+        // ---- Phase 1: sort public chunks into node-homed runs
+        // S_1 … S_T. ----
         let s_ranges = chunk_ranges(s.len(), t);
-        let (s_runs, d1) = pool.run_timed(|w| {
-            let mut run = s[s_ranges[w].clone()].to_vec();
-            three_phase_sort(&mut run);
-            run
+        let (phase1, d1) = pool.run_timed(|w| {
+            let mut scope = cx.scope(w);
+            let run = cx.sorted_run(w, &s[s_ranges[w].clone()], &mut scope);
+            (run, scope.finish())
         });
+        let (s_runs, c1): (Vec<_>, Vec<_>) = phase1.into_iter().unzip();
         stats.record_phase(Phase::One, &d1);
+        cx.record(Phase::One, c1);
 
-        // ---- Phase 2.1: global S distribution (CDF). ----
+        // ---- Phase 2.1: global S distribution (CDF). Sub-linear
+        // (f·T bounds per worker, read from the already-sorted local
+        // run) — not counted in the access audit. ----
         let fan = (self.config.cdf_fan * t).max(1);
         let (locals, d21) =
             pool.run_timed(|w| (equi_height_bounds(&s_runs[w], fan), s_runs[w].len()));
@@ -191,8 +209,14 @@ impl PMpsmJoin {
         let r_chunks: Vec<&[Tuple]> = r_ranges.iter().map(|rng| &r[rng.clone()]).collect();
         // Key domain of R: cheap parallel min/max scan (the "bitwise
         // shift preprocessing" of §3.2.1 needs the bounds).
-        let (ranges, d_scan) = pool.run_timed(|w| key_range(r_chunks[w]));
+        let (scan_out, d_scan) = pool.run_timed(|w| {
+            let mut scope = cx.scope(w);
+            scope.touch_interleaved(true, r_chunks[w].len() as u64);
+            (key_range(r_chunks[w]), scope.finish())
+        });
+        let (ranges, c_scan): (Vec<_>, Vec<_>) = scan_out.into_iter().unzip();
         stats.record_phase(Phase::Two, &d_scan);
+        cx.record(Phase::Two, c_scan);
         let (min, max) = ranges
             .into_iter()
             .flatten()
@@ -202,37 +226,55 @@ impl PMpsmJoin {
         } else {
             RadixDomain::from_range(0, 0, self.config.radix_bits)
         };
-        let (histograms, d22) = pool.run_timed(|w| compute_histogram(r_chunks[w], &domain));
+        let (hist_out, d22) = pool.run_timed(|w| {
+            let mut scope = cx.scope(w);
+            scope.touch_interleaved(true, r_chunks[w].len() as u64);
+            (compute_histogram(r_chunks[w], &domain), scope.finish())
+        });
+        let (histograms, c22): (Vec<_>, Vec<_>) = hist_out.into_iter().unzip();
         stats.record_phase(Phase::Two, &d22);
+        cx.record(Phase::Two, c22);
         let global_hist = combine_histograms(&histograms);
 
-        // ---- Phase 2.3: splitters + synchronization-free scatter. ----
+        // ---- Phase 2.3: splitters + synchronization-free scatter into
+        // partitions homed on their owning workers' nodes (the audited,
+        // placement-aware path). ----
         let splitters: Splitters = match self.policy {
             SplitterPolicy::CostBalanced => compute_splitters(&global_hist, &domain, &cdf, t),
             SplitterPolicy::EquiHeight => equi_height_splitters(&global_hist, t),
         };
         let scatter_start = std::time::Instant::now();
-        let partitions = range_partition_shared(pool, &r_chunks, &domain, &splitters);
+        let partitions = range_partition_ctx(cx, &r_chunks, &domain, &splitters);
         let scatter = scatter_start.elapsed();
         // The scatter is a parallel section; attribute its wall time to
         // every worker's phase 2 (all workers participate end-to-end).
         stats.record_phase(Phase::Two, &vec![scatter; t]);
 
         // ---- Phase 3: sort private partitions R_i. Each worker takes
-        // ownership of its partition and sorts it in place (on a real
-        // NUMA box this is where the run lives in local RAM). The
-        // take-once slots hand each partition to its pool worker.
+        // ownership of its partition — homed on its own node by the
+        // scatter above — and sorts it in place (commandment C1: the
+        // random accesses of the sort all hit local RAM). The take-once
+        // slots hand each partition to its pool worker.
         let slots = crate::worker::OwnedSlots::new(partitions);
-        let (r_runs, d3) = pool.run_timed(|w| {
+        let (phase3, d3) = pool.run_timed(|w| {
+            let mut scope = cx.scope(w);
             let mut part = slots.take(w);
-            three_phase_sort(&mut part);
-            part
+            let home = part.home();
+            three_phase_sort_audited(&mut part, home, &mut scope);
+            (part, scope.finish())
         });
+        let (r_runs, c3): (Vec<_>, Vec<_>) = phase3.into_iter().unzip();
         stats.record_phase(Phase::Three, &d3);
+        cx.record(Phase::Three, c3);
 
         // ---- Phase 4: merge join R_i with every S_j, starting at an
         // interpolated offset. Non-inner variants track a worker-local
-        // matched bitmap across the public runs. ----
+        // matched bitmap across the public runs. The audit records the
+        // entry probes as random accesses against the public run's home
+        // (the O(log log) exception C2 tolerates) and the merge itself
+        // at its actual scan extents — with T workers each touching
+        // ≈ |S|/T² of every public run, the phase stays overwhelmingly
+        // node-local, which `bench_numa` asserts. ----
         let entry = self.entry;
         let find_start = move |s_run: &[Tuple], key: u64| -> usize {
             match entry {
@@ -241,33 +283,50 @@ impl PMpsmJoin {
                 EntrySearch::FullScan => 0,
             }
         };
-        let (partials, d4) = pool.run_timed(|w| {
+        let probe_cost = move |s_run: &[Tuple]| -> u64 {
+            match entry {
+                EntrySearch::FullScan => 0,
+                _ if s_run.is_empty() => 0,
+                _ => (s_run.len() as u64).ilog2() as u64 + 1,
+            }
+        };
+        let (phase4, d4) = pool.run_timed(|w| {
+            let mut scope = cx.scope(w);
             let mut sink = S::default();
             let run = &r_runs[w];
+            let my_home = run.home();
             if let Some(first) = run.first() {
                 if variant == JoinVariant::Inner {
                     for s_run in &s_runs {
                         let start = find_start(s_run, first.key);
-                        merge_join(run, &s_run[start..], &mut sink);
+                        scope.touch(s_run.home(), false, probe_cost(s_run));
+                        let scan = merge_join_scanned(run, &s_run[start..], &mut sink);
+                        scope.touch(my_home, true, scan.r_scanned as u64);
+                        scope.touch(s_run.home(), true, scan.s_scanned as u64);
                     }
                 } else {
                     let mut matched = vec![false; run.len()];
                     for s_run in &s_runs {
                         let start = find_start(s_run, first.key);
-                        merge_join_mark(
+                        scope.touch(s_run.home(), false, probe_cost(s_run));
+                        let scan = merge_join_mark(
                             run,
                             &s_run[start..],
                             &mut matched,
                             variant.emits_pairs(),
                             &mut sink,
                         );
+                        scope.touch(my_home, true, scan.r_scanned as u64);
+                        scope.touch(s_run.home(), true, scan.s_scanned as u64);
                     }
                     emit_variant_rows(variant, run, &matched, &mut sink);
                 }
             }
-            sink.finish()
+            (sink.finish(), scope.finish())
         });
+        let (partials, c4): (Vec<_>, Vec<_>) = phase4.into_iter().unzip();
         stats.record_phase(Phase::Four, &d4);
+        cx.record(Phase::Four, c4);
 
         stats.wall = wall.elapsed();
         (S::combine_all(partials), stats)
@@ -416,6 +475,33 @@ mod tests {
             let join = PMpsmJoin::new(JoinConfig::with_threads(4)).with_entry_search(entry);
             assert_eq!(join.count(&r, &s), base, "{entry:?}");
         }
+    }
+
+    #[test]
+    fn context_join_keeps_sort_local_and_partitions_placed() {
+        use mpsm_numa::{AccessKind, Topology};
+
+        let mut next = lcg(101);
+        let n = 4000;
+        let r: Vec<Tuple> = (0..n).map(|i| Tuple::new(next() % 65536, i)).collect();
+        let s: Vec<Tuple> = (0..n).map(|i| Tuple::new(next() % 65536, i)).collect();
+        let cx = ExecContext::new(Topology::paper_machine(), 8);
+        let join = PMpsmJoin::new(JoinConfig::with_threads(8));
+        let count = join.join_in::<CountSink>(&cx, &r, &s).0;
+        assert_eq!(count, nested_loop_count(&r, &s));
+        // C1 in the real path: the private sort phase runs on
+        // partitions the scatter homed on the sorting worker's own node
+        // — 100% local.
+        let sort = cx.phase_counters(Phase::Three);
+        assert!(sort.total_accesses() > 0);
+        assert_eq!(sort.remote_fraction(), 0.0, "partition sort is node-local");
+        // The scatter wrote remotely, but only sequentially (C1 permits
+        // sequential stores into disjoint remote windows).
+        let scatter = cx.phase_counters(Phase::Two);
+        assert!(scatter.accesses(AccessKind::RemoteSeq) > 0, "cross-node scatter traffic");
+        // No remote random accesses anywhere in phase 2 or 3.
+        assert_eq!(scatter.accesses(AccessKind::RemoteRand), 0);
+        assert_eq!(sort.accesses(AccessKind::RemoteRand), 0);
     }
 
     #[test]

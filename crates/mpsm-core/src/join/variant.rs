@@ -17,6 +17,7 @@
 //! the B-MPSM topology, where every worker sees all of `S` so no
 //! partition-boundary replication is needed ([`band_merge_join`]).
 
+use crate::merge::MergeScan;
 use crate::sink::JoinSink;
 use crate::tuple::Tuple;
 
@@ -44,14 +45,15 @@ impl JoinVariant {
 /// Merge-join `r` against one public run `s`, marking matched private
 /// tuples in `matched` (same length as `r`) and emitting pairs into
 /// `sink` if `emit_pairs`. Called once per public run; the bitmap
-/// accumulates across calls.
+/// accumulates across calls. Returns the scan extents for the access
+/// audit (see [`crate::merge::MergeScan`]).
 pub fn merge_join_mark<S: JoinSink>(
     r: &[Tuple],
     s: &[Tuple],
     matched: &mut [bool],
     emit_pairs: bool,
     sink: &mut S,
-) {
+) -> MergeScan {
     debug_assert_eq!(r.len(), matched.len());
     debug_assert!(crate::tuple::is_key_sorted(r));
     debug_assert!(crate::tuple::is_key_sorted(s));
@@ -79,6 +81,7 @@ pub fn merge_join_mark<S: JoinSink>(
             j = j_end;
         }
     }
+    MergeScan { r_scanned: i, s_scanned: j }
 }
 
 /// Finish a variant after all public runs were merged: emit the

@@ -50,19 +50,35 @@
 //! phases instead of respawning them. `BENCH_2.json` at the repository
 //! root records the measured baseline.
 //!
+//! ## One execution context for every layer
+//!
+//! [`context::ExecContext`] bundles what an execution needs — a
+//! simulated NUMA [`mpsm_numa::Topology`], a
+//! [`worker::WorkerPlacement`] (worker → core → node), node-homed
+//! arenas for run/partition storage, per-phase access counters, and a
+//! [`worker::SharedWorkerPool`] — and every join runs through the one
+//! entry shape [`join::JoinAlgorithm::join_in`]. The commandments
+//! above are thereby *measured on the real code path*: sorts record
+//! their traffic against the run's home node, the scatter against each
+//! target partition's home, merges their actual scan extents
+//! ([`merge::MergeScan`]). The classic entry points remain as thin
+//! wrappers over a default flat context.
+//!
 //! ## Sharing the workers between joins
 //!
 //! [`worker::SharedWorkerPool`] lets many concurrent owners submit
-//! phases to one pool through a fair FIFO turnstile, and every join
-//! variant implements [`join::PooledJoin`] (or, for D-MPSM, exposes
-//! [`join::d_mpsm::DMpsmJoin::join_variant_on_pool`]) to run on such a
-//! caller-provided pool — the substrate `mpsm-exec`'s multi-query
-//! scheduler builds on.
+//! phases to one pool through a fair FIFO turnstile; wrapping a pool
+//! in [`context::ExecContext::over_pool`] (what [`join::PooledJoin`]
+//! and [`join::d_mpsm::DMpsmJoin::join_variant_on_pool`] do) runs any
+//! join on such a caller-provided pool — the substrate `mpsm-exec`'s
+//! multi-query scheduler builds on, deriving one pinned context per
+//! admitted query for NUMA-affine placement.
 
 #![warn(missing_docs)]
 
 pub mod adapter;
 pub mod cdf;
+pub mod context;
 pub mod histogram;
 pub mod interpolation;
 pub mod join;
@@ -75,6 +91,7 @@ pub mod stats;
 pub mod tuple;
 pub mod worker;
 
+pub use context::{AllocPolicy, ExecContext};
 pub use histogram::RadixDomain;
 pub use join::{JoinAlgorithm, JoinConfig, PooledJoin, Role};
 pub use stats::{JoinStats, Phase};

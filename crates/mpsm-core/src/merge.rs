@@ -73,6 +73,19 @@ fn gallop_to(run: &[Tuple], from: usize, key: u64) -> usize {
     lo + 1 + run[lo + 1..hi].partition_point(|t| t.key < key)
 }
 
+/// Extent of one merge-join call: the cursor positions at exit, i.e.
+/// how many tuples of each run the kernel actually consumed. The join
+/// phases feed these into the [`crate::context::ExecContext`] access
+/// audit — the quantities are byproducts of the merge itself, so the
+/// accounting costs nothing inside the kernel (commandment C3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeScan {
+    /// Tuples consumed from the private run `r`.
+    pub r_scanned: usize,
+    /// Tuples consumed from the public run `s`.
+    pub s_scanned: usize,
+}
+
 /// Merge-join two key-sorted runs into `sink`, galloping over
 /// non-matching stretches. `r` is the private input (first argument of
 /// `on_match`).
@@ -92,6 +105,12 @@ fn gallop_to(run: &[Tuple], from: usize, key: u64) -> usize {
 /// assert_eq!(pairs, vec![(7, 1, 10), (7, 1, 11)]);
 /// ```
 pub fn merge_join<S: JoinSink>(r: &[Tuple], s: &[Tuple], sink: &mut S) {
+    let _ = merge_join_scanned(r, s, sink);
+}
+
+/// [`merge_join`], additionally returning how far each cursor advanced
+/// — the audited entry point of the join phases.
+pub fn merge_join_scanned<S: JoinSink>(r: &[Tuple], s: &[Tuple], sink: &mut S) -> MergeScan {
     debug_assert!(crate::tuple::is_key_sorted(r), "private run must be sorted");
     debug_assert!(crate::tuple::is_key_sorted(s), "public run must be sorted");
     let mut i = 0;
@@ -136,6 +155,7 @@ pub fn merge_join<S: JoinSink>(r: &[Tuple], s: &[Tuple], sink: &mut S) {
             }
         }
     }
+    MergeScan { r_scanned: i.min(r.len()), s_scanned: j.min(s.len()) }
 }
 
 /// The seed's purely linear kernel — the reference oracle the galloping
@@ -281,6 +301,29 @@ mod tests {
         let r = sorted(&(0..50u64).map(|i| (9, i)).collect::<Vec<_>>());
         let s = sorted(&(0..40u64).map(|i| (9, i)).collect::<Vec<_>>());
         assert_eq!(merge_join_count(&r, &s), 50 * 40);
+    }
+
+    #[test]
+    fn scanned_extents_reflect_cursor_positions() {
+        // r exhausts first: the kernel must not claim it consumed the
+        // dead tail of s.
+        let r = sorted(&[(1, 0), (2, 0)]);
+        let s = sorted(&[(1, 0), (2, 0), (50, 0), (60, 0), (70, 0)]);
+        let mut sink = CountSink::default();
+        let scan = merge_join_scanned(&r, &s, &mut sink);
+        assert_eq!(sink.finish(), 2);
+        assert_eq!(scan.r_scanned, 2);
+        assert!(scan.s_scanned <= 3, "tail beyond the last match is never touched");
+        // Fully overlapping runs consume both sides (up to the shorter
+        // exhausting).
+        let a = sorted(&(0..100u64).map(|k| (k, 0)).collect::<Vec<_>>());
+        let mut sink = CountSink::default();
+        let scan = merge_join_scanned(&a, &a, &mut sink);
+        assert_eq!(scan.r_scanned, 100);
+        assert_eq!(scan.s_scanned, 100);
+        // Empty inputs scan nothing.
+        let mut sink = CountSink::default();
+        assert_eq!(merge_join_scanned(&a, &[], &mut sink), MergeScan::default());
     }
 
     #[test]

@@ -35,10 +35,14 @@
 //! The per-tuple-store loop is retained as [`range_partition_naive`]
 //! for the ablation benches (`cargo bench --bench partition_scatter`).
 
+use mpsm_numa::NumaBuf;
+
+use crate::context::ExecContext;
 use crate::histogram::{
     compute_histogram, fold_histogram, partition_sizes, prefix_sums, RadixDomain,
 };
 use crate::splitter::Splitters;
+use crate::stats::Phase;
 use crate::tuple::Tuple;
 use crate::worker::{run_parallel, OwnedSlots, SharedWorkerPool, WorkerPool};
 
@@ -51,16 +55,15 @@ pub const WC_BUFFER_TUPLES: usize = 8;
 /// prefix sums: `windows[w][p]` is worker `w`'s slice of partition `p`,
 /// starting at `ps[w][p]`.
 fn carve_windows<'a>(
-    partitions: &'a mut [Vec<Tuple>],
+    mut remaining: Vec<&'a mut [Tuple]>,
     histograms: &[Vec<usize>],
     sizes: &[usize],
     ps: &[Vec<usize>],
 ) -> Vec<Vec<&'a mut [Tuple]>> {
     let workers = histograms.len();
+    let parts = remaining.len();
     let mut windows: Vec<Vec<&mut [Tuple]>> =
-        (0..workers).map(|_| Vec::with_capacity(partitions.len())).collect();
-    let mut remaining: Vec<&mut [Tuple]> =
-        partitions.iter_mut().map(|p| p.as_mut_slice()).collect();
+        (0..workers).map(|_| Vec::with_capacity(parts)).collect();
     for (w, row) in windows.iter_mut().enumerate() {
         for (p, rem) in remaining.iter_mut().enumerate() {
             debug_assert_eq!(
@@ -194,7 +197,12 @@ fn partition_skeleton(
 
     let mut partitions: Vec<Vec<Tuple>> =
         sizes.iter().map(|&sz| vec![Tuple::default(); sz]).collect();
-    let windows = carve_windows(&mut partitions, &histograms, &sizes, &ps);
+    let windows = carve_windows(
+        partitions.iter_mut().map(|p| p.as_mut_slice()).collect(),
+        &histograms,
+        &sizes,
+        &ps,
+    );
 
     // Parallel scatter: sequential writes into precomputed windows, no
     // synchronization (commandments C1 + C3). Window rows are handed to
@@ -268,6 +276,79 @@ pub fn range_partition_shared(
 ) -> Vec<Vec<Tuple>> {
     assert_eq!(pool.threads(), chunks.len().max(1), "one pool worker per chunk");
     partition_skeleton(chunks, domain, splitters, Runner::Shared(pool), true)
+}
+
+/// [`range_partition`] on an [`ExecContext`]: the NUMA-placed scatter
+/// of P-MPSM phase 2.3.
+///
+/// Storage for partition `p` is drawn from the context's arena homed
+/// per its allocation policy for worker `p` (with the default
+/// [`crate::context::AllocPolicy::WorkerLocal`], partition `p` lives on
+/// the node of the worker that will sort and join it — the paper's
+/// layout). The histogram and scatter sections run as two phases on the
+/// context's pool, and the context's `Phase::Two` counters record, per
+/// worker, the interleaved chunk reads plus one sequential write per
+/// tuple against the *target* partition's home — sequential writes into
+/// disjoint windows are exactly the cross-node traffic commandment C1
+/// permits, and the per-(worker, partition) write volumes are the
+/// already-computed histogram counts, so the audit adds nothing to the
+/// scatter's inner loop.
+pub fn range_partition_ctx(
+    cx: &ExecContext,
+    chunks: &[&[Tuple]],
+    domain: &RadixDomain,
+    splitters: &Splitters,
+) -> Vec<NumaBuf<Tuple>> {
+    let workers = chunks.len();
+    assert_eq!(cx.threads(), workers.max(1), "one context worker per chunk");
+    let parts = splitters.parts();
+    if workers == 0 {
+        return (0..parts).map(|_| cx.alloc(0, 0)).collect();
+    }
+
+    // Phase: local histograms over partitions (one interleaved read of
+    // every chunk).
+    let outcomes = cx.pool().run(|w| {
+        let mut scope = cx.scope(w);
+        scope.touch_interleaved(true, chunks[w].len() as u64);
+        let bucket_hist = compute_histogram(chunks[w], domain);
+        (fold_histogram(&bucket_hist, splitters.assignment(), parts), scope.finish())
+    });
+    let (histograms, counters): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
+    cx.record(Phase::Two, counters);
+
+    let sizes = partition_sizes(&histograms);
+    let ps = prefix_sums(&histograms);
+
+    // Partition p is homed where worker p will consume it. (When the
+    // splitter fan exceeds the worker count, surplus partitions wrap
+    // round-robin, matching how callers assign them to workers.)
+    let mut partitions: Vec<NumaBuf<Tuple>> =
+        sizes.iter().enumerate().map(|(p, &sz)| cx.alloc(p % workers.max(1), sz)).collect();
+    let homes: Vec<_> = partitions.iter().map(|b| b.home()).collect();
+    let windows = carve_windows(
+        partitions.iter_mut().map(|b| &mut b[..]).collect(),
+        &histograms,
+        &sizes,
+        &ps,
+    );
+
+    // Phase: synchronization-free scatter (one interleaved re-read of
+    // every chunk, sequential writes into the precomputed windows).
+    let slots = OwnedSlots::new(windows);
+    let counters = cx.pool().run(|w| {
+        let mut scope = cx.scope(w);
+        scope.touch_interleaved(true, chunks[w].len() as u64);
+        for (p, &home) in homes.iter().enumerate() {
+            scope.touch(home, true, histograms[w][p] as u64);
+        }
+        let mut row = slots.take(w);
+        scatter_write_combined(chunks[w], &mut row, domain, splitters);
+        scope.finish()
+    });
+    cx.record(Phase::Two, counters);
+
+    partitions
 }
 
 /// The seed scatter — one random 16-byte store per tuple into the huge
@@ -408,6 +489,36 @@ mod tests {
                 "layouts must be tuple-for-tuple identical at n = {n}"
             );
         }
+    }
+
+    #[test]
+    fn context_scatter_matches_standalone_and_audits_traffic() {
+        use crate::context::ExecContext;
+        use mpsm_numa::Topology;
+
+        let domain = RadixDomain::from_range(0, 4095, 6);
+        let chunks_data: Vec<Vec<Tuple>> = (0..4)
+            .map(|w| (0..600u64).map(|i| Tuple::new((i * 41 + w * 11) % 4096, i)).collect())
+            .collect();
+        let chunks: Vec<&[Tuple]> = chunks_data.iter().map(|c| c.as_slice()).collect();
+        let hist = crate::histogram::combine_histograms(
+            &chunks.iter().map(|c| compute_histogram(c, &domain)).collect::<Vec<_>>(),
+        );
+        let sp = equi_height_splitters(&hist, 4);
+
+        let cx = ExecContext::new(Topology::paper_machine(), 4);
+        let placed = range_partition_ctx(&cx, &chunks, &domain, &sp);
+        let reference = range_partition(&chunks, &domain, &sp);
+        for (p, (got, want)) in placed.iter().zip(&reference).enumerate() {
+            assert_eq!(&got[..], &want[..], "partition {p}");
+            assert_eq!(got.home(), cx.worker_node(p), "partition {p} homed on its owner's node");
+        }
+        // Model: histogram read |R| + scatter read |R| + scatter write
+        // |R| = 3|R| accesses under Phase::Two.
+        let total: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+        assert_eq!(cx.phase_counters(Phase::Two).total_accesses(), 3 * total);
+        // The arena saw every partition.
+        assert_eq!(cx.arena().total_bytes(), total * std::mem::size_of::<Tuple>() as u64);
     }
 
     #[test]

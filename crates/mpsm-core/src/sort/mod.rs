@@ -43,6 +43,8 @@ pub mod insertion;
 pub mod intro;
 pub mod radix;
 
+use mpsm_numa::{CounterScope, NodeId};
+
 use crate::tuple::Tuple;
 
 /// Number of leading bits (and thus `2^RADIX_BITS` buckets) used by the
@@ -121,6 +123,18 @@ fn finish_bucket(bucket: &mut [Tuple]) {
     }
     intro::introsort_coarse(bucket, INSERTION_CUTOFF);
     insertion::insertion_sort(bucket);
+}
+
+/// [`three_phase_sort`] with its traffic recorded against the run's
+/// `home` node: `len` sequential reads plus `len` random writes (the
+/// in-place permutation). The random writes are why commandment C1
+/// demands runs be sorted in *local* RAM — on a worker whose node is
+/// not `home` they show up as remote random accesses, the most
+/// expensive kind in the Figure 1 model.
+pub fn three_phase_sort_audited(run: &mut [Tuple], home: NodeId, scope: &mut CounterScope) {
+    scope.touch(home, true, run.len() as u64);
+    scope.touch(home, false, run.len() as u64);
+    three_phase_sort(run);
 }
 
 /// The seed's literal three-phase sort: one radix pass, coarse

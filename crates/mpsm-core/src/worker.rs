@@ -31,6 +31,103 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use mpsm_numa::{CoreId, NodeId, Topology};
+
+// ---------------------------------------------------------------------
+// Worker → core → node placement
+// ---------------------------------------------------------------------
+
+/// The worker → core → node map of one execution: which (logical)
+/// hardware context each pool worker is pinned to, and therefore which
+/// NUMA node its local memory lives on.
+///
+/// On the real paper machine this would be `pthread_setaffinity_np`;
+/// in the simulated substrate the placement is the ground truth the
+/// access audit classifies against — a buffer is *local* to worker `w`
+/// iff its home node equals `node_of(w)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPlacement {
+    topology: Topology,
+    cores: Vec<CoreId>,
+}
+
+impl WorkerPlacement {
+    /// Pin `threads` workers round-robin across the machine's hardware
+    /// contexts — worker `w` on context `w % total`. Because contexts
+    /// are numbered round-robin over sockets (Figure 11), the first
+    /// `nodes` workers land on distinct sockets and `threads = total
+    /// contexts` covers the machine evenly; this is the scheduling the
+    /// paper's scalability experiments use.
+    pub fn round_robin(topology: Topology, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker");
+        let total = topology.total_contexts().max(1);
+        let cores = (0..threads as u32).map(|w| CoreId(w % total)).collect();
+        WorkerPlacement { topology, cores }
+    }
+
+    /// Pin every worker to contexts of a single `node` — the NUMA-affine
+    /// placement a scheduler uses to keep one query's phases (and all
+    /// its run storage) on one socket.
+    ///
+    /// # Panics
+    /// Panics if `node` is outside the topology.
+    pub fn on_node(topology: Topology, node: NodeId, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker");
+        assert!(node.0 < topology.nodes, "node {node} outside topology");
+        // Contexts of node `n` are `n, n + nodes, n + 2·nodes, …`
+        // (round-robin numbering); wrap within the node when the pool
+        // is wider than one socket's contexts.
+        let per_node = (topology.total_contexts() / topology.nodes).max(1);
+        let cores =
+            (0..threads as u32).map(|w| CoreId(node.0 + (w % per_node) * topology.nodes)).collect();
+        WorkerPlacement { topology, cores }
+    }
+
+    /// Build from an explicit worker → core map.
+    ///
+    /// # Panics
+    /// Panics if `cores` is empty or names a context outside the
+    /// topology.
+    pub fn from_cores(topology: Topology, cores: Vec<CoreId>) -> Self {
+        assert!(!cores.is_empty(), "need at least one worker");
+        for &c in &cores {
+            assert!(c.0 < topology.total_contexts(), "core {c} outside topology");
+        }
+        WorkerPlacement { topology, cores }
+    }
+
+    /// The machine this placement maps onto.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of placed workers.
+    pub fn threads(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The hardware context worker `w` is pinned to.
+    pub fn core_of(&self, worker: usize) -> CoreId {
+        self.cores[worker]
+    }
+
+    /// The NUMA node worker `w`'s local memory lives on.
+    pub fn node_of(&self, worker: usize) -> NodeId {
+        self.topology.node_of(self.cores[worker])
+    }
+
+    /// The worker → core map, in worker order.
+    pub fn cores(&self) -> &[CoreId] {
+        &self.cores
+    }
+
+    /// If every worker sits on the same node, that node.
+    pub fn single_node(&self) -> Option<NodeId> {
+        let first = self.node_of(0);
+        (1..self.threads()).all(|w| self.node_of(w) == first).then_some(first)
+    }
+}
+
 /// Split `len` items into `parts` contiguous ranges whose sizes differ
 /// by at most one (the paper's "equally sized chunks").
 pub fn chunk_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
@@ -364,6 +461,15 @@ struct SharedPoolInner {
 pub struct SharedWorkerPool {
     inner: Arc<SharedPoolInner>,
     owner: u64,
+}
+
+impl std::fmt::Debug for SharedWorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedWorkerPool")
+            .field("threads", &self.inner.threads)
+            .field("owner", &self.owner)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Clone for SharedWorkerPool {
@@ -818,5 +924,61 @@ mod tests {
         let pool = WorkerPool::new(2).into_shared();
         assert_eq!(pool.threads(), 2);
         assert_eq!(pool.run(|w| w), vec![0, 1]);
+    }
+
+    // ---- placement ----
+
+    #[test]
+    fn paper_machine_placement_round_robins_across_sockets() {
+        // Figure 11: contexts are numbered round-robin over the four
+        // sockets, so workers 0..4 land on nodes 0, 1, 2, 3 and the
+        // pattern repeats every `nodes` workers.
+        let p = WorkerPlacement::round_robin(Topology::paper_machine(), 32);
+        for w in 0..32 {
+            assert_eq!(p.node_of(w), NodeId(w as u32 % 4), "worker {w}");
+            assert_eq!(p.core_of(w), CoreId(w as u32));
+        }
+        assert_eq!(p.single_node(), None, "32 workers span all four sockets");
+        // Exactly 8 workers per node.
+        for n in 0..4u32 {
+            let count = (0..32).filter(|&w| p.node_of(w) == NodeId(n)).count();
+            assert_eq!(count, 8, "node {n}");
+        }
+    }
+
+    #[test]
+    fn round_robin_wraps_beyond_the_machine() {
+        let p = WorkerPlacement::round_robin(Topology::flat(2), 5);
+        assert_eq!(p.threads(), 5);
+        assert_eq!(p.core_of(4), CoreId(0), "worker 4 wraps to context 0");
+        assert_eq!(p.single_node(), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn on_node_placement_stays_on_one_socket() {
+        let topo = Topology::paper_machine();
+        for n in 0..4u32 {
+            let p = WorkerPlacement::on_node(topo.clone(), NodeId(n), 12);
+            assert_eq!(p.single_node(), Some(NodeId(n)));
+            for w in 0..12 {
+                assert_eq!(p.node_of(w), NodeId(n), "node {n} worker {w}");
+                assert!(p.core_of(w).0 < topo.total_contexts());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside topology")]
+    fn on_node_rejects_unknown_node() {
+        let _ = WorkerPlacement::on_node(Topology::flat(4), NodeId(1), 2);
+    }
+
+    #[test]
+    fn explicit_core_map_is_respected() {
+        let topo = Topology::paper_machine();
+        let p = WorkerPlacement::from_cores(topo, vec![CoreId(5), CoreId(1)]);
+        assert_eq!(p.node_of(0), NodeId(1), "context 5 sits on socket 1");
+        assert_eq!(p.node_of(1), NodeId(1));
+        assert_eq!(p.single_node(), Some(NodeId(1)));
     }
 }

@@ -27,6 +27,17 @@
 //! interleaving, and queue/phase timings in EXPLAIN — and [`session`]
 //! layers a client-facing relation catalog on top. Start at
 //! [`session::Session`] or [`sched::Scheduler`].
+//!
+//! ## NUMA-affine placement
+//!
+//! Every execution flows through an
+//! [`mpsm_core::context::ExecContext`] ([`query::paper_query_in`] is
+//! the unified path; the pool- and thread-based entry points wrap a
+//! flat context). A scheduler configured with a multi-node
+//! [`sched::SchedulerConfig::topology`] pins each admitted query to
+//! the least-loaded node, and every plan's EXPLAIN output grows a
+//! `Placement [node=…, local=…%, remote=…%]` line reporting where the
+//! join ran and how node-local its audited memory traffic was.
 
 #![warn(missing_docs)]
 
@@ -40,8 +51,8 @@ pub mod session;
 
 pub use groupby::{sorted_group_by, CountAgg, KeyAggregate, MaxAgg, SumAgg};
 pub use ops::{CountRows, JoinOp, MaxPayloadSum, Select};
-pub use plan::{PlanStep, QueryPlan};
-pub use query::{paper_query, paper_query_on, PaperQueryResult};
+pub use plan::{PlacementInfo, PlanStep, QueryPlan};
+pub use query::{paper_query, paper_query_in, paper_query_on, PaperQueryResult};
 pub use scan::Relation;
 pub use sched::{
     QueryError, QueryOutput, QueryStatus, QueryTicket, Scheduler, SchedulerConfig,

@@ -7,6 +7,7 @@
 //! executor only has to feed it realistically (a selection means "no
 //! referential integrity or indexes could be exploited", §5).
 
+use mpsm_core::context::ExecContext;
 use mpsm_core::join::{JoinAlgorithm, PooledJoin};
 use mpsm_core::sink::{CountSink, JoinSink, MaxAggSink};
 use mpsm_core::stats::JoinStats;
@@ -58,6 +59,14 @@ impl<'a, P: Fn(&Tuple) -> bool + Sync> Select<'a, P> {
         Self::concat(parts)
     }
 
+    /// Execute inside an execution context: the scan runs as one tagged
+    /// phase on the context's pool. Base relations are unplaced
+    /// (globally interleaved) in the NUMA model, so the selection
+    /// contributes no placement decisions — the join it feeds does.
+    pub fn execute_in(&self, cx: &ExecContext) -> Vec<Tuple> {
+        self.execute_on(cx.pool())
+    }
+
     fn concat(parts: Vec<Vec<Tuple>>) -> Vec<Tuple> {
         let mut out = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
         for mut p in parts {
@@ -82,6 +91,19 @@ impl<'a, J: JoinAlgorithm> JoinOp<'a, J> {
     /// Execute the join, feeding matches into sink `S`.
     pub fn execute<S: JoinSink>(&self, r: &[Tuple], s: &[Tuple]) -> (S::Result, JoinStats) {
         self.algorithm.join_with_sink::<S>(r, s)
+    }
+
+    /// Execute the join inside an execution context: phases on the
+    /// context's pool, run storage from its node-local arenas, access
+    /// audit into its per-phase counters (see
+    /// [`mpsm_core::join::JoinAlgorithm::join_in`]).
+    pub fn execute_in<S: JoinSink>(
+        &self,
+        cx: &ExecContext,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> (S::Result, JoinStats) {
+        self.algorithm.join_in::<S>(cx, r, s)
     }
 }
 
@@ -118,6 +140,16 @@ impl MaxPayloadSum {
         s: &[Tuple],
     ) -> (Option<u64>, JoinStats) {
         join.execute_on::<MaxAggSink>(pool, r, s)
+    }
+
+    /// Run over a join operator's output, inside an execution context.
+    pub fn over_in<J: JoinAlgorithm>(
+        cx: &ExecContext,
+        join: &JoinOp<'_, J>,
+        r: &[Tuple],
+        s: &[Tuple],
+    ) -> (Option<u64>, JoinStats) {
+        join.execute_in::<MaxAggSink>(cx, r, s)
     }
 }
 

@@ -41,6 +41,32 @@ impl PlanStep {
     }
 }
 
+/// NUMA placement of a join's execution, derived from the
+/// [`mpsm_core::context::ExecContext`] that ran it and rendered as the
+/// `Placement` EXPLAIN node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementInfo {
+    /// The node every worker of the query sat on, when the scheduler
+    /// pinned the query to one socket (`None` = workers spread over
+    /// the machine).
+    pub node: Option<u32>,
+    /// Percentage of the join's audited accesses that hit node-local
+    /// memory.
+    pub local_pct: f64,
+    /// Percentage that crossed to a remote node.
+    pub remote_pct: f64,
+}
+
+impl PlacementInfo {
+    fn label(&self) -> String {
+        let node = match self.node {
+            Some(n) => format!("node={n}"),
+            None => "node=spread".to_string(),
+        };
+        format!("Placement [{node}, local={:.1}%, remote={:.1}%]", self.local_pct, self.remote_pct)
+    }
+}
+
 /// A described execution of the paper's pipeline.
 #[derive(Debug, Clone)]
 pub struct QueryPlan {
@@ -62,6 +88,9 @@ pub struct QueryPlan {
     /// Critical-path duration of each join phase, in ms, when the
     /// execution recorded them.
     pub phases_ms: Option<[f64; 4]>,
+    /// NUMA placement and locality of the join, when it executed
+    /// inside an [`mpsm_core::context::ExecContext`].
+    pub placement: Option<PlacementInfo>,
 }
 
 /// A rendered EXPLAIN node: a label plus child nodes.
@@ -121,6 +150,9 @@ impl QueryPlan {
             self.threads,
             self.join_rows.map_or(String::new(), |r| format!("; out = {r} rows")),
         ));
+        if let Some(placement) = &self.placement {
+            join = join.child(Node::new(placement.label()));
+        }
         if let Some(p) = self.phases_ms {
             join = join.child(Node::new(format!(
                 "Phases [1: {:.3} ms, 2: {:.3} ms, 3: {:.3} ms, 4: {:.3} ms]",
@@ -170,6 +202,7 @@ mod tests {
             join_rows: Some(2000),
             queue_wait_ms: None,
             phases_ms: None,
+            placement: None,
         }
     }
 
@@ -238,6 +271,33 @@ Aggregate [max(R.payload + S.payload)]
         // The queue node shifts the whole pipeline one level deeper;
         // the private side keeps its continuation bars intact.
         assert!(text.contains("      ├─ private (R):\n      │  └─ Select"), "{text}");
+    }
+
+    #[test]
+    fn placement_node_renders_exactly() {
+        // The acceptance shape of the NUMA refactor: a pinned query's
+        // EXPLAIN carries the Placement node directly under the join.
+        let mut p = sample();
+        p.placement = Some(PlacementInfo { node: Some(2), local_pct: 97.7, remote_pct: 2.3 });
+        let expected = "\
+Aggregate [max(R.payload + S.payload)]
+└─ Join [P-MPSM; T = 8; out = 2000 rows]
+   ├─ Placement [node=2, local=97.7%, remote=2.3%]
+   ├─ private (R):
+   │  └─ Select [out = 500 rows]
+   │     └─ Scan orders [1000 rows]
+   └─ public (S):
+      └─ Select [out = 4000 rows]
+         └─ Scan lineitem [4000 rows]
+";
+        assert_eq!(p.explain(), expected);
+        // A spread (unpinned) execution names no node.
+        p.placement = Some(PlacementInfo { node: None, local_pct: 31.25, remote_pct: 68.75 });
+        assert!(
+            p.explain().contains("Placement [node=spread, local=31.2%, remote=68.8%]"),
+            "{}",
+            p.explain()
+        );
     }
 
     #[test]

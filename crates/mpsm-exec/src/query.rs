@@ -10,13 +10,14 @@
 //! selection so "no referential integrity (foreign keys) or indexes
 //! could be exploited").
 
+use mpsm_core::context::ExecContext;
 use mpsm_core::join::{JoinAlgorithm, PooledJoin};
 use mpsm_core::stats::JoinStats;
 use mpsm_core::worker::SharedWorkerPool;
 use mpsm_core::Tuple;
 
 use crate::ops::{JoinOp, MaxPayloadSum, Select};
-use crate::plan::{PlanStep, QueryPlan};
+use crate::plan::{PlacementInfo, PlanStep, QueryPlan};
 use crate::scan::Relation;
 
 /// Result of one paper-query execution.
@@ -79,12 +80,44 @@ where
     PR: Fn(&Tuple) -> bool + Sync,
     PS: Fn(&Tuple) -> bool + Sync,
 {
-    let r_sel = Select::new(r, r_pred).execute_on(pool);
-    let s_sel = Select::new(s, s_pred).execute_on(pool);
+    paper_query_in(&ExecContext::over_pool(pool), r, s, r_pred, s_pred, algorithm)
+}
+
+/// [`paper_query`] inside an [`ExecContext`] — the unified execution
+/// path: selections and join phases run on the context's pool, run and
+/// partition storage comes from its node-local arenas, and the plan's
+/// `Placement` node reports which node the query was pinned to (if any)
+/// plus the audited local/remote split of the join's memory traffic.
+///
+/// One context should serve one query (the scheduler derives a fresh
+/// context per admitted query); reusing a context accumulates counters
+/// across executions and the placement line reports the mix.
+pub fn paper_query_in<J, PR, PS>(
+    cx: &ExecContext,
+    r: &Relation,
+    s: &Relation,
+    r_pred: PR,
+    s_pred: PS,
+    algorithm: &J,
+) -> PaperQueryResult
+where
+    J: JoinAlgorithm,
+    PR: Fn(&Tuple) -> bool + Sync,
+    PS: Fn(&Tuple) -> bool + Sync,
+{
+    let r_sel = Select::new(r, r_pred).execute_in(cx);
+    let s_sel = Select::new(s, s_pred).execute_in(cx);
     let join = JoinOp::new(algorithm);
-    let (max, stats) = MaxPayloadSum::over_on(pool, &join, &r_sel, &s_sel);
-    let mut out = assemble(algorithm.name(), pool.threads(), r, s, r_sel, s_sel, max, stats);
+    let (max, stats) = MaxPayloadSum::over_in(cx, &join, &r_sel, &s_sel);
+    let mut out = assemble(algorithm.name(), cx.threads(), r, s, r_sel, s_sel, max, stats);
     out.plan.phases_ms = Some(out.stats.phases_ms());
+    let counters = cx.counters();
+    let remote = counters.remote_fraction();
+    out.plan.placement = Some(PlacementInfo {
+        node: cx.single_node().map(|n| n.0),
+        local_pct: (1.0 - remote) * 100.0,
+        remote_pct: remote * 100.0,
+    });
     out
 }
 
@@ -114,6 +147,7 @@ fn assemble(
         join_rows: None,
         queue_wait_ms: None,
         phases_ms: None,
+        placement: None,
     };
     PaperQueryResult {
         max_payload_sum: max,
@@ -193,6 +227,35 @@ mod tests {
         assert_eq!(pooled.s_selected, spawning.s_selected);
         assert!(pooled.plan.phases_ms.is_some(), "pooled plans record phase timings");
         assert!(pool.phases_served() > 0, "all sections ran on the shared pool");
+    }
+
+    #[test]
+    fn context_query_reports_placement() {
+        use mpsm_numa::{NodeId, Topology};
+
+        let r = rel("R", 300);
+        let s = Relation::new("S", (0..1200u64).map(|i| Tuple::new(i % 300, i)).collect());
+        let algo = PMpsmJoin::new(JoinConfig::with_threads(4));
+        // Spread over the paper machine: workers on all four sockets.
+        let cx = ExecContext::new(Topology::paper_machine(), 4);
+        let out = paper_query_in(&cx, &r, &s, |_| true, |_| true, &algo);
+        let placement = out.plan.placement.clone().expect("context queries report placement");
+        assert_eq!(placement.node, None, "4 workers round-robin over 4 sockets");
+        assert!(placement.remote_pct > 0.0, "cross-socket scatter traffic exists");
+        assert!(out.plan.explain().contains("Placement [node=spread"), "{}", out.plan.explain());
+        // Pinned to one node: everything except the interleaved
+        // base-table reads is local, so locality beats the spread run.
+        let pinned = cx.pinned_to(NodeId(1));
+        let out = paper_query_in(&pinned, &r, &s, |_| true, |_| true, &algo);
+        let pinned_placement = out.plan.placement.clone().expect("placement");
+        assert_eq!(pinned_placement.node, Some(1));
+        assert!(
+            pinned_placement.local_pct > placement.local_pct,
+            "pinned {} % vs spread {} %",
+            pinned_placement.local_pct,
+            placement.local_pct
+        );
+        assert!(out.plan.explain().contains("Placement [node=1, local="), "{}", out.plan.explain());
     }
 
     #[test]

@@ -62,13 +62,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use mpsm_core::context::ExecContext;
 use mpsm_core::worker::SharedWorkerPool;
+use mpsm_numa::{NodeId, Topology};
 
 use crate::query::PaperQueryResult;
 use crate::session::QuerySpec;
 
 /// Sizing of a [`Scheduler`]: pool width, concurrency budget, queue
-/// bound.
+/// bound, and the (simulated) machine topology queries are placed on.
 #[derive(Debug, Clone)]
 pub struct SchedulerConfig {
     /// Width of the shared worker pool (the machine share this
@@ -83,13 +85,26 @@ pub struct SchedulerConfig {
     /// Submissions allowed to wait beyond the executing ones before
     /// [`Scheduler::submit`] starts rejecting.
     pub queue_capacity: usize,
+    /// The NUMA topology of the machine the scheduler places queries
+    /// on. With a multi-node topology the scheduler is **NUMA-affine**:
+    /// each admitted query is pinned to the least-loaded node, so its
+    /// runs, partitions, and phases stay on one socket while concurrent
+    /// queries use the others. The default (a flat single-node machine)
+    /// disables placement.
+    pub topology: Topology,
 }
 
 impl SchedulerConfig {
     /// A scheduler over `pool_threads` shared workers, with 2 queries
-    /// in flight and a 16-deep admission queue.
+    /// in flight, a 16-deep admission queue, and a flat (non-NUMA)
+    /// topology.
     pub fn new(pool_threads: usize) -> Self {
-        SchedulerConfig { pool_threads, max_in_flight: 2, queue_capacity: 16 }
+        SchedulerConfig {
+            pool_threads,
+            max_in_flight: 2,
+            queue_capacity: 16,
+            topology: Topology::flat(pool_threads as u32),
+        }
     }
 
     /// Builder-style override of the in-flight budget.
@@ -102,6 +117,13 @@ impl SchedulerConfig {
     /// Builder-style override of the queue bound (0 = execute-or-reject).
     pub fn queue_capacity(mut self, n: usize) -> Self {
         self.queue_capacity = n;
+        self
+    }
+
+    /// Builder-style override of the machine topology (enables
+    /// NUMA-affine query placement when it has more than one node).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
         self
     }
 }
@@ -187,7 +209,9 @@ pub enum QueryStatus {
 enum TicketState {
     Queued,
     Running,
-    Done(Result<QueryOutput, QueryError>),
+    // Boxed: a QueryOutput (plan + stats) is ~300 bytes, the other
+    // variants are empty.
+    Done(Box<Result<QueryOutput, QueryError>>),
 }
 
 struct TicketCell {
@@ -230,7 +254,7 @@ impl QueryTicket {
     /// stays usable).
     pub fn try_result(&self) -> Option<Result<QueryOutput, QueryError>> {
         match &*self.cell.state.lock().expect("ticket poisoned") {
-            TicketState::Done(result) => Some(result.clone()),
+            TicketState::Done(result) => Some(result.as_ref().clone()),
             _ => None,
         }
     }
@@ -240,7 +264,7 @@ impl QueryTicket {
         let mut state = self.cell.state.lock().expect("ticket poisoned");
         loop {
             match &*state {
-                TicketState::Done(result) => return result.clone(),
+                TicketState::Done(result) => return result.as_ref().clone(),
                 _ => state = self.cell.cv.wait(state).expect("ticket poisoned"),
             }
         }
@@ -296,6 +320,39 @@ struct SchedCore {
     max_in_flight: usize,
     queue_capacity: usize,
     next_id: AtomicU64,
+    /// Queries currently pinned to each node (NUMA-affine placement
+    /// picks the least-loaded one; empty when the topology is flat).
+    /// One mutex guards the whole vector so a claim's min-scan and
+    /// increment are atomic — two coordinators claiming concurrently
+    /// must not both pick the same "least-loaded" node. Claims happen
+    /// once per query, never inside a phase.
+    node_load: Mutex<Vec<usize>>,
+}
+
+impl SchedCore {
+    /// Claim the least-loaded node for one query (`None` on a flat
+    /// topology). Ties break toward the lower node id, so a freshly
+    /// started scheduler fills sockets 0, 1, 2, … in order.
+    fn claim_node(&self) -> Option<NodeId> {
+        let mut load = self.node_load.lock().expect("node load poisoned");
+        if load.len() <= 1 {
+            return None;
+        }
+        let node = load
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &l)| l)
+            .map(|(n, _)| n)
+            .expect("at least two nodes");
+        load[node] += 1;
+        Some(NodeId(node as u32))
+    }
+
+    fn release_node(&self, node: Option<NodeId>) {
+        if let Some(node) = node {
+            self.node_load.lock().expect("node load poisoned")[node.0 as usize] -= 1;
+        }
+    }
 }
 
 /// The multi-query scheduler. See the module docs for the model and a
@@ -303,16 +360,18 @@ struct SchedCore {
 /// catalog on top.
 pub struct Scheduler {
     core: Arc<SchedCore>,
-    pool: SharedWorkerPool,
+    cx: Arc<ExecContext>,
     coordinators: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Scheduler {
-    /// Provision the shared pool and start the coordinator threads.
+    /// Provision the shared pool and its execution context, and start
+    /// the coordinator threads.
     pub fn new(config: SchedulerConfig) -> Self {
         assert!(config.pool_threads > 0, "need at least one pool worker");
         assert!(config.max_in_flight > 0, "need at least one in-flight query");
-        let pool = SharedWorkerPool::new(config.pool_threads);
+        let cx = Arc::new(ExecContext::new(config.topology.clone(), config.pool_threads));
+        let nodes = if config.topology.nodes > 1 { config.topology.nodes as usize } else { 0 };
         let core = Arc::new(SchedCore {
             queue: Mutex::new(QueueState::default()),
             work_cv: Condvar::new(),
@@ -320,15 +379,16 @@ impl Scheduler {
             max_in_flight: config.max_in_flight,
             queue_capacity: config.queue_capacity,
             next_id: AtomicU64::new(1),
+            node_load: Mutex::new(vec![0; nodes]),
         });
         let coordinators = (0..config.max_in_flight)
             .map(|_| {
                 let core = Arc::clone(&core);
-                let pool = pool.clone();
-                std::thread::spawn(move || coordinator_loop(&core, &pool))
+                let cx = Arc::clone(&cx);
+                std::thread::spawn(move || coordinator_loop(&core, &cx))
             })
             .collect();
-        Scheduler { core, pool, coordinators }
+        Scheduler { core, cx, coordinators }
     }
 
     /// Submit a query. Returns a ticket immediately, or rejects when
@@ -361,7 +421,14 @@ impl Scheduler {
 
     /// The shared pool (width, phase counters, tracing).
     pub fn pool(&self) -> &SharedWorkerPool {
-        &self.pool
+        self.cx.pool()
+    }
+
+    /// The scheduler's base execution context (topology, placement,
+    /// arena). Each admitted query derives its own context from this
+    /// one, so per-query audits do not accumulate here.
+    pub fn context(&self) -> &ExecContext {
+        &self.cx
     }
 
     /// Snapshot of the lifetime counters.
@@ -399,7 +466,7 @@ impl Drop for Scheduler {
     }
 }
 
-fn coordinator_loop(core: &SchedCore, pool: &SharedWorkerPool) {
+fn coordinator_loop(core: &SchedCore, cx: &ExecContext) {
     loop {
         let job = {
             let mut queue = core.queue.lock().expect("scheduler queue poisoned");
@@ -416,20 +483,32 @@ fn coordinator_loop(core: &SchedCore, pool: &SharedWorkerPool) {
         };
         let queue_wait = job.submitted_at.elapsed();
         core.metrics.queue_wait_micros.fetch_add(queue_wait.as_micros() as u64, Ordering::Relaxed);
-        job.cell.set(TicketState::Running);
 
-        // Phases of this query are tagged with its id on the pool.
-        let query_pool = pool.with_owner(job.id);
+        // Derive this query's context: phases tagged with its id on the
+        // pool, and — when the machine spans nodes — the whole query
+        // pinned to the least-loaded socket so its runs, partitions,
+        // and phases stay node-local (the EXPLAIN `Placement` line
+        // reports the node and the audited locality). The node is
+        // claimed before the ticket turns `Running`, so an observer
+        // seeing `Running` knows placement happened.
+        let node = core.claim_node();
+        job.cell.set(TicketState::Running);
+        let owned = cx.for_owner(job.id);
+        let query_cx = match node {
+            Some(node) => owned.pinned_to(node),
+            None => owned,
+        };
         let started = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             job.spec.join.run(
-                &query_pool,
+                &query_cx,
                 &job.spec.r,
                 &job.spec.s,
                 &job.spec.r_pred,
                 &job.spec.s_pred,
             )
         }));
+        core.release_node(node);
         let done = match outcome {
             Ok(mut result) => {
                 result.plan.queue_wait_ms = Some(queue_wait.as_secs_f64() * 1e3);
@@ -446,7 +525,7 @@ fn coordinator_loop(core: &SchedCore, pool: &SharedWorkerPool) {
         // be rejected because its finished query still counts as
         // in-flight.
         core.queue.lock().expect("scheduler queue poisoned").running -= 1;
-        job.cell.set(TicketState::Done(done));
+        job.cell.set(TicketState::Done(Box::new(done)));
     }
 }
 
@@ -494,7 +573,7 @@ mod tests {
             .expect("query failed");
         assert_eq!(out.result.max_payload_sum, serial.max_payload_sum);
         assert_eq!(out.result.r_selected, serial.r_selected);
-        assert_eq!(out.result.plan.queue_wait_ms.is_some(), true);
+        assert!(out.result.plan.queue_wait_ms.is_some());
         assert!(out.result.plan.explain().contains("Queue [wait ="));
     }
 
@@ -613,6 +692,84 @@ mod tests {
             scheduler.submit(QuerySpec::join(&r, &s)).err(),
             Some(SubmitError::ShuttingDown)
         );
+    }
+
+    #[test]
+    fn node_claims_balance_load_and_release() {
+        use mpsm_numa::Topology;
+
+        let scheduler = Scheduler::new(SchedulerConfig::new(2).topology(Topology::paper_machine()));
+        let core = &scheduler.core;
+        // Fresh scheduler fills sockets in order.
+        let claims: Vec<_> = (0..4).map(|_| core.claim_node()).collect();
+        assert_eq!(
+            claims,
+            vec![Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(2)), Some(NodeId(3))]
+        );
+        // All nodes equally loaded: the tie breaks toward node 0.
+        assert_eq!(core.claim_node(), Some(NodeId(0)));
+        // Releasing node 2 makes it the least loaded.
+        core.release_node(Some(NodeId(2)));
+        assert_eq!(core.claim_node(), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn numa_scheduler_pins_queries_and_reports_placement() {
+        use mpsm_numa::Topology;
+
+        let r = rel("R", 120);
+        let s = rel("S", 120);
+        let scheduler = Scheduler::new(
+            SchedulerConfig::new(4).max_in_flight(2).topology(Topology::paper_machine()),
+        );
+        // Sequential queries always land on the emptiest node — after
+        // each completes its claim is released, so node 0 wins every
+        // tie again.
+        for round in 0..3 {
+            let out = scheduler
+                .submit(QuerySpec::join(&r, &s))
+                .expect("admitted")
+                .wait()
+                .expect("query failed");
+            let placement = out.result.plan.placement.as_ref().expect("placement");
+            assert_eq!(placement.node, Some(0), "round {round}");
+            assert!(
+                placement.local_pct > 50.0,
+                "pinned query must be mostly local, got {} %",
+                placement.local_pct
+            );
+            assert!(out.result.plan.explain().contains("Placement [node=0"));
+        }
+        // A burst of concurrent queries: every one gets pinned to some
+        // node and finishes. (Which nodes depends on completion timing
+        // — queries release their claim when done — so the spreading
+        // *policy* is pinned deterministically by
+        // `node_claims_balance_load_and_release` above, not here.)
+        let tickets: Vec<_> =
+            (0..6).map(|_| scheduler.submit(QuerySpec::join(&r, &s)).expect("admitted")).collect();
+        let nodes: Vec<Option<u32>> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("query failed").result.plan.placement.unwrap().node)
+            .collect();
+        assert!(nodes.iter().all(|n| n.is_some()), "every query is pinned somewhere");
+        // All claims were released on completion.
+        let load = scheduler.core.node_load.lock().expect("node load");
+        assert!(load.iter().all(|&l| l == 0), "claims must drain to zero: {load:?}");
+    }
+
+    #[test]
+    fn flat_scheduler_reports_single_node_placement() {
+        let r = rel("R", 60);
+        let s = rel("S", 60);
+        let scheduler = Scheduler::new(SchedulerConfig::new(2));
+        let out = scheduler
+            .submit(QuerySpec::join(&r, &s))
+            .expect("admitted")
+            .wait()
+            .expect("query failed");
+        let placement = out.result.plan.placement.as_ref().expect("placement");
+        assert_eq!(placement.node, Some(0), "flat topology has exactly one node");
+        assert!((placement.local_pct - 100.0).abs() < 1e-9);
     }
 
     #[test]

@@ -38,12 +38,12 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use mpsm_core::context::ExecContext;
 use mpsm_core::join::p_mpsm::PMpsmJoin;
-use mpsm_core::join::{b_mpsm::BMpsmJoin, JoinConfig, PooledJoin};
-use mpsm_core::worker::SharedWorkerPool;
+use mpsm_core::join::{b_mpsm::BMpsmJoin, JoinAlgorithm, JoinConfig};
 use mpsm_core::Tuple;
 
-use crate::query::{paper_query_on, PaperQueryResult};
+use crate::query::{paper_query_in, PaperQueryResult};
 use crate::scan::Relation;
 use crate::sched::{QueryError, QueryOutput, QueryTicket, Scheduler, SchedulerConfig, SubmitError};
 
@@ -74,28 +74,30 @@ impl JoinSpec {
         JoinSpec::BMpsm(JoinConfig::with_threads(1))
     }
 
-    /// Run the paper query described by `spec` on `pool`.
+    /// Run the paper query described by `spec` inside `cx` (the
+    /// scheduler derives one context per query, carrying its owner tag
+    /// and node pinning).
     pub(crate) fn run(
         &self,
-        pool: &SharedWorkerPool,
+        cx: &ExecContext,
         r: &Relation,
         s: &Relation,
         r_pred: &Predicate,
         s_pred: &Predicate,
     ) -> PaperQueryResult {
-        fn go<J: PooledJoin>(
-            pool: &SharedWorkerPool,
+        fn go<J: JoinAlgorithm>(
+            cx: &ExecContext,
             r: &Relation,
             s: &Relation,
             r_pred: &Predicate,
             s_pred: &Predicate,
             algorithm: &J,
         ) -> PaperQueryResult {
-            paper_query_on(pool, r, s, |t| r_pred(t), |t| s_pred(t), algorithm)
+            paper_query_in(cx, r, s, |t| r_pred(t), |t| s_pred(t), algorithm)
         }
         match self {
-            JoinSpec::PMpsm(cfg) => go(pool, r, s, r_pred, s_pred, &PMpsmJoin::new(cfg.clone())),
-            JoinSpec::BMpsm(cfg) => go(pool, r, s, r_pred, s_pred, &BMpsmJoin::new(cfg.clone())),
+            JoinSpec::PMpsm(cfg) => go(cx, r, s, r_pred, s_pred, &PMpsmJoin::new(cfg.clone())),
+            JoinSpec::BMpsm(cfg) => go(cx, r, s, r_pred, s_pred, &BMpsmJoin::new(cfg.clone())),
         }
     }
 }

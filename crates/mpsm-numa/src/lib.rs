@@ -24,6 +24,8 @@
 //! paper argues — its commandments C1–C3 are statements about access
 //! patterns, not about micro-architecture.
 
+#![warn(missing_docs)]
+
 pub mod arena;
 pub mod cost;
 pub mod counters;

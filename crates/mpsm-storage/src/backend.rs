@@ -138,13 +138,13 @@ impl DiskBackend for MemBackend {
     }
 }
 
+/// Per-run file handle plus the page offset table `(offset, len)`.
+type RunFile = (File, Vec<(u64, u32)>);
+
 /// File-per-run backend doing real I/O under `dir`.
 ///
 /// Page sizes may vary per page (the last page of a run is short), so an
 /// in-memory offset table per run is kept alongside the files.
-/// Per-run file handle plus the page offset table `(offset, len)`.
-type RunFile = (File, Vec<(u64, u32)>);
-
 pub struct FileBackend {
     dir: PathBuf,
     runs: Mutex<HashMap<RunId, RunFile>>,

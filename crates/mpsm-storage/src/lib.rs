@@ -25,6 +25,8 @@
 //! container. The windowed page lifecycle — the algorithmic content of
 //! §3.1 — is identical for both.
 
+#![warn(missing_docs)]
+
 pub mod backend;
 pub mod buffer;
 pub mod page_index;

@@ -1,0 +1,100 @@
+//! The NUMA commandments, observable from the CLI: run P-MPSM on a
+//! simulated 4-socket machine twice — once with the paper's placement
+//! (every run and partition homed on its owning worker's node) and once
+//! deliberately misplaced (everything homed on socket 0, the
+//! "first-touch malloc" anti-pattern) — and print the per-phase,
+//! per-node access audit both ways.
+//!
+//! ```text
+//! cargo run --example numa_placement
+//! ```
+
+use mpsm::core::context::{AllocPolicy, ExecContext};
+use mpsm::core::join::p_mpsm::PMpsmJoin;
+use mpsm::core::join::{JoinAlgorithm, JoinConfig};
+use mpsm::core::sink::CountSink;
+use mpsm::core::{Phase, Tuple};
+use mpsm::numa::{AccessKind, NodeId, Topology};
+
+const PHASE_NAMES: [&str; 4] =
+    ["1 sort public S ", "2 partition R   ", "3 sort R_i      ", "4 merge join    "];
+
+fn audit(label: &str, cx: &ExecContext) {
+    println!("{label}");
+    println!("  phase             total      local%   remote-seq  remote-rand  verdict");
+    for (i, phase) in Phase::ALL.iter().enumerate() {
+        let c = cx.phase_counters(*phase);
+        if c.total_accesses() == 0 {
+            continue;
+        }
+        // Random remote accesses break C1 — except the merge phase's
+        // entry probes, the sub-linear O(log) reads C2 tolerates.
+        let remote_rand = c.accesses(AccessKind::RemoteRand);
+        let verdict = if remote_rand > c.total_accesses() / 100 {
+            "C1 VIOLATED (random remote)"
+        } else if remote_rand > 0 {
+            "ok (seq + entry probes, C2)"
+        } else if c.remote_fraction() > 0.5 {
+            "remote but sequential (C1 ok)"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {}  {:>9}  {:>7.1}%  {:>10}  {:>10}   {}",
+            PHASE_NAMES[i],
+            c.total_accesses(),
+            (1.0 - c.remote_fraction()) * 100.0,
+            c.accesses(AccessKind::RemoteSeq),
+            c.accesses(AccessKind::RemoteRand),
+            verdict,
+        );
+    }
+    println!("  arena (where the runs/partitions live):");
+    for (n, stats) in cx.arena().stats().iter().enumerate() {
+        println!("    node{n}: {:>4} buffers, {:>9} bytes", stats.buffers, stats.bytes);
+    }
+    let merged = cx.counters();
+    println!(
+        "  overall: {:.1}% local, {} random remote accesses\n",
+        (1.0 - merged.remote_fraction()) * 100.0,
+        merged.accesses(AccessKind::RemoteRand),
+    );
+}
+
+fn main() {
+    // A modest join on the paper's 4-socket machine shape, 8 workers
+    // (two per socket).
+    let n = 60_000u64;
+    let r: Vec<Tuple> = (0..n).map(|i| Tuple::new((i * 2654435761) % (1 << 22), i)).collect();
+    let s: Vec<Tuple> = (0..n).map(|i| Tuple::new((i * 40503) % (1 << 22), i)).collect();
+    let join = PMpsmJoin::new(JoinConfig::with_threads(8));
+
+    println!("P-MPSM, |R| = |S| = {n}, 4 nodes x 2 workers each\n");
+
+    // The paper's placement: partition p lives on the node of the
+    // worker that sorts and joins it.
+    let placed = ExecContext::new(Topology::paper_machine(), 8);
+    let (count_placed, _) = join.join_in::<CountSink>(&placed, &r, &s);
+    audit("== placed (worker-local arenas, the paper's design) ==", &placed);
+
+    // The anti-pattern: every allocation homed on socket 0, as an
+    // unplaced malloc would do. Same code, same result — but the sort
+    // phase now random-writes across the interconnect.
+    let misplaced =
+        ExecContext::new(Topology::paper_machine(), 8).alloc_policy(AllocPolicy::Pinned(NodeId(0)));
+    let (count_misplaced, _) = join.join_in::<CountSink>(&misplaced, &r, &s);
+    audit("== misplaced (everything homed on node 0) ==", &misplaced);
+
+    assert_eq!(count_placed, count_misplaced, "placement must never change results");
+    let placed_sort = placed.phase_counters(Phase::Three);
+    let misplaced_sort = misplaced.phase_counters(Phase::Three);
+    assert_eq!(placed_sort.accesses(AccessKind::RemoteRand), 0);
+    assert!(misplaced_sort.accesses(AccessKind::RemoteRand) > 0);
+    println!(
+        "join count agrees either way ({count_placed} rows); the commandments only change WHERE \
+         the time goes:\n  placed   sort: {:>6.1}% local\n  misplaced sort: {:>6.1}% local  \
+         <- every one of those remote accesses is a random store over the interconnect",
+        (1.0 - placed_sort.remote_fraction()) * 100.0,
+        (1.0 - misplaced_sort.remote_fraction()) * 100.0,
+    );
+}

@@ -31,7 +31,7 @@ fn workload() -> (Arc<Relation>, Arc<Relation>) {
 /// queries are genuinely different.
 fn preds(i: u64) -> (impl Fn(&Tuple) -> bool + Copy, impl Fn(&Tuple) -> bool + Copy) {
     let modulus = 2 + i % 5;
-    (move |t: &Tuple| t.key % modulus != 0, move |t: &Tuple| t.key >= i * 37)
+    (move |t: &Tuple| !t.key.is_multiple_of(modulus), move |t: &Tuple| t.key >= i * 37)
 }
 
 #[test]

@@ -13,6 +13,7 @@ const EXAMPLES: &[&str] = &[
     "concurrent_clients",
     "memory_constrained_join",
     "numa_commandments",
+    "numa_placement",
     "operational_bi",
     "skew_resilient_analytics",
     "tpch_revenue",
