@@ -64,6 +64,20 @@ fn bench_merge(c: &mut Criterion) {
     let s3 = sorted((0..n as u64).collect());
     bench_pair(&mut group, "sparse_vs_dense", &r3, &s3);
 
+    // Regime shift: dense interleaved first half, sparse-vs-dense second
+    // half — pins the adaptive gallop budget moving in both directions
+    // within a single merge (the fixed-threshold kernel lost the dense
+    // half at 0.83× of linear).
+    let half = n as u64 / 2;
+    let mut r4_keys: Vec<u64> = (0..half).map(|k| k * 2).collect();
+    let mut s4_keys: Vec<u64> = (0..half).map(|k| k * 2 + 1).collect();
+    let base = 4 * half;
+    r4_keys.extend((0..half / 1024).map(|k| base + k * 1024));
+    s4_keys.extend((0..half).map(|k| base + k));
+    let r4 = sorted(r4_keys);
+    let s4 = sorted(s4_keys);
+    bench_pair(&mut group, "regime_shift", &r4, &s4);
+
     group.finish();
 }
 

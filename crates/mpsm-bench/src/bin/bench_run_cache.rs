@@ -1,0 +1,301 @@
+//! `bench_run_cache` — repeated-query throughput with the sorted-run
+//! cache vs. uncached execution.
+//!
+//! Closed-loop clients draw join pairs from a Zipf distribution over a
+//! handful of registered relations and submit them to a
+//! [`mpsm_exec::Session`]. The cached session serves repeat inputs
+//! from its run cache (skipping partition + sort; phases 1–3 of the
+//! join collapse to zero), the baseline session runs every query from
+//! scratch. `BENCH_6.json` at the repo root records the committed
+//! trajectory point: cached vs uncached queries/second plus the
+//! cache's hit/miss/eviction counters.
+//!
+//! ```text
+//! cargo run --release -p mpsm-bench --bin bench_run_cache
+//!     [--scale N] [--relations N] [--threads N] [--queries N]
+//!     [--theta CENTI] [--seed N] [--trials N] [--quick] [--out PATH]
+//! ```
+//!
+//! `--queries` is per client; `--theta` is the Zipf exponent in
+//! hundredths (80 = 0.8); `--quick` divides the scale by 8. Every
+//! reported number is validated finite, and every query's result is
+//! checked against a closed-form expectation, so a cache serving stale
+//! or misattributed runs cannot write a plausible-looking report.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mpsm_core::Tuple;
+use mpsm_exec::{QuerySpec, Relation, SchedulerConfig, Session};
+
+struct Args {
+    scale: usize,
+    relations: usize,
+    threads: usize,
+    queries: usize,
+    /// Zipf exponent in hundredths (80 → 0.8).
+    theta: usize,
+    seed: u64,
+    trials: usize,
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 1 << 16,
+        relations: 4,
+        threads: 4,
+        queries: 24,
+        theta: 80,
+        seed: 42,
+        trials: 3,
+        quick: false,
+        out: "BENCH_6.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    let num = |it: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
+        it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| panic!("{flag} needs a number"))
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => args.scale = num(&mut it, "--scale"),
+            "--relations" => args.relations = num(&mut it, "--relations"),
+            "--threads" => args.threads = num(&mut it, "--threads"),
+            "--queries" => args.queries = num(&mut it, "--queries"),
+            "--theta" => args.theta = num(&mut it, "--theta"),
+            "--seed" => args.seed = num(&mut it, "--seed") as u64,
+            "--trials" => args.trials = num(&mut it, "--trials"),
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next().unwrap_or_else(|| panic!("--out needs a path")),
+            other => panic!(
+                "unknown flag {other}; supported: --scale --relations --threads --queries \
+                 --theta --seed --trials --quick --out"
+            ),
+        }
+    }
+    if args.quick {
+        args.scale /= 8;
+    }
+    assert!(args.scale > 1 && args.relations > 0 && args.threads > 0);
+    assert!(args.queries > 0 && args.trials > 0);
+    args
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    assert!(!v.is_empty());
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in measurements"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+fn finite(label: &str, v: f64) -> f64 {
+    assert!(v.is_finite(), "{label} is not finite: {v}");
+    v
+}
+
+fn lcg(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed | 1;
+    move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 32
+    }
+}
+
+/// Inverse-CDF Zipf sampler over `n` ranks with exponent `theta`:
+/// rank 0 is the hottest relation, matching the operational-BI
+/// pattern of a few hot tables joined over and over.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, theta: f64) -> Self {
+        let weights: Vec<f64> = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf { cdf }
+    }
+
+    fn draw(&self, next: &mut impl FnMut() -> u64) -> usize {
+        let u = next() as f64 / (u32::MAX as f64 + 1.0);
+        self.cdf.iter().position(|&c| u < c).unwrap_or(self.cdf.len() - 1)
+    }
+}
+
+/// Relation `t`: every key in `0..scale` exactly once (insertion order
+/// shuffled per relation, Fisher–Yates), payload `key + t` — so any
+/// pair joins 1:1 and `max(payload + payload)` has the closed form
+/// checked below.
+fn relation(t: usize, scale: usize, seed: u64) -> Relation {
+    let mut keys: Vec<u64> = (0..scale as u64).collect();
+    let mut next = lcg(seed ^ (t as u64).wrapping_mul(0x517c_c1b7_2722_0a95));
+    for i in (1..keys.len()).rev() {
+        keys.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+    let tuples = keys.into_iter().map(|k| Tuple::new(k, k + t as u64)).collect();
+    Relation::new(format!("T{t}"), tuples)
+}
+
+fn expected_max(scale: usize, i: usize, j: usize) -> Option<u64> {
+    Some(2 * (scale as u64 - 1) + i as u64 + j as u64)
+}
+
+/// The query mix: `clients` closed-loop submitters, each drawing
+/// `queries` Zipf-distributed (R, S) pairs. Deterministic per seed so
+/// the cached and uncached sessions run the identical stream.
+fn run_mix(
+    session: &Session,
+    rels: &[Arc<Relation>],
+    zipf: &Zipf,
+    clients: usize,
+    queries: usize,
+    scale: usize,
+    seed: u64,
+) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let rels = &rels;
+            scope.spawn(move || {
+                let mut next = lcg(seed ^ (client as u64).wrapping_mul(0x9E37_79B9));
+                for q in 0..queries {
+                    let (i, j) = (zipf.draw(&mut next), zipf.draw(&mut next));
+                    let out = session
+                        .query(QuerySpec::join(&rels[i], &rels[j]))
+                        .unwrap_or_else(|e| panic!("client {client} query {q}: {e}"));
+                    assert_eq!(
+                        out.result.max_payload_sum,
+                        expected_max(scale, i, j),
+                        "client {client} query {q} (T{i} ⋈ T{j}) disagrees"
+                    );
+                }
+            });
+        }
+    });
+    (clients * queries) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args = parse_args();
+    let theta = args.theta as f64 / 100.0;
+    eprintln!(
+        "bench_run_cache: |T| = {} × {} relations, pool = {} workers, {} queries/client, \
+         zipf θ = {theta}, seed = {}, trials = {}",
+        args.scale, args.relations, args.threads, args.queries, args.seed, args.trials
+    );
+    let zipf = Zipf::new(args.relations, theta);
+
+    let client_counts = [1usize, 4];
+    let mut rows = Vec::new();
+    for &clients in &client_counts {
+        let total_queries = clients * args.queries;
+        let mut cached_qps_trials = Vec::new();
+        let mut uncached_qps_trials = Vec::new();
+        let mut last_stats = None;
+        for _ in 0..args.trials {
+            // Fresh sessions per trial: each cached trial pays its
+            // compulsory misses, so the speedup below includes them.
+            let uncached = Session::uncached(
+                SchedulerConfig::new(args.threads)
+                    .max_in_flight(clients.min(args.threads))
+                    .queue_capacity(total_queries),
+            );
+            let urels: Vec<_> = (0..args.relations)
+                .map(|t| uncached.register(relation(t, args.scale, args.seed)))
+                .collect();
+            uncached_qps_trials.push(run_mix(
+                &uncached,
+                &urels,
+                &zipf,
+                clients,
+                args.queries,
+                args.scale,
+                args.seed,
+            ));
+
+            let cached = Session::new(
+                SchedulerConfig::new(args.threads)
+                    .max_in_flight(clients.min(args.threads))
+                    .queue_capacity(total_queries),
+            );
+            let crels: Vec<_> = (0..args.relations)
+                .map(|t| cached.register(relation(t, args.scale, args.seed)))
+                .collect();
+            cached_qps_trials.push(run_mix(
+                &cached,
+                &crels,
+                &zipf,
+                clients,
+                args.queries,
+                args.scale,
+                args.seed,
+            ));
+
+            // Tripwires: the cache actually engaged, and EXPLAIN says so.
+            let stats = cached.run_cache().expect("cached session").stats();
+            assert!(stats.hits > 0, "no cache hits in a repeated-query mix: {stats:?}");
+            assert_eq!(
+                stats.hits + stats.misses,
+                2 * total_queries as u64,
+                "every query side consults the cache"
+            );
+            let explain = cached
+                .query(QuerySpec::join(&crels[0], &crels[0]))
+                .expect("explain probe")
+                .result
+                .plan
+                .explain();
+            assert!(explain.contains("RunCache ["), "EXPLAIN lacks the cache node:\n{explain}");
+            last_stats = Some(stats);
+        }
+
+        let label = format!("clients={clients}");
+        let cached_qps = finite(&label, median(cached_qps_trials));
+        let uncached_qps = finite(&label, median(uncached_qps_trials));
+        let speedup = finite(&label, cached_qps / uncached_qps);
+        let stats = last_stats.expect("at least one trial");
+        let hit_rate = finite(&label, stats.hits as f64 / (stats.hits + stats.misses) as f64);
+        eprintln!(
+            "  {clients} client(s): {cached_qps:7.2} q/s cached vs {uncached_qps:7.2} q/s uncached \
+             (speedup {speedup:.3}x; {} hits / {} misses / {} evictions)",
+            stats.hits, stats.misses, stats.evictions
+        );
+        rows.push(format!(
+            "    {{\"clients\": {clients}, \"queries\": {total_queries}, \
+             \"cached_qps\": {cached_qps:.3}, \"uncached_qps\": {uncached_qps:.3}, \
+             \"speedup_vs_uncached\": {speedup:.3}, \"hits\": {}, \"misses\": {}, \
+             \"evictions\": {}, \"hit_rate\": {hit_rate:.3}}}",
+            stats.hits, stats.misses, stats.evictions
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"config\": {{\"scale\": {}, \"relations\": {}, \"pool_threads\": {}, \
+         \"queries_per_client\": {}, \"zipf_theta\": {theta}, \"seed\": {}, \"trials\": {}, \
+         \"quick\": {}}},\n  \"unit\": \"queries per second (median of trials; cached pays its \
+         compulsory misses)\",\n  \"throughput\": [\n{}\n  ]\n}}\n",
+        args.scale,
+        args.relations,
+        args.threads,
+        args.queries,
+        args.seed,
+        args.trials,
+        args.quick,
+        rows.join(",\n")
+    );
+    assert!(!json.to_ascii_lowercase().contains("nan"), "NaN leaked into the report");
+    std::fs::write(&args.out, &json).expect("write report");
+    eprintln!("wrote {}", args.out);
+}

@@ -4,6 +4,7 @@
 pub mod b_mpsm;
 pub mod d_mpsm;
 pub mod p_mpsm;
+pub mod runs;
 pub mod variant;
 
 use crate::context::ExecContext;

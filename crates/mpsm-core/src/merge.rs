@@ -13,15 +13,26 @@
 //! ## Galloping
 //!
 //! [`merge_join`] skips non-matching stretches with *galloping*
-//! (exponential search): after [`GALLOP_LINEAR`] plain comparisons in a
-//! row fail to reach the other run's key, the cursor probes at
-//! exponentially growing offsets and finishes with a binary search in
-//! the final bracket — `O(log d)` comparisons for a skip of length `d`
-//! instead of `d`. On runs whose key ranges barely overlap (exactly
-//! what P-MPSM's phase 4 sees: a worker's `R_i` covers `1/T`-th of the
+//! (exponential search): after a run of plain comparisons fails to
+//! reach the other run's key, the cursor probes at exponentially
+//! growing offsets and finishes with a binary search in the final
+//! bracket — `O(log d)` comparisons for a skip of length `d` instead
+//! of `d`. On runs whose key ranges barely overlap (exactly what
+//! P-MPSM's phase 4 sees: a worker's `R_i` covers `1/T`-th of the
 //! domain of every public run it scans past its entry point) this
-//! collapses long dead stretches to a handful of probes, while the
-//! linear prefix keeps densely interleaved runs as cheap as before.
+//! collapses long dead stretches to a handful of probes.
+//!
+//! The linear budget is **adaptive**, per cursor, TimSort-style: it
+//! starts at [`GALLOP_LINEAR`] and every advance the linear scan
+//! resolves by itself *raises* it (up to [`GALLOP_MAX`]), while every
+//! probe that skips past the budget *halves* it. Densely interleaved
+//! runs — where every skip is one element long and the BENCH_2 "0pct"
+//! ablation measured the fixed-threshold kernel at 0.83× of
+//! [`merge_join_linear`] — therefore converge to the pure linear loop
+//! with one budget check per advance (not per element), while
+//! sparse-vs-dense runs drop the budget to 1 and gallop almost
+//! immediately. The cold probe path is kept out of line so the hot
+//! loop stays as small as the linear kernel's.
 //! Equal singleton keys (the dominant case on FK joins) take a
 //! branch-reduced fast path that emits the pair without the general
 //! group-scan machinery.
@@ -33,29 +44,53 @@
 use crate::sink::JoinSink;
 use crate::tuple::Tuple;
 
-/// Failed plain comparisons before the cursor switches to exponential
-/// probing. Keeps densely interleaved runs on the branch-predictable
-/// linear path; 8 × 16 B is also exactly one cache line of lookahead.
+/// Initial linear budget: failed plain comparisons before the cursor
+/// switches to exponential probing. Keeps densely interleaved runs on
+/// the branch-predictable linear path; 8 × 16 B is also exactly one
+/// cache line of lookahead. The per-cursor budget adapts from here —
+/// up to [`GALLOP_MAX`] while linear scans keep winning, down to 1
+/// while probes keep skipping.
 pub const GALLOP_LINEAR: usize = 8;
 
-/// First index `>= from` whose key is `>= key`: a short linear scan,
-/// then exponential probing, then binary search inside the final
-/// bracket.
-#[inline]
-fn gallop_to(run: &[Tuple], from: usize, key: u64) -> usize {
-    let mut idx = from;
-    let lin_end = (from + GALLOP_LINEAR).min(run.len());
-    while idx < lin_end {
-        if run[idx].key >= key {
-            return idx;
-        }
+/// Ceiling of the adaptive linear budget. Once a cursor's budget grows
+/// this far the kernel is effectively [`merge_join_linear`] with one
+/// bounds computation per advance; capping it keeps a late regime
+/// change (dense → sparse) from paying more than `GALLOP_MAX` wasted
+/// comparisons before the first probe.
+pub const GALLOP_MAX: usize = 64;
+
+/// Advance `idx` to the first position `>= idx` whose key is `>= key`,
+/// scanning linearly for up to `*budget` elements and falling back to
+/// galloping. Adapts the budget: a linear hit raises it (dense runs
+/// converge to the pure linear kernel), a probe that skips a full
+/// budget halves it (sparse runs gallop almost immediately).
+///
+/// Out of line and cold: the merge loop resolves single-position
+/// advances (the dominant case on densely interleaved runs) with one
+/// inline step and only calls here when that step was not enough, so
+/// the hot-loop codegen matches the linear kernel's.
+#[cold]
+#[inline(never)]
+fn advance(run: &[Tuple], mut idx: usize, key: u64, budget: &mut usize) -> usize {
+    let cap = idx.saturating_add(*budget).min(run.len());
+    while idx < cap && run[idx].key < key {
         idx += 1;
     }
-    if idx >= run.len() || run[idx].key >= key {
+    if idx < cap || idx >= run.len() || run[idx].key >= key {
+        // The linear scan reached `key` (or the end of the run) within
+        // budget: a probe would not have paid. Drift toward linear.
+        if *budget < GALLOP_MAX {
+            *budget += 1;
+        }
         return idx;
     }
-    // run[idx].key < key: double the step until a probe reaches `key`
-    // or the end, keeping `lo` on the last known-below position.
+    gallop_beyond(run, idx, key, budget)
+}
+
+/// The gallop half of [`advance`]: the linear budget is exhausted and
+/// `run[idx].key < key` still holds — probe exponentially, then binary
+/// search the final bracket.
+fn gallop_beyond(run: &[Tuple], idx: usize, key: u64, budget: &mut usize) -> usize {
     let mut lo = idx;
     let mut step = 1usize;
     let hi = loop {
@@ -70,7 +105,15 @@ fn gallop_to(run: &[Tuple], from: usize, key: u64) -> usize {
         step <<= 1;
     };
     // Invariant: run[lo].key < key, run[hi].key >= key (or hi == len).
-    lo + 1 + run[lo + 1..hi].partition_point(|t| t.key < key)
+    let found = lo + 1 + run[lo + 1..hi].partition_point(|t| t.key < key);
+    if found - idx >= *budget {
+        // The probe skipped at least a full linear budget: galloping
+        // pays here, engage it sooner next time.
+        *budget = (*budget / 2).max(1);
+    } else if *budget < GALLOP_MAX {
+        *budget += 1;
+    }
+    found
 }
 
 /// Extent of one merge-join call: the cursor positions at exit, i.e.
@@ -115,21 +158,25 @@ pub fn merge_join_scanned<S: JoinSink>(r: &[Tuple], s: &[Tuple], sink: &mut S) -
     debug_assert!(crate::tuple::is_key_sorted(s), "public run must be sorted");
     let mut i = 0;
     let mut j = 0;
+    // One adaptive linear budget per cursor: the two runs can sit in
+    // different regimes (sparse r against dense s and vice versa).
+    let mut i_budget = GALLOP_LINEAR;
+    let mut j_budget = GALLOP_LINEAR;
     while i < r.len() && j < s.len() {
         let rk = r[i].key;
         let sk = s[j].key;
         if rk < sk {
-            // One inline step first: densely interleaved runs advance by
-            // a single position almost always, and the main loop's own
-            // comparison then re-dispatches without a call.
+            // One inline step first: densely interleaved runs advance
+            // by a single position almost always, and the main loop's
+            // own comparison then re-dispatches without a call.
             i += 1;
             if i < r.len() && r[i].key < sk {
-                i = gallop_to(r, i + 1, sk);
+                i = advance(r, i + 1, sk, &mut i_budget);
             }
         } else if rk > sk {
             j += 1;
             if j < s.len() && s[j].key < rk {
-                j = gallop_to(s, j + 1, rk);
+                j = advance(s, j + 1, rk, &mut j_budget);
             }
         } else {
             // Equal keys. Fast path: both groups are singletons (the
@@ -327,13 +374,21 @@ mod tests {
     }
 
     #[test]
-    fn gallop_to_finds_lower_bound() {
+    fn advance_finds_lower_bound_at_any_budget() {
         let run = sorted(&(0..1000u64).map(|k| (k * 2, 0)).collect::<Vec<_>>());
         for &key in &[0u64, 1, 2, 3, 500, 999, 1000, 1001, 1997, 1998, 1999, 2000, 5000] {
             let expect = run.partition_point(|t| t.key < key);
             for from in [0usize, 1, 5, 250, expect.min(run.len())] {
-                if from <= expect {
-                    assert_eq!(gallop_to(&run, from, key), expect, "key {key} from {from}");
+                for start_budget in [1usize, GALLOP_LINEAR, GALLOP_MAX] {
+                    if from <= expect {
+                        let mut budget = start_budget;
+                        assert_eq!(
+                            advance(&run, from, key, &mut budget),
+                            expect,
+                            "key {key} from {from} budget {start_budget}"
+                        );
+                        assert!((1..=GALLOP_MAX).contains(&budget), "budget stays in range");
+                    }
                 }
             }
         }
@@ -389,5 +444,30 @@ mod tests {
         let r = sorted(&r_keys);
         let s = sorted(&s_keys);
         assert_kernels_agree(&r, &s, "alternating blocks");
+    }
+
+    #[test]
+    fn regime_shift_dense_then_sparse_agrees_with_linear() {
+        // First half: perfectly interleaved disjoint keys (the BENCH_2
+        // "0pct" shape, which drives the adaptive budget up towards
+        // GALLOP_MAX); second half: sparse r against dense s, where the
+        // budget must come back down and gallop again.
+        let mut r_keys = Vec::new();
+        let mut s_keys = Vec::new();
+        for i in 0..4_000u64 {
+            r_keys.push((2 * i, i));
+            s_keys.push((2 * i + 1, i));
+        }
+        let base = 10_000u64;
+        for i in 0..16u64 {
+            r_keys.push((base + i * 5_000, i));
+        }
+        for i in 0..40_000u64 {
+            s_keys.push((base + i * 2, i));
+        }
+        let r = sorted(&r_keys);
+        let s = sorted(&s_keys);
+        assert_kernels_agree(&r, &s, "regime shift");
+        assert_kernels_agree(&s, &r, "regime shift mirrored");
     }
 }

@@ -38,6 +38,18 @@
 //! the least-loaded node, and every plan's EXPLAIN output grows a
 //! `Placement [node=…, local=…%, remote=…%]` line reporting where the
 //! join ran and how node-local its audited memory traffic was.
+//!
+//! ## Sorted-run caching
+//!
+//! Phases 1–2 of an MPSM join sort each input into public runs that
+//! depend only on the relation and the splitter layout — not on the
+//! query. The [`run_cache`] module caches those runs keyed by
+//! `(relation id, version, splitter fingerprint)`; a
+//! [`session::Session`] owns one by default, so repeated joins over
+//! registered relations skip partition + sort entirely and go straight
+//! to merge-join. EXPLAIN grows a `RunCache [R=hit, S=miss; …]` line,
+//! and re-registering a relation bumps its catalog version, which
+//! invalidates every run set built from older versions.
 
 #![warn(missing_docs)]
 
@@ -45,14 +57,18 @@ pub mod groupby;
 pub mod ops;
 pub mod plan;
 pub mod query;
+pub mod run_cache;
 pub mod scan;
 pub mod sched;
 pub mod session;
 
 pub use groupby::{sorted_group_by, CountAgg, KeyAggregate, MaxAgg, SumAgg};
 pub use ops::{CountRows, JoinOp, MaxPayloadSum, Select};
-pub use plan::{PlacementInfo, PlanStep, QueryPlan};
+pub use plan::{PlacementInfo, PlanStep, QueryPlan, RunCacheInfo, RunCacheOutcome};
 pub use query::{paper_query, paper_query_in, paper_query_on, PaperQueryResult};
+pub use run_cache::{
+    splitter_fingerprint, BuildPermit, Lookup, RunCache, RunCacheConfig, RunCacheStats, RunKey,
+};
 pub use scan::Relation;
 pub use sched::{
     QueryError, QueryOutput, QueryStatus, QueryTicket, Scheduler, SchedulerConfig,

@@ -55,15 +55,78 @@ pub struct PlacementInfo {
     pub local_pct: f64,
     /// Percentage that crossed to a remote node.
     pub remote_pct: f64,
+    /// The context's topology had a single node: placement is trivial
+    /// and rendered as `Placement [flat, …]` — an explicit value, so
+    /// flat-scheduler tests need no `unwrap` chains to distinguish
+    /// "no placement info" from "nothing to place".
+    pub flat: bool,
 }
 
 impl PlacementInfo {
     fn label(&self) -> String {
-        let node = match self.node {
-            Some(n) => format!("node={n}"),
-            None => "node=spread".to_string(),
+        let node = if self.flat {
+            "flat".to_string()
+        } else {
+            match self.node {
+                Some(n) => format!("node={n}"),
+                None => "node=spread".to_string(),
+            }
         };
         format!("Placement [{node}, local={:.1}%, remote={:.1}%]", self.local_pct, self.remote_pct)
+    }
+}
+
+/// What the run cache did for one join input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunCacheOutcome {
+    /// Sorted runs were served from the cache; the side skipped
+    /// partition + sort.
+    Hit,
+    /// Runs were built by this query (and published when it held the
+    /// build permit).
+    Miss,
+    /// The side was not cacheable (filtered, unregistered, or the
+    /// session runs uncached).
+    Bypass,
+}
+
+impl RunCacheOutcome {
+    fn as_str(self) -> &'static str {
+        match self {
+            RunCacheOutcome::Hit => "hit",
+            RunCacheOutcome::Miss => "miss",
+            RunCacheOutcome::Bypass => "bypass",
+        }
+    }
+}
+
+/// Per-query run-cache report, rendered as the `RunCache` EXPLAIN
+/// node: the outcome for each input plus the owning cache's lifetime
+/// totals at plan-assembly time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunCacheInfo {
+    /// Outcome for the private input `R`.
+    pub r: RunCacheOutcome,
+    /// Outcome for the public input `S`.
+    pub s: RunCacheOutcome,
+    /// Cache-lifetime hits.
+    pub hits: u64,
+    /// Cache-lifetime misses.
+    pub misses: u64,
+    /// Cache-lifetime budget evictions.
+    pub evictions: u64,
+}
+
+impl RunCacheInfo {
+    fn label(&self) -> String {
+        format!(
+            "RunCache [R={}, S={}; hits={}, misses={}, evictions={}]",
+            self.r.as_str(),
+            self.s.as_str(),
+            self.hits,
+            self.misses,
+            self.evictions,
+        )
     }
 }
 
@@ -91,6 +154,9 @@ pub struct QueryPlan {
     /// NUMA placement and locality of the join, when it executed
     /// inside an [`mpsm_core::context::ExecContext`].
     pub placement: Option<PlacementInfo>,
+    /// Run-cache outcomes, when the query ran through a cache-aware
+    /// session.
+    pub run_cache: Option<RunCacheInfo>,
 }
 
 /// A rendered EXPLAIN node: a label plus child nodes.
@@ -153,6 +219,9 @@ impl QueryPlan {
         if let Some(placement) = &self.placement {
             join = join.child(Node::new(placement.label()));
         }
+        if let Some(cache) = &self.run_cache {
+            join = join.child(Node::new(cache.label()));
+        }
         if let Some(p) = self.phases_ms {
             join = join.child(Node::new(format!(
                 "Phases [1: {:.3} ms, 2: {:.3} ms, 3: {:.3} ms, 4: {:.3} ms]",
@@ -203,6 +272,7 @@ mod tests {
             queue_wait_ms: None,
             phases_ms: None,
             placement: None,
+            run_cache: None,
         }
     }
 
@@ -278,7 +348,8 @@ Aggregate [max(R.payload + S.payload)]
         // The acceptance shape of the NUMA refactor: a pinned query's
         // EXPLAIN carries the Placement node directly under the join.
         let mut p = sample();
-        p.placement = Some(PlacementInfo { node: Some(2), local_pct: 97.7, remote_pct: 2.3 });
+        p.placement =
+            Some(PlacementInfo { node: Some(2), local_pct: 97.7, remote_pct: 2.3, flat: false });
         let expected = "\
 Aggregate [max(R.payload + S.payload)]
 └─ Join [P-MPSM; T = 8; out = 2000 rows]
@@ -292,12 +363,47 @@ Aggregate [max(R.payload + S.payload)]
 ";
         assert_eq!(p.explain(), expected);
         // A spread (unpinned) execution names no node.
-        p.placement = Some(PlacementInfo { node: None, local_pct: 31.25, remote_pct: 68.75 });
+        p.placement =
+            Some(PlacementInfo { node: None, local_pct: 31.25, remote_pct: 68.75, flat: false });
         assert!(
             p.explain().contains("Placement [node=spread, local=31.2%, remote=68.8%]"),
             "{}",
             p.explain()
         );
+        // A single-node topology renders the explicit flat placement.
+        p.placement =
+            Some(PlacementInfo { node: Some(0), local_pct: 100.0, remote_pct: 0.0, flat: true });
+        assert!(
+            p.explain().contains("Placement [flat, local=100.0%, remote=0.0%]"),
+            "{}",
+            p.explain()
+        );
+    }
+
+    #[test]
+    fn run_cache_node_renders_exactly() {
+        let mut p = sample();
+        p.run_cache = Some(RunCacheInfo {
+            r: RunCacheOutcome::Hit,
+            s: RunCacheOutcome::Miss,
+            hits: 3,
+            misses: 2,
+            evictions: 1,
+        });
+        let expected = "\
+Aggregate [max(R.payload + S.payload)]
+└─ Join [P-MPSM; T = 8; out = 2000 rows]
+   ├─ RunCache [R=hit, S=miss; hits=3, misses=2, evictions=1]
+   ├─ private (R):
+   │  └─ Select [out = 500 rows]
+   │     └─ Scan orders [1000 rows]
+   └─ public (S):
+      └─ Select [out = 4000 rows]
+         └─ Scan lineitem [4000 rows]
+";
+        assert_eq!(p.explain(), expected);
+        p.run_cache.as_mut().expect("set above").s = RunCacheOutcome::Bypass;
+        assert!(p.explain().contains("RunCache [R=hit, S=bypass;"), "{}", p.explain());
     }
 
     #[test]

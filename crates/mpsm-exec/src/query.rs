@@ -10,15 +10,21 @@
 //! selection so "no referential integrity (foreign keys) or indexes
 //! could be exploited").
 
+use std::sync::Arc;
+
 use mpsm_core::context::ExecContext;
+use mpsm_core::join::runs::{join_runs_in, RunsInput, SharedRunSet};
 use mpsm_core::join::{JoinAlgorithm, PooledJoin};
+use mpsm_core::sink::MaxAggSink;
 use mpsm_core::stats::JoinStats;
 use mpsm_core::worker::SharedWorkerPool;
 use mpsm_core::Tuple;
 
 use crate::ops::{JoinOp, MaxPayloadSum, Select};
-use crate::plan::{PlacementInfo, PlanStep, QueryPlan};
+use crate::plan::{PlacementInfo, PlanStep, QueryPlan, RunCacheInfo, RunCacheOutcome};
+use crate::run_cache::{splitter_fingerprint, BuildPermit, Lookup, RunCache, RunKey};
 use crate::scan::Relation;
+use crate::session::{Predicate, QuerySpec};
 
 /// Result of one paper-query execution.
 #[derive(Debug, Clone)]
@@ -55,7 +61,7 @@ where
     let s_sel = Select::new(s, s_pred).execute(threads);
     let join = JoinOp::new(algorithm);
     let (max, stats) = MaxPayloadSum::over(&join, &r_sel, &s_sel);
-    assemble(algorithm.name(), threads, r, s, r_sel, s_sel, max, stats)
+    assemble(algorithm.name(), threads, r, s, r_sel.len(), s_sel.len(), max, stats)
 }
 
 /// [`paper_query`] with every parallel section — both selections and
@@ -109,16 +115,163 @@ where
     let s_sel = Select::new(s, s_pred).execute_in(cx);
     let join = JoinOp::new(algorithm);
     let (max, stats) = MaxPayloadSum::over_in(cx, &join, &r_sel, &s_sel);
-    let mut out = assemble(algorithm.name(), cx.threads(), r, s, r_sel, s_sel, max, stats);
+    let mut out =
+        assemble(algorithm.name(), cx.threads(), r, s, r_sel.len(), s_sel.len(), max, stats);
     out.plan.phases_ms = Some(out.stats.phases_ms());
-    let counters = cx.counters();
-    let remote = counters.remote_fraction();
-    out.plan.placement = Some(PlacementInfo {
+    out.plan.placement = Some(placement_of(cx));
+    out
+}
+
+/// Derive the plan's `Placement` node from a context's audited memory
+/// traffic.
+fn placement_of(cx: &ExecContext) -> PlacementInfo {
+    let remote = cx.counters().remote_fraction();
+    PlacementInfo {
         node: cx.single_node().map(|n| n.0),
         local_pct: (1.0 - remote) * 100.0,
         remote_pct: remote * 100.0,
+        flat: cx.topology().nodes <= 1,
+    }
+}
+
+/// [`paper_query_in`] with a sorted-run cache consulted for both
+/// unfiltered, catalog-registered inputs.
+///
+/// Per side, three outcomes (reported on the plan's `RunCache` node):
+///
+/// * **hit** — the cache holds the relation's public sorted runs for
+///   this `(id, version, splitter fingerprint)` key; partition + sort
+///   are skipped and the merge phase joins the cached runs directly.
+/// * **miss** — no entry; the side is built from base tuples and, if
+///   this query won the single-flight race, the produced runs are
+///   published for later queries. Losing the race still executes
+///   (uncached) — a key is never computed twice into one slot.
+/// * **bypass** — the side is filtered or unregistered, so its runs
+///   are query-specific and never touch the cache.
+pub(crate) fn paper_query_cached(
+    cx: &ExecContext,
+    spec: &QuerySpec,
+    cache: &Arc<RunCache>,
+) -> PaperQueryResult {
+    let config = spec.join.config();
+    let radix_bits = config.radix_bits;
+    let fingerprint = splitter_fingerprint(cx.threads(), radix_bits);
+
+    let r_prep = prep_side(cx, &spec.r, &spec.r_pred, spec.r_filtered, cache, fingerprint);
+    let s_prep = prep_side(cx, &spec.s, &spec.s_pred, spec.s_filtered, cache, fingerprint);
+    let r_input = side_input(&r_prep, &spec.r);
+    let s_input = side_input(&s_prep, &spec.s);
+
+    let out = join_runs_in::<MaxAggSink>(cx, r_input, s_input, radix_bits);
+    if let Some(permit) = r_prep.permit {
+        permit.publish(out.r_runs.clone());
+    }
+    if let Some(permit) = s_prep.permit {
+        permit.publish(out.s_runs.clone());
+    }
+
+    let mut result = assemble(
+        spec.join.name(),
+        cx.threads(),
+        &spec.r,
+        &spec.s,
+        r_prep.rows,
+        s_prep.rows,
+        out.result,
+        out.stats,
+    );
+    result.plan.phases_ms = Some(result.stats.phases_ms());
+    result.plan.placement = Some(placement_of(cx));
+    let totals = cache.stats();
+    result.plan.run_cache = Some(RunCacheInfo {
+        r: r_prep.outcome,
+        s: s_prep.outcome,
+        hits: totals.hits,
+        misses: totals.misses,
+        evictions: totals.evictions,
     });
-    out
+    result
+}
+
+/// One join input's cache disposition, resolved before the join runs.
+struct SidePrep {
+    /// Selected tuples, present only when the side is filtered.
+    selected: Option<Vec<Tuple>>,
+    /// Cached runs, present only on a hit.
+    cached: Option<SharedRunSet>,
+    /// Single-flight build permit, present only when this query won a
+    /// miss and must publish the runs it builds.
+    permit: Option<BuildPermit>,
+    /// What the plan's `RunCache` node reports for this side.
+    outcome: RunCacheOutcome,
+    /// Rows entering the join from this side.
+    rows: usize,
+}
+
+fn prep_side(
+    cx: &ExecContext,
+    rel: &Relation,
+    pred: &Predicate,
+    filtered: bool,
+    cache: &Arc<RunCache>,
+    fingerprint: u64,
+) -> SidePrep {
+    if filtered {
+        // Query-specific rows: runs would be useless to other queries.
+        let selected = Select::new(rel, |t| pred(t)).execute_in(cx);
+        let rows = selected.len();
+        return SidePrep {
+            selected: Some(selected),
+            cached: None,
+            permit: None,
+            outcome: RunCacheOutcome::Bypass,
+            rows,
+        };
+    }
+    if rel.version() == 0 {
+        // Unregistered relations have no identity to key on.
+        return SidePrep {
+            selected: None,
+            cached: None,
+            permit: None,
+            outcome: RunCacheOutcome::Bypass,
+            rows: rel.len(),
+        };
+    }
+    let key = RunKey { relation: rel.id(), version: rel.version(), fingerprint };
+    match cache.lookup(key) {
+        Lookup::Hit(runs) => SidePrep {
+            selected: None,
+            cached: Some(runs),
+            permit: None,
+            outcome: RunCacheOutcome::Hit,
+            rows: rel.len(),
+        },
+        Lookup::Miss(permit) => SidePrep {
+            selected: None,
+            cached: None,
+            permit: Some(permit),
+            outcome: RunCacheOutcome::Miss,
+            rows: rel.len(),
+        },
+        // Another query is building this key right now; run uncached
+        // rather than wait (never compute twice into one slot).
+        Lookup::Busy => SidePrep {
+            selected: None,
+            cached: None,
+            permit: None,
+            outcome: RunCacheOutcome::Miss,
+            rows: rel.len(),
+        },
+    }
+}
+
+fn side_input<'a>(prep: &'a SidePrep, rel: &'a Relation) -> RunsInput<'a> {
+    match (&prep.cached, &prep.selected) {
+        (Some(runs), _) => RunsInput::Runs(runs.clone()),
+        (None, Some(sel)) => RunsInput::Tuples(sel),
+        (None, None) => RunsInput::Tuples(rel.tuples()),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -127,8 +280,8 @@ fn assemble(
     threads: usize,
     r: &Relation,
     s: &Relation,
-    r_sel: Vec<Tuple>,
-    s_sel: Vec<Tuple>,
+    r_selected: usize,
+    s_selected: usize,
     max: Option<u64>,
     stats: JoinStats,
 ) -> PaperQueryResult {
@@ -137,25 +290,20 @@ fn assemble(
         threads,
         private: vec![
             PlanStep::Scan { relation: r.name().to_string(), rows: r.len() },
-            PlanStep::Select { rows_out: r_sel.len() },
+            PlanStep::Select { rows_out: r_selected },
         ],
         public: vec![
             PlanStep::Scan { relation: s.name().to_string(), rows: s.len() },
-            PlanStep::Select { rows_out: s_sel.len() },
+            PlanStep::Select { rows_out: s_selected },
         ],
         aggregate: "max(R.payload + S.payload)".to_string(),
         join_rows: None,
         queue_wait_ms: None,
         phases_ms: None,
         placement: None,
+        run_cache: None,
     };
-    PaperQueryResult {
-        max_payload_sum: max,
-        r_selected: r_sel.len(),
-        s_selected: s_sel.len(),
-        stats,
-        plan,
-    }
+    PaperQueryResult { max_payload_sum: max, r_selected, s_selected, stats, plan }
 }
 
 #[cfg(test)]

@@ -3,21 +3,48 @@
 use mpsm_core::Tuple;
 
 /// A named, in-memory base table of join tuples.
+///
+/// Registered relations additionally carry a catalog identity: a
+/// stable `id` shared by every version of the same name, and a
+/// monotonic `version` bumped on each re-registration. The pair is
+/// what cache keys and invalidation hang off — an unregistered
+/// relation reports `(0, 0)` and is never cached.
 #[derive(Debug, Clone)]
 pub struct Relation {
     name: String,
     tuples: Vec<Tuple>,
+    id: u64,
+    version: u64,
 }
 
 impl Relation {
-    /// Create a relation from tuples.
+    /// Create a relation from tuples (unregistered: no identity yet).
     pub fn new(name: impl Into<String>, tuples: Vec<Tuple>) -> Self {
-        Relation { name: name.into(), tuples }
+        Relation { name: name.into(), tuples, id: 0, version: 0 }
     }
 
     /// The relation's name (for plan display).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Stable catalog id (0 = not registered with any session).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Monotonic catalog version (0 = not registered; bumped every
+    /// time the name is re-registered).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Stamp the catalog identity onto this relation (done once by
+    /// [`crate::session::Session::register`]).
+    pub(crate) fn with_identity(mut self, id: u64, version: u64) -> Self {
+        self.id = id;
+        self.version = version;
+        self
     }
 
     /// The stored tuples.
@@ -54,5 +81,13 @@ mod tests {
         let r = Relation::new("empty", vec![]);
         assert!(r.is_empty());
         assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn unregistered_relations_have_no_identity() {
+        let r = Relation::new("raw", vec![]);
+        assert_eq!((r.id(), r.version()), (0, 0));
+        let stamped = r.with_identity(3, 2);
+        assert_eq!((stamped.id(), stamped.version()), (3, 2));
     }
 }

@@ -67,6 +67,7 @@ use mpsm_core::worker::SharedWorkerPool;
 use mpsm_numa::{NodeId, Topology};
 
 use crate::query::PaperQueryResult;
+use crate::run_cache::RunCache;
 use crate::session::QuerySpec;
 
 /// Sizing of a [`Scheduler`]: pool width, concurrency budget, queue
@@ -285,6 +286,13 @@ pub struct SchedulerMetrics {
     /// Total time admitted queries spent queued, in microseconds
     /// (divide by `completed + panicked` for the mean queue latency).
     pub queue_wait_micros: u64,
+    /// Sorted-run cache hits (query sides served from cached runs);
+    /// 0 when the scheduler has no attached cache.
+    pub cache_hits: u64,
+    /// Sorted-run cache misses (sides that had to partition + sort).
+    pub cache_misses: u64,
+    /// Cached run sets dropped by invalidation or the byte budget.
+    pub cache_evictions: u64,
 }
 
 #[derive(Default)]
@@ -362,6 +370,9 @@ pub struct Scheduler {
     core: Arc<SchedCore>,
     cx: Arc<ExecContext>,
     coordinators: Vec<std::thread::JoinHandle<()>>,
+    /// Sorted-run cache attached to every submitted spec (and read by
+    /// [`Scheduler::metrics`]); `None` = every query runs uncached.
+    run_cache: Option<Arc<RunCache>>,
 }
 
 impl Scheduler {
@@ -388,12 +399,23 @@ impl Scheduler {
                 std::thread::spawn(move || coordinator_loop(&core, &cx))
             })
             .collect();
-        Scheduler { core, cx, coordinators }
+        Scheduler { core, cx, coordinators, run_cache: None }
+    }
+
+    /// Attach a sorted-run cache: every subsequently submitted query
+    /// consults it for unfiltered, catalog-registered inputs, and
+    /// [`Scheduler::metrics`] reports its hit/miss/eviction counters.
+    pub fn with_run_cache(mut self, cache: Arc<RunCache>) -> Self {
+        self.run_cache = Some(cache);
+        self
     }
 
     /// Submit a query. Returns a ticket immediately, or rejects when
     /// the backlog already holds `queue_capacity` queries.
-    pub fn submit(&self, spec: QuerySpec) -> Result<QueryTicket, SubmitError> {
+    pub fn submit(&self, mut spec: QuerySpec) -> Result<QueryTicket, SubmitError> {
+        if spec.cache.is_none() {
+            spec.cache = self.run_cache.clone();
+        }
         let mut queue = self.core.queue.lock().expect("scheduler queue poisoned");
         if queue.shutdown {
             return Err(SubmitError::ShuttingDown);
@@ -431,15 +453,20 @@ impl Scheduler {
         &self.cx
     }
 
-    /// Snapshot of the lifetime counters.
+    /// Snapshot of the lifetime counters (cache counters are zero when
+    /// no run cache is attached).
     pub fn metrics(&self) -> SchedulerMetrics {
         let m = &self.core.metrics;
+        let cache = self.run_cache.as_ref().map(|c| c.stats()).unwrap_or_default();
         SchedulerMetrics {
             submitted: m.submitted.load(Ordering::Relaxed),
             completed: m.completed.load(Ordering::Relaxed),
             rejected: m.rejected.load(Ordering::Relaxed),
             panicked: m.panicked.load(Ordering::Relaxed),
             queue_wait_micros: m.queue_wait_micros.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
         }
     }
 
@@ -499,15 +526,7 @@ fn coordinator_loop(core: &SchedCore, cx: &ExecContext) {
             None => owned,
         };
         let started = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            job.spec.join.run(
-                &query_cx,
-                &job.spec.r,
-                &job.spec.s,
-                &job.spec.r_pred,
-                &job.spec.s_pred,
-            )
-        }));
+        let outcome = catch_unwind(AssertUnwindSafe(|| job.spec.join.run(&query_cx, &job.spec)));
         core.release_node(node);
         let done = match outcome {
             Ok(mut result) => {
@@ -749,7 +768,10 @@ mod tests {
             (0..6).map(|_| scheduler.submit(QuerySpec::join(&r, &s)).expect("admitted")).collect();
         let nodes: Vec<Option<u32>> = tickets
             .into_iter()
-            .map(|t| t.wait().expect("query failed").result.plan.placement.unwrap().node)
+            .map(|t| {
+                let out = t.wait().expect("query failed");
+                out.result.plan.placement.as_ref().and_then(|p| p.node)
+            })
             .collect();
         assert!(nodes.iter().all(|n| n.is_some()), "every query is pinned somewhere");
         // All claims were released on completion.
@@ -769,7 +791,13 @@ mod tests {
             .expect("query failed");
         let placement = out.result.plan.placement.as_ref().expect("placement");
         assert_eq!(placement.node, Some(0), "flat topology has exactly one node");
+        assert!(placement.flat, "single-node topologies mark the placement flat");
         assert!((placement.local_pct - 100.0).abs() < 1e-9);
+        assert!(
+            out.result.plan.explain().contains("Placement [flat, local=100.0%"),
+            "{}",
+            out.result.plan.explain()
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use mpsm_core::context::ExecContext;
@@ -43,7 +44,8 @@ use mpsm_core::join::p_mpsm::PMpsmJoin;
 use mpsm_core::join::{b_mpsm::BMpsmJoin, JoinAlgorithm, JoinConfig};
 use mpsm_core::Tuple;
 
-use crate::query::{paper_query_in, PaperQueryResult};
+use crate::query::{paper_query_cached, paper_query_in, PaperQueryResult};
+use crate::run_cache::{RunCache, RunCacheConfig};
 use crate::scan::Relation;
 use crate::sched::{QueryError, QueryOutput, QueryTicket, Scheduler, SchedulerConfig, SubmitError};
 
@@ -74,30 +76,48 @@ impl JoinSpec {
         JoinSpec::BMpsm(JoinConfig::with_threads(1))
     }
 
+    /// The configured knobs (shared by both variants).
+    pub(crate) fn config(&self) -> &JoinConfig {
+        match self {
+            JoinSpec::PMpsm(cfg) | JoinSpec::BMpsm(cfg) => cfg,
+        }
+    }
+
+    /// The algorithm's display name, as plans render it.
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            JoinSpec::PMpsm(_) => "P-MPSM",
+            JoinSpec::BMpsm(_) => "B-MPSM",
+        }
+    }
+
     /// Run the paper query described by `spec` inside `cx` (the
     /// scheduler derives one context per query, carrying its owner tag
     /// and node pinning).
-    pub(crate) fn run(
-        &self,
-        cx: &ExecContext,
-        r: &Relation,
-        s: &Relation,
-        r_pred: &Predicate,
-        s_pred: &Predicate,
-    ) -> PaperQueryResult {
+    ///
+    /// When the spec carries a run cache and at least one side is
+    /// cacheable — unfiltered and catalog-registered — execution goes
+    /// through the run-set path, which consults and populates the
+    /// cache. Otherwise the plain four-phase path runs.
+    pub(crate) fn run(&self, cx: &ExecContext, spec: &QuerySpec) -> PaperQueryResult {
+        if let Some(cache) = &spec.cache {
+            let r_cacheable = !spec.r_filtered && spec.r.version() > 0;
+            let s_cacheable = !spec.s_filtered && spec.s.version() > 0;
+            if r_cacheable || s_cacheable {
+                return paper_query_cached(cx, spec, cache);
+            }
+        }
         fn go<J: JoinAlgorithm>(
             cx: &ExecContext,
-            r: &Relation,
-            s: &Relation,
-            r_pred: &Predicate,
-            s_pred: &Predicate,
+            spec: &QuerySpec,
             algorithm: &J,
         ) -> PaperQueryResult {
-            paper_query_in(cx, r, s, |t| r_pred(t), |t| s_pred(t), algorithm)
+            let (r_pred, s_pred) = (&spec.r_pred, &spec.s_pred);
+            paper_query_in(cx, &spec.r, &spec.s, |t| r_pred(t), |t| s_pred(t), algorithm)
         }
         match self {
-            JoinSpec::PMpsm(cfg) => go(cx, r, s, r_pred, s_pred, &PMpsmJoin::new(cfg.clone())),
-            JoinSpec::BMpsm(cfg) => go(cx, r, s, r_pred, s_pred, &BMpsmJoin::new(cfg.clone())),
+            JoinSpec::PMpsm(cfg) => go(cx, spec, &PMpsmJoin::new(cfg.clone())),
+            JoinSpec::BMpsm(cfg) => go(cx, spec, &BMpsmJoin::new(cfg.clone())),
         }
     }
 }
@@ -111,6 +131,13 @@ pub struct QuerySpec {
     pub(crate) r_pred: Predicate,
     pub(crate) s_pred: Predicate,
     pub(crate) join: JoinSpec,
+    /// Whether `filter_r` was called — filtered sides bypass the run
+    /// cache (their sorted runs are query-specific).
+    pub(crate) r_filtered: bool,
+    /// Whether `filter_s` was called.
+    pub(crate) s_filtered: bool,
+    /// The session's run cache, attached at submit time.
+    pub(crate) cache: Option<Arc<RunCache>>,
 }
 
 impl QuerySpec {
@@ -122,18 +149,23 @@ impl QuerySpec {
             r_pred: Arc::new(|_| true),
             s_pred: Arc::new(|_| true),
             join: JoinSpec::p_mpsm(),
+            r_filtered: false,
+            s_filtered: false,
+            cache: None,
         }
     }
 
     /// Set the selection on the private input `R`.
     pub fn filter_r(mut self, pred: impl Fn(&Tuple) -> bool + Send + Sync + 'static) -> Self {
         self.r_pred = Arc::new(pred);
+        self.r_filtered = true;
         self
     }
 
     /// Set the selection on the public input `S`.
     pub fn filter_s(mut self, pred: impl Fn(&Tuple) -> bool + Send + Sync + 'static) -> Self {
         self.s_pred = Arc::new(pred);
+        self.s_filtered = true;
         self
     }
 
@@ -154,47 +186,93 @@ impl std::fmt::Debug for QuerySpec {
     }
 }
 
-/// A client session: one scheduler (one shared pool) plus a relation
-/// catalog. See the module docs for a walkthrough.
+/// A client session: one scheduler (one shared pool), a versioned
+/// relation catalog, and (by default) a sorted-run cache shared by
+/// every query on the session. See the module docs for a walkthrough.
 pub struct Session {
     scheduler: Scheduler,
     catalog: Mutex<HashMap<String, Arc<Relation>>>,
+    /// Monotonic catalog-id allocator (ids start at 1; 0 means
+    /// "unregistered" on a [`Relation`]).
+    next_id: AtomicU64,
+    run_cache: Option<Arc<RunCache>>,
 }
 
 impl Session {
-    /// Open a session with its own scheduler.
+    /// Open a session with its own scheduler and a default-configured
+    /// run cache.
     pub fn new(config: SchedulerConfig) -> Self {
-        Session { scheduler: Scheduler::new(config), catalog: Mutex::new(HashMap::new()) }
+        Session::with_run_cache(config, RunCacheConfig::default())
     }
 
-    /// Register a relation under its own name, returning the shared
-    /// handle query specs are built from. Re-registering a name
-    /// replaces the old relation (already-submitted queries keep the
-    /// version they captured).
+    /// Open a session with an explicitly configured run cache.
+    pub fn with_run_cache(config: SchedulerConfig, cache: RunCacheConfig) -> Self {
+        let cache = Arc::new(RunCache::new(cache));
+        let scheduler = Scheduler::new(config).with_run_cache(Arc::clone(&cache));
+        Session {
+            scheduler,
+            catalog: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            run_cache: Some(cache),
+        }
+    }
+
+    /// Open a session with no run cache: every query partitions and
+    /// sorts from scratch (the pre-cache behaviour; useful as a
+    /// benchmark baseline).
+    pub fn uncached(config: SchedulerConfig) -> Self {
+        Session {
+            scheduler: Scheduler::new(config),
+            catalog: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            run_cache: None,
+        }
+    }
+
+    /// Register a relation under its own name, returning the shared,
+    /// identity-stamped handle query specs are built from.
+    ///
+    /// First registration of a name allocates a fresh stable id and
+    /// stamps version 1. Re-registering the name keeps the id and
+    /// bumps the version — which invalidates every cached run set
+    /// built from older versions. Already-submitted queries keep the
+    /// `Arc` (and therefore the exact version) they captured.
     pub fn register(&self, relation: Relation) -> Arc<Relation> {
-        let handle = Arc::new(relation);
-        self.catalog
-            .lock()
-            .expect("catalog poisoned")
-            .insert(handle.name().to_string(), Arc::clone(&handle));
+        let mut catalog = self.catalog.lock().expect("catalog poisoned");
+        let (id, version) = match catalog.get(relation.name()) {
+            Some(prev) => (prev.id(), prev.version() + 1),
+            None => (self.next_id.fetch_add(1, Ordering::Relaxed), 1),
+        };
+        let handle = Arc::new(relation.with_identity(id, version));
+        catalog.insert(handle.name().to_string(), Arc::clone(&handle));
+        drop(catalog);
+        if let Some(cache) = &self.run_cache {
+            cache.invalidate_relation(id, version);
+        }
         handle
     }
 
-    /// Look up a registered relation by name.
+    /// Look up a registered relation by name (the newest version).
     pub fn relation(&self, name: &str) -> Option<Arc<Relation>> {
         self.catalog.lock().expect("catalog poisoned").get(name).cloned()
     }
 
+    /// The session's sorted-run cache, if caching is enabled.
+    pub fn run_cache(&self) -> Option<&Arc<RunCache>> {
+        self.run_cache.as_ref()
+    }
+
     /// Submit a query for asynchronous execution. Fails fast when the
     /// scheduler's admission queue is full.
-    pub fn submit(&self, spec: QuerySpec) -> Result<QueryTicket, SubmitError> {
+    pub fn submit(&self, mut spec: QuerySpec) -> Result<QueryTicket, SubmitError> {
+        spec.cache = self.run_cache.clone();
         self.scheduler.submit(spec)
     }
 
     /// Submit and block until the result is available. Admission
     /// rejections surface as [`QueryError::Rejected`].
     pub fn query(&self, spec: QuerySpec) -> Result<QueryOutput, QueryError> {
-        match self.scheduler.submit(spec) {
+        match self.submit(spec) {
             Ok(ticket) => ticket.wait(),
             Err(err) => Err(QueryError::Rejected(err)),
         }
@@ -247,6 +325,70 @@ mod tests {
             .query(QuerySpec::join(&r, &s).algorithm(JoinSpec::b_mpsm()))
             .expect("B-MPSM failed");
         assert_eq!(p.result.max_payload_sum, b.result.max_payload_sum);
+    }
+
+    #[test]
+    fn register_stamps_identity_and_bumps_versions() {
+        let session = Session::new(SchedulerConfig::new(1));
+        let v1 = session.register(rel("orders", 10));
+        assert!(v1.id() > 0, "registered relations get a non-zero id");
+        assert_eq!(v1.version(), 1);
+        let other = session.register(rel("lineitem", 5));
+        assert_ne!(other.id(), v1.id(), "distinct names get distinct ids");
+        let v2 = session.register(rel("orders", 20));
+        assert_eq!(v2.id(), v1.id(), "re-registration keeps the stable id");
+        assert_eq!(v2.version(), 2, "re-registration bumps the version");
+        assert_eq!(v1.version(), 1, "old handles keep the version they captured");
+        assert_eq!(session.relation("orders").expect("resolves").len(), 20);
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache_and_agree_with_uncached() {
+        let cached = Session::new(SchedulerConfig::new(2));
+        let uncached = Session::uncached(SchedulerConfig::new(2));
+        let (r_data, s_data): (Vec<_>, Vec<_>) = (
+            (0..400u64).map(|k| Tuple::new(k, k)).collect(),
+            (0..1600u64).map(|i| Tuple::new(i % 400, i)).collect(),
+        );
+        let r = cached.register(Relation::new("R", r_data.clone()));
+        let s = cached.register(Relation::new("S", s_data.clone()));
+        let ur = uncached.register(Relation::new("R", r_data));
+        let us = uncached.register(Relation::new("S", s_data));
+        let expect = uncached.query(QuerySpec::join(&ur, &us)).expect("uncached").result;
+        assert!(uncached.run_cache().is_none());
+        for round in 0..3 {
+            let out = cached.query(QuerySpec::join(&r, &s)).expect("cached").result;
+            assert_eq!(out.max_payload_sum, expect.max_payload_sum, "round {round}");
+            let info = out.plan.run_cache.expect("cached sessions report RunCache");
+            if round > 0 {
+                use crate::plan::RunCacheOutcome;
+                assert_eq!(info.r, RunCacheOutcome::Hit, "round {round}");
+                assert_eq!(info.s, RunCacheOutcome::Hit, "round {round}");
+            }
+        }
+        let stats = cached.run_cache().expect("caching on by default").stats();
+        assert_eq!(stats.misses, 2, "first round misses both sides");
+        assert_eq!(stats.hits, 4, "two later rounds hit both sides");
+        let metrics = cached.scheduler().metrics();
+        assert_eq!((metrics.cache_hits, metrics.cache_misses), (4, 2));
+        let uncached_metrics = uncached.scheduler().metrics();
+        assert_eq!((uncached_metrics.cache_hits, uncached_metrics.cache_misses), (0, 0));
+    }
+
+    #[test]
+    fn filtered_sides_bypass_the_cache() {
+        let session = Session::new(SchedulerConfig::new(2));
+        let r = session.register(rel("R", 200));
+        let s = session.register(rel("S", 200));
+        let out = session
+            .query(QuerySpec::join(&r, &s).filter_r(|t| t.key < 50))
+            .expect("query failed")
+            .result;
+        assert_eq!(out.max_payload_sum, Some(49 + 49));
+        let info = out.plan.run_cache.expect("RunCache node present");
+        use crate::plan::RunCacheOutcome;
+        assert_eq!(info.r, RunCacheOutcome::Bypass, "filtered side never cached");
+        assert_eq!(info.s, RunCacheOutcome::Miss, "unfiltered side populates");
     }
 
     #[test]

@@ -8,8 +8,9 @@ use mpsm::core::interpolation::{interpolation_lower_bound, interpolation_upper_b
 use mpsm::core::join::b_mpsm::BMpsmJoin;
 use mpsm::core::join::p_mpsm::PMpsmJoin;
 use mpsm::core::join::{JoinAlgorithm, JoinConfig};
-use mpsm::core::merge::merge_join_count;
+use mpsm::core::merge::{merge_join, merge_join_count, merge_join_linear};
 use mpsm::core::partition::range_partition;
+use mpsm::core::sink::{CollectSink, JoinSink};
 use mpsm::core::sort::three_phase_sort;
 use mpsm::core::splitter::{compute_splitters, equi_height_splitters};
 use mpsm::core::tuple::is_key_sorted;
@@ -77,6 +78,60 @@ proptest! {
         r.sort_unstable_by_key(|t| t.key);
         s.sort_unstable_by_key(|t| t.key);
         prop_assert_eq!(merge_join_count(&r, &s), expected);
+    }
+
+    #[test]
+    fn gallop_merge_emits_exactly_the_linear_merge_rows(
+        seg_words in proptest::collection::vec(any::<u64>(), 1..8),
+    ) {
+        // The adaptive galloping kernel must emit the exact row set of
+        // the plain linear merge across regime shifts — densely
+        // interleaved stretches (where galloping historically lost),
+        // one-sided sparse stretches (where it wins), and duplicate
+        // blocks (group cross products). Each word encodes one segment.
+        let mut r_keys = Vec::new();
+        let mut s_keys = Vec::new();
+        let mut base = 0u64;
+        for w in seg_words {
+            let len = 1 + (w >> 2) % 400;
+            match w % 4 {
+                // Perfectly interleaved, disjoint: r gets evens, s odds.
+                0 => {
+                    for i in 0..len {
+                        r_keys.push(base + 2 * i);
+                        s_keys.push(base + 2 * i + 1);
+                    }
+                    base += 2 * len;
+                }
+                // s dense, r sparse: one r probe into the middle.
+                1 => {
+                    s_keys.extend((0..len).map(|i| base + i));
+                    r_keys.push(base + len / 2);
+                    base += len + 1;
+                }
+                // r dense, s sparse.
+                2 => {
+                    r_keys.extend((0..len).map(|i| base + i));
+                    s_keys.push(base + len / 2);
+                    base += len + 1;
+                }
+                // Matching keys duplicated ×3 on both sides.
+                _ => {
+                    for i in 0..len {
+                        r_keys.push(base + i / 3);
+                        s_keys.push(base + i / 3);
+                    }
+                    base += len / 3 + 1;
+                }
+            }
+        }
+        let r = tuples(r_keys);
+        let s = tuples(s_keys);
+        let mut gallop = CollectSink::default();
+        merge_join(&r, &s, &mut gallop);
+        let mut linear = CollectSink::default();
+        merge_join_linear(&r, &s, &mut linear);
+        prop_assert_eq!(gallop.finish(), linear.finish());
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Concurrency and invalidation suite for the sorted-run cache:
+//! clients racing on one key must agree with uncached execution while
+//! the cache populates each side exactly once (single-flight), and
+//! re-registering a relation mid-stream must never serve stale runs —
+//! every handle joins exactly the version it captured.
+
+use std::sync::Arc;
+
+use mpsm::core::Tuple;
+use mpsm::exec::{QuerySpec, Relation, SchedulerConfig, Session};
+use proptest::prelude::*;
+
+fn lcg(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed | 1;
+    move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 32
+    }
+}
+
+/// R with payloads stamped by `version`, so a result proves which
+/// version of the relation the join actually read.
+fn versioned_r(n: u64, version: u64) -> Relation {
+    Relation::new("R", (0..n).map(|k| Tuple::new(k, version * 1_000_000 + k)).collect())
+}
+
+fn plain_s(n: u64) -> Relation {
+    Relation::new("S", (0..n).map(|k| Tuple::new(k, k)).collect())
+}
+
+/// `max(R.payload + S.payload)` for `versioned_r(n, version) ⋈ plain_s(n)`.
+fn expected_max(n: u64, version: u64) -> Option<u64> {
+    Some(version * 1_000_000 + (n - 1) + (n - 1))
+}
+
+#[test]
+fn racing_clients_on_one_key_agree_with_uncached_execution() {
+    let mut next = lcg(2012);
+    let r_data: Vec<Tuple> = (0..3000).map(|i| Tuple::new(next() % 700, i)).collect();
+    let s_data: Vec<Tuple> = (0..9000).map(|i| Tuple::new(next() % 700, i)).collect();
+
+    let uncached = Session::uncached(SchedulerConfig::new(2));
+    let ur = uncached.register(Relation::new("R", r_data.clone()));
+    let us = uncached.register(Relation::new("S", s_data.clone()));
+    let expect = uncached.query(QuerySpec::join(&ur, &us)).expect("uncached query").result;
+
+    let cached = Session::new(SchedulerConfig::new(2).max_in_flight(4).queue_capacity(64));
+    let r = cached.register(Relation::new("R", r_data));
+    let s = cached.register(Relation::new("S", s_data));
+
+    // 8 client threads × 4 queries, all on the same cache key. The
+    // first misses race: one query per side wins the build permit, the
+    // losers run uncached (never blocking, never double-publishing).
+    std::thread::scope(|scope| {
+        for client in 0..8 {
+            let (cached, r, s) = (&cached, &r, &s);
+            let expect = &expect;
+            scope.spawn(move || {
+                for round in 0..4 {
+                    let out = cached
+                        .query(QuerySpec::join(r, s))
+                        .unwrap_or_else(|e| panic!("client {client} round {round}: {e}"));
+                    assert_eq!(
+                        out.result.max_payload_sum, expect.max_payload_sum,
+                        "client {client} round {round}"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = cached.run_cache().expect("cached session").stats();
+    assert_eq!(stats.inserts, 2, "single-flight: each side is built into the cache exactly once");
+    assert_eq!(stats.entries, 2, "both run sets resident");
+    assert_eq!(stats.hits + stats.misses, 64, "32 queries × 2 sides all consulted the cache");
+    assert!(stats.hits >= 2, "later rounds must hit; got {stats:?}");
+    assert_eq!(stats.evictions, 0, "nothing invalidated or over budget");
+}
+
+#[test]
+fn old_handles_recompute_after_invalidation() {
+    let n = 512;
+    let session = Session::new(SchedulerConfig::new(2));
+    let s = session.register(plain_s(n));
+    let v1 = session.register(versioned_r(n, 1));
+    // Populate the cache for version 1, then bump the relation.
+    assert_eq!(
+        session.query(QuerySpec::join(&v1, &s)).expect("v1 query").result.max_payload_sum,
+        expected_max(n, 1)
+    );
+    let v2 = session.register(versioned_r(n, 2));
+    // The bump invalidated version 1's cached runs; both handles still
+    // answer for exactly the data they captured.
+    assert_eq!(
+        session.query(QuerySpec::join(&v2, &s)).expect("v2 query").result.max_payload_sum,
+        expected_max(n, 2)
+    );
+    assert_eq!(
+        session.query(QuerySpec::join(&v1, &s)).expect("stale-handle query").result.max_payload_sum,
+        expected_max(n, 1)
+    );
+    let stats = session.run_cache().expect("cached").stats();
+    assert!(stats.evictions >= 1, "the re-registration evicted v1's runs: {stats:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_register_query_interleavings_never_serve_stale_runs(
+        ops in proptest::collection::vec(any::<u64>(), 1..32),
+    ) {
+        // A random interleaving of re-registrations and queries —
+        // queries target a random previously captured handle, so both
+        // the newest version and arbitrarily stale handles are joined
+        // while the cache churns underneath. Every answer must carry
+        // the payload stamp of the handle's own version.
+        let n = 256;
+        let session = Session::new(SchedulerConfig::new(2));
+        let s = session.register(plain_s(n));
+        let mut version = 1u64;
+        let mut handles: Vec<(Arc<Relation>, u64)> =
+            vec![(session.register(versioned_r(n, version)), version)];
+        for w in ops {
+            if w % 3 == 0 {
+                version += 1;
+                handles.push((session.register(versioned_r(n, version)), version));
+            } else {
+                let (handle, v) = &handles[(w as usize / 3) % handles.len()];
+                let out = session
+                    .query(QuerySpec::join(handle, &s))
+                    .expect("query failed")
+                    .result;
+                prop_assert_eq!(out.max_payload_sum, expected_max(n, *v));
+            }
+        }
+    }
+}
