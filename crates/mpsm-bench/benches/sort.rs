@@ -6,6 +6,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use mpsm_core::sort::{
     introsort_only, three_phase_sort, three_phase_sort_bitonic, three_phase_sort_naive,
+    three_phase_sort_pr2_baseline, three_phase_sort_tuned, SortKernel, SortScratch, SortTuning,
 };
 use mpsm_core::Tuple;
 use mpsm_workload::unique_keys;
@@ -74,5 +75,43 @@ fn bench_sorts(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sorts);
+/// The PR 7 kernel registry: every finishing kernel through the tuned
+/// radix recursion, against the frozen PR 2 sort (the honest
+/// before/after pair — it pays two key-range re-scans per recursion
+/// level where the tuned path derives child shifts arithmetically).
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort_kernels");
+    group.sample_size(20);
+    let mut scratch = SortScratch::default();
+    for &n in &[1usize << 17, 1 << 20] {
+        let data = dataset(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("pr2_baseline", n), &data, |b, data| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| {
+                    three_phase_sort_pr2_baseline(&mut d);
+                    d
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        for kernel in SortKernel::ALL {
+            let tuning = SortTuning::new(kernel, 64);
+            group.bench_with_input(BenchmarkId::new(kernel.name(), n), &data, |b, data| {
+                b.iter_batched(
+                    || data.clone(),
+                    |mut d| {
+                        three_phase_sort_tuned(&mut d, &tuning, &mut scratch);
+                        d
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorts, bench_kernels);
 criterion_main!(benches);

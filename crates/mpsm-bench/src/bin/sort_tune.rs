@@ -1,0 +1,124 @@
+//! Print the sort-kernel auto-tune sweep for this machine.
+//!
+//! ```text
+//! cargo run --release -p mpsm-bench --bin sort_tune [-- --scale N]
+//! ```
+//!
+//! Runs the same deterministic microbench sweep the `SortTuning::auto_tune`
+//! knob uses (kernel × block candidates over pseudo-random tuples) and
+//! prints ns/tuple per candidate plus the winner. Build with
+//! `--features simd-sort` to include the AVX2 column on machines that
+//! support it.
+
+use mpsm_core::sort::{insertion, simd, tuning::AUTO_TUNE_TUPLES, SortScratch, SortTuning};
+use mpsm_core::Tuple;
+
+/// Time the leaf kernels standalone on many independent `leaf`-tuple
+/// random blocks — isolates the finisher from the radix passes so the
+/// crossover is visible directly.
+fn leaf_probe(leaf: usize) {
+    let blocks = (1 << 20) / leaf.max(1);
+    let total = blocks * leaf;
+    let mut state = 0xC0FFEEu64;
+    let master: Vec<Tuple> = (0..total)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            Tuple::new(state >> 32, i as u64)
+        })
+        .collect();
+    let mut scratch = SortScratch::new();
+    let mut run = |name: &str, f: &mut dyn FnMut(&mut [Tuple], &mut SortScratch)| {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let mut data = master.clone();
+            let start = std::time::Instant::now();
+            for chunk in data.chunks_mut(leaf) {
+                f(chunk, &mut scratch);
+            }
+            best = best.min(start.elapsed().as_nanos() as f64 / total as f64);
+        }
+        println!("  {name:<24} {best:>8.2} ns/tuple");
+    };
+    println!("leaf kernels on {blocks} blocks of {leaf} tuples:");
+    run("insertion", &mut |c, _| insertion::insertion_sort(c));
+    run("bitonic", &mut mpsm_core::sort::bitonic::bitonic_sort_with);
+    run("simd", &mut simd::bitonic_sort_simd);
+}
+
+fn main() {
+    let mut n = AUTO_TUNE_TUPLES;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                n = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--scale needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--leaf" => {
+                i += 1;
+                let leaf: usize = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(16);
+                leaf_probe(leaf);
+                return;
+            }
+            other => {
+                eprintln!("unknown arg {other}; usage: sort_tune [--scale N | --leaf N]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    println!("sort-kernel sweep over {n} tuples (simd path active: {})", simd::simd_active());
+    let sweep = SortTuning::sweep(n);
+    let mut best = sweep[0];
+    for &(t, ns) in &sweep {
+        println!("  {:<42} {:>8.2} ns/tuple", t.describe(), ns);
+        if ns < best.1 {
+            best = (t, ns);
+        }
+    }
+    println!("winner: {} ({:.2} ns/tuple)", best.0.describe(), best.1);
+
+    // Interleaved A/B of the winner against the frozen PR 2 path —
+    // both under one protocol so machine drift cannot bias the ratio.
+    let mut state = 0x5EED_0007u64;
+    let master: Vec<Tuple> = (0..n)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            Tuple::new(state >> 32, i as u64)
+        })
+        .collect();
+    let mut scratch = SortScratch::new();
+    let mut pr2 = f64::INFINITY;
+    let mut tuned = f64::INFINITY;
+    for rep in 0..=11 {
+        // Alternate which side runs first so within-pair drift cancels;
+        // take the minimum (noise only ever adds time).
+        for side in 0..2 {
+            let run_pr2 = (rep + side) % 2 == 0;
+            let mut data = master.clone();
+            let t0 = std::time::Instant::now();
+            if run_pr2 {
+                mpsm_core::sort::three_phase_sort_pr2_baseline(&mut data);
+            } else {
+                mpsm_core::sort::three_phase_sort_tuned(&mut data, &best.0, &mut scratch);
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / n as f64;
+            if rep > 0 {
+                if run_pr2 {
+                    pr2 = pr2.min(ns);
+                } else {
+                    tuned = tuned.min(ns);
+                }
+            }
+        }
+    }
+    println!(
+        "A/B min of 11: pr2={pr2:.2} ns/t, tuned={tuned:.2} ns/t, speedup {:.3}x",
+        pr2 / tuned
+    );
+}

@@ -58,6 +58,7 @@ use std::sync::Mutex;
 
 use mpsm_numa::{AccessCounters, CounterScope, NodeId, NumaArena, NumaBuf, Topology};
 
+use crate::sort::{SortScratch, SortTuning};
 use crate::stats::Phase;
 use crate::tuple::Tuple;
 use crate::worker::{SharedWorkerPool, WorkerPlacement};
@@ -108,6 +109,8 @@ pub struct ExecContext {
     arena: NumaArena,
     policy: AllocPolicy,
     phase_counters: Mutex<[AccessCounters; 4]>,
+    sort_tuning: SortTuning,
+    sort_scratch: Vec<Mutex<SortScratch>>,
 }
 
 impl ExecContext {
@@ -156,12 +159,15 @@ impl ExecContext {
     pub fn with_placement(placement: WorkerPlacement, pool: SharedWorkerPool) -> Self {
         assert_eq!(placement.threads(), pool.threads(), "one placed core per pool worker");
         let arena = NumaArena::new(placement.topology().clone());
+        let sort_scratch = (0..pool.threads()).map(|_| Mutex::new(SortScratch::new())).collect();
         ExecContext {
             placement,
             pool,
             arena,
             policy: AllocPolicy::WorkerLocal,
             phase_counters: Mutex::new(Default::default()),
+            sort_tuning: SortTuning::current(),
+            sort_scratch,
         }
     }
 
@@ -172,6 +178,21 @@ impl ExecContext {
         }
         self.policy = policy;
         self
+    }
+
+    /// Builder-style override of the sort tuning every run sorted in
+    /// this context uses (new contexts start from the process-wide
+    /// [`SortTuning::current`]). Derived contexts inherit it, so a
+    /// scheduler can auto-tune once and have every query pick it up.
+    pub fn with_sort_tuning(mut self, tuning: SortTuning) -> Self {
+        self.sort_tuning = tuning;
+        self
+    }
+
+    /// The sort tuning in effect for this context (surfaced by
+    /// EXPLAIN's `SortKernel` line).
+    pub fn sort_tuning(&self) -> SortTuning {
+        self.sort_tuning
     }
 
     /// Derive a context for one owner (e.g. one scheduled query): same
@@ -185,6 +206,13 @@ impl ExecContext {
             arena: NumaArena::new(self.topology().clone()),
             policy: self.policy,
             phase_counters: Mutex::new(Default::default()),
+            sort_tuning: self.sort_tuning,
+            // Fresh per-worker scratch: queries derived from one base
+            // context run concurrently on the shared pool, and sharing
+            // scratch would serialize their sort phases on its locks.
+            sort_scratch: (0..self.pool.threads())
+                .map(|_| Mutex::new(SortScratch::new()))
+                .collect(),
         }
     }
 
@@ -204,6 +232,10 @@ impl ExecContext {
             arena: NumaArena::new(self.topology().clone()),
             policy: self.policy,
             phase_counters: Mutex::new(Default::default()),
+            sort_tuning: self.sort_tuning,
+            sort_scratch: (0..self.pool.threads())
+                .map(|_| Mutex::new(SortScratch::new()))
+                .collect(),
         }
     }
 
@@ -283,8 +315,30 @@ impl ExecContext {
         let mut run = self.adopt(worker, chunk.to_vec());
         let home = run.home();
         scope.touch(home, true, chunk.len() as u64);
-        crate::sort::three_phase_sort_audited(&mut run, home, scope);
+        self.sort_run(worker, &mut run, home, scope);
         run
+    }
+
+    /// Sort `run` in place with this context's [`SortTuning`] and
+    /// worker `w`'s reusable scratch, recording the traffic against
+    /// `home` — the one sort entry point of every execution path, so
+    /// the kernel choice and the allocation-free leaves apply to all
+    /// MPSM variants and the scheduler alike.
+    pub fn sort_run(
+        &self,
+        worker: usize,
+        run: &mut [Tuple],
+        home: NodeId,
+        scope: &mut CounterScope,
+    ) {
+        let mut scratch = self.sort_scratch[worker].lock().expect("sort scratch poisoned");
+        crate::sort::three_phase_sort_tuned_audited(
+            run,
+            home,
+            scope,
+            &self.sort_tuning,
+            &mut scratch,
+        );
     }
 
     /// Merge per-worker counters into the context's tally for `phase`.
@@ -405,6 +459,29 @@ mod tests {
         scope.touch(NodeId(0), true, 30);
         let c = scope.finish();
         assert!((c.remote_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sort_tuning_propagates_to_derived_contexts() {
+        use crate::sort::{SortKernel, SortTuning};
+        let base = ExecContext::flat(2);
+        assert_eq!(base.sort_tuning(), SortTuning::current());
+        let tuned = ExecContext::flat(2)
+            .with_sort_tuning(SortTuning::new(SortKernel::IntrosortInsertion, 16));
+        assert_eq!(tuned.for_owner(1).sort_tuning().kernel, SortKernel::IntrosortInsertion);
+        assert_eq!(tuned.pinned_to(NodeId(0)).sort_tuning().kernel, SortKernel::IntrosortInsertion);
+    }
+
+    #[test]
+    fn sort_run_sorts_with_the_context_kernel() {
+        use crate::tuple::is_key_sorted;
+        let cx = ExecContext::flat(2);
+        let mut run: Vec<Tuple> = (0..5000u64).rev().map(|k| Tuple::new(k * 3 % 1000, k)).collect();
+        let mut scope = cx.scope(0);
+        cx.sort_run(0, &mut run, NodeId(0), &mut scope);
+        assert!(is_key_sorted(&run));
+        let c = scope.finish();
+        assert_eq!(c.total_accesses(), 10_000, "n reads + n writes recorded");
     }
 
     #[test]

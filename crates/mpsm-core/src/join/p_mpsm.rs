@@ -35,7 +35,6 @@ use crate::join::{JoinAlgorithm, JoinConfig, PooledJoin};
 use crate::merge::merge_join_scanned;
 use crate::partition::range_partition_ctx;
 use crate::sink::JoinSink;
-use crate::sort::three_phase_sort_audited;
 use crate::splitter::{compute_splitters, equi_height_splitters, Splitters};
 use crate::stats::{JoinStats, Phase};
 use crate::tuple::{key_range, Tuple};
@@ -260,7 +259,7 @@ impl PMpsmJoin {
             let mut scope = cx.scope(w);
             let mut part = slots.take(w);
             let home = part.home();
-            three_phase_sort_audited(&mut part, home, &mut scope);
+            cx.sort_run(w, &mut part, home, &mut scope);
             (part, scope.finish())
         });
         let (r_runs, c3): (Vec<_>, Vec<_>) = phase3.into_iter().unzip();

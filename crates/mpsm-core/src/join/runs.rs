@@ -30,7 +30,6 @@ use crate::interpolation::interpolation_lower_bound;
 use crate::merge::merge_join_scanned;
 use crate::partition::range_partition_ctx;
 use crate::sink::JoinSink;
-use crate::sort::three_phase_sort_audited;
 use crate::splitter::equi_height_splitters;
 use crate::stats::{JoinStats, Phase};
 use crate::tuple::{key_range, Tuple};
@@ -170,7 +169,7 @@ pub fn build_run_set(
         let mut scope = cx.scope(w);
         let mut part = slots.take(w);
         let home = part.home();
-        three_phase_sort_audited(&mut part, home, &mut scope);
+        cx.sort_run(w, &mut part, home, &mut scope);
         (part, scope.finish())
     });
     let (runs, c_sort): (Vec<_>, Vec<_>) = sorted.into_iter().unzip();

@@ -14,24 +14,34 @@
 //! them and because the radix pass doubles as the histogram pass of the
 //! partitioning phase.
 //!
-//! Two cache-conscious refinements over the paper's literal recipe:
+//! Cache-conscious refinements over the paper's literal recipe:
 //!
 //! * **Recursive radix pass.** A bucket larger than
 //!   [`CACHE_RESIDENT_TUPLES`] (an L1d worth of tuples) recurses the
-//!   American-flag pass (with a shift re-derived from the bucket's own
-//!   key range) instead of going straight to introsort: one O(n)
-//!   counting pass + in-place permutation replaces `RADIX_BITS`
-//!   quicksort levels of branchy comparisons, and the pieces handed to
-//!   introsort are cache-resident. The access pattern stays the
-//!   sequential-scan shape the paper's commandments favor.
-//! * **Per-bucket finishing.** The final insertion pass runs per radix
-//!   bucket, immediately after that bucket's introsort, while the
-//!   bucket (≤ L2-sized) is still cache-hot — instead of one global
-//!   pass that re-streams the whole (multi-MiB) array from memory even
-//!   though every bucket is already internally ordered up to the
-//!   insertion cutoff. The seed's global-pass variant is retained as
-//!   [`three_phase_sort_naive`] for the ablation bench
-//!   (`cargo bench --bench sort`).
+//!   radix pass (with the child shift derived arithmetically by
+//!   [`radix::RadixShift::child`] — no re-scan) instead of going
+//!   straight to introsort: one O(n) counting pass + scatter replaces
+//!   `RADIX_BITS` quicksort levels of branchy comparisons, and the
+//!   pieces handed to the finisher are cache-resident. The tuned path
+//!   scatters out of place into a per-worker ping-pong buffer
+//!   (sequential reads, independent write streams) rather than the
+//!   American-flag in-place permutation, whose displacement chain
+//!   serializes on one cache miss at a time; even-depth recursions land
+//!   back in place with zero extra copies.
+//! * **Per-bucket finishing.** The finishing kernel runs per radix
+//!   bucket, immediately after that bucket lands, while the bucket
+//!   (≤ L1-sized) is still cache-hot — instead of one global pass that
+//!   re-streams the whole (multi-MiB) array from memory. The seed's
+//!   global-pass variant is retained as [`three_phase_sort_naive`] for
+//!   the ablation bench (`cargo bench --bench sort`).
+//! * **Pluggable finishing kernel.** What happens *inside* a
+//!   cache-resident bucket is a [`tuning::SortKernel`] chosen by a
+//!   [`tuning::SortTuning`] (threshold + kernel + provenance): the
+//!   paper's introsort+insertion, a branch-free scalar bitonic network
+//!   ([`bitonic`]), or a feature-gated AVX2 network ([`simd`]). The
+//!   network kernels thread a per-worker [`bitonic::SortScratch`]
+//!   through the recursion so leaves never allocate. See
+//!   [`three_phase_sort_tuned`] and the `SortTuning::auto_tune` sweep.
 //!
 //! Keys may occupy any sub-range of the 64-bit domain (the paper's
 //! evaluation draws them from `[0, 2^32)`), so the radix pass first
@@ -42,8 +52,15 @@ pub mod bitonic;
 pub mod insertion;
 pub mod intro;
 pub mod radix;
+pub mod simd;
+pub mod tuning;
+
+use std::cell::RefCell;
 
 use mpsm_numa::{CounterScope, NodeId};
+
+pub use bitonic::SortScratch;
+pub use tuning::{SortKernel, SortTuning, TuningSource};
 
 use crate::tuple::Tuple;
 
@@ -55,17 +72,26 @@ pub const RADIX_BITS: u32 = 8;
 /// insertion pass, as in the paper.
 pub const INSERTION_CUTOFF: usize = 16;
 
-/// Buckets larger than this recurse the radix pass before introsort:
-/// 32 KiB (an L1d) of 16-byte tuples. Each radix level replaces eight
-/// quicksort levels with one O(n) counting pass + in-place permutation,
-/// so recursing until buckets are L1-resident is where the measured
-/// optimum lies (the `sort` bench sweep: 2048 ≈ 1.7× over the
+/// Buckets larger than this recurse the radix pass before the finishing
+/// kernel: 32 KiB (an L1d) of 16-byte tuples. Each radix level replaces
+/// eight quicksort levels with one O(n) counting pass + in-place
+/// permutation, so recursing until buckets are L1-resident is where the
+/// measured optimum lies (the `sort` bench sweep: 2048 ≈ 1.7× over the
 /// introsort-from-L2 variant at 1M tuples; 8192+ erases the win).
 pub const CACHE_RESIDENT_TUPLES: usize = (32 * 1024) / std::mem::size_of::<Tuple>();
 
-/// Sort `tuples` by key with the paper's three-phase algorithm,
-/// recursing the radix pass on non-cache-resident buckets and finishing
-/// each bucket (introsort + insertion) while it is cache-hot.
+thread_local! {
+    /// Scratch for the classic (non-`ExecContext`) entry points, so
+    /// callers of the plain [`three_phase_sort`] get allocation-free
+    /// network leaves too. Executor paths thread per-worker scratch
+    /// explicitly instead.
+    static TLS_SCRATCH: RefCell<SortScratch> = RefCell::new(SortScratch::new());
+}
+
+/// Sort `tuples` by key with the paper's three-phase algorithm, using
+/// the process-wide [`SortTuning::current`] kernel and a thread-local
+/// scratch. Recurses the radix pass on non-cache-resident buckets and
+/// finishes each bucket while it is cache-hot.
 ///
 /// ```
 /// use mpsm_core::sort::three_phase_sort;
@@ -81,6 +107,18 @@ pub const CACHE_RESIDENT_TUPLES: usize = (32 * 1024) / std::mem::size_of::<Tuple
 /// assert_eq!(keys, vec![0, 2, 2, 7, 9]);
 /// ```
 pub fn three_phase_sort(tuples: &mut [Tuple]) {
+    let tuning = SortTuning::current();
+    TLS_SCRATCH.with(|s| three_phase_sort_tuned(tuples, &tuning, &mut s.borrow_mut()));
+}
+
+/// [`three_phase_sort`] with an explicit kernel choice and caller
+/// scratch — the executor entry point (`ExecContext` threads its own
+/// [`SortTuning`] and per-worker [`SortScratch`] through here).
+pub fn three_phase_sort_tuned(
+    tuples: &mut [Tuple],
+    tuning: &SortTuning,
+    scratch: &mut SortScratch,
+) {
     if tuples.len() < 2 {
         return;
     }
@@ -88,41 +126,189 @@ pub fn three_phase_sort(tuples: &mut [Tuple]) {
         insertion::insertion_sort(tuples);
         return;
     }
-    // Phase 1: MSD radix pass into 256 key-ordered buckets.
-    let boundaries = radix::msd_radix_partition(tuples);
-    // Phases 2 + 3, fused per bucket.
-    for w in boundaries.windows(2) {
-        finish_bucket(&mut tuples[w[0]..w[1]]);
+    // Phase 1: MSD radix scatter into 256 key-ordered buckets. One
+    // key-range scan here is the only range scan of the whole sort:
+    // the recursion below derives every child shift arithmetically
+    // ([`radix::RadixShift::child`]) instead of re-scanning buckets the
+    // way the frozen PR 2 baseline does (twice per recursion level).
+    let (min, max) = crate::tuple::key_range(tuples).expect("len > cutoff");
+    if min == max {
+        return; // one key: any order is sorted
+    }
+    let shift = radix::RadixShift::for_range(min, max, RADIX_BITS);
+    // The ping-pong buffer comes out of the scratch for the duration of
+    // the descent (the leaf kernels borrow the same scratch for their
+    // network staging). It grows to the largest run this worker sorts
+    // and stays — the allocation is paid once per worker, not per call.
+    let mut aux = std::mem::take(&mut scratch.aux);
+    if aux.len() < tuples.len() {
+        aux.resize(tuples.len(), Tuple::new(0, 0));
+    }
+    let n = tuples.len();
+    let bounds = radix::msd_radix_scatter(tuples, &mut aux[..n], shift, tuning.prefetch);
+    if shift.shift == 0 {
+        // Sub-256 span: the scatter ordered by exact key value.
+        tuples.copy_from_slice(&aux[..n]);
+    } else {
+        // The top-level shift is tight by construction (`for_range` on
+        // the real range), so this partition cannot collapse into one
+        // bucket; descend directly.
+        spill_children(&mut aux[..n], tuples, &bounds, shift, tuning, scratch);
+    }
+    scratch.aux = aux;
+}
+
+/// Recurse into every non-trivial bucket of a scatter whose output
+/// landed in `src`, delivering each bucket sorted into `dst`.
+/// Singleton buckets are copied; empty buckets are skipped *before*
+/// deriving the child shift — `child`'s base arithmetic is only
+/// overflow-safe for buckets that contain a key (the sum is bounded by
+/// that key), and near-`u64::MAX` domains do overflow it for empty high
+/// buckets.
+fn spill_children(
+    src: &mut [Tuple],
+    dst: &mut [Tuple],
+    bounds: &[usize],
+    shift: radix::RadixShift,
+    tuning: &SortTuning,
+    scratch: &mut SortScratch,
+) {
+    for (b, w) in bounds.windows(2).enumerate() {
+        match w[1] - w[0] {
+            0 => {}
+            1 => dst[w[0]] = src[w[0]],
+            _ => sort_spill(
+                &mut src[w[0]..w[1]],
+                &mut dst[w[0]..w[1]],
+                shift.child(b, RADIX_BITS),
+                tuning,
+                scratch,
+            ),
+        }
     }
 }
 
-/// Sort one radix bucket to a total order: recurse the radix pass while
-/// the bucket exceeds the cache-resident threshold, then introsort and
-/// insertion-finish it in place.
-fn finish_bucket(bucket: &mut [Tuple]) {
-    if bucket.len() < 2 {
+/// Sort a bucket whose tuples currently sit in `src`, delivering the
+/// sorted result into `dst` (`src` is scatter space afterwards). With
+/// [`sort_resident`] this forms the ping-pong descent: each radix level
+/// is one out-of-place [`radix::msd_radix_scatter`] — sequential reads,
+/// 256 independent write streams — instead of the in-place cycle-leader
+/// permutation whose displacement chain serializes on one cache miss at
+/// a time. Even-depth recursions land back in place with zero extra
+/// copies; odd-depth subtrees pay one sequential bucket copy at the
+/// leaf.
+fn sort_spill(
+    src: &mut [Tuple],
+    dst: &mut [Tuple],
+    shift: radix::RadixShift,
+    tuning: &SortTuning,
+    scratch: &mut SortScratch,
+) {
+    debug_assert_eq!(src.len(), dst.len());
+    if src.len() <= CACHE_RESIDENT_TUPLES {
+        dst.copy_from_slice(src);
+        leaf_finish(dst, tuning, scratch);
         return;
     }
-    if bucket.len() <= INSERTION_CUTOFF {
-        insertion::insertion_sort(bucket);
-        return;
+    let bounds = radix::msd_radix_scatter(src, dst, shift, tuning.prefetch);
+    if shift.shift == 0 {
+        return; // digits exhausted: dst is ordered by exact key value
     }
-    if bucket.len() > CACHE_RESIDENT_TUPLES {
-        let (min, max) = crate::tuple::key_range(bucket).expect("bucket is non-empty");
+    // A skewed bucket can collapse into a single child (all keys share
+    // the next digit). The descent still terminates — each level
+    // consumes RADIX_BITS real key bits until the shift hits 0 — but
+    // one range scan re-tightens the shift to the occupied sub-domain
+    // and skips the dead levels. The scatter is stable, so a collapsed
+    // pass left `dst` an exact copy of `src` and both stay usable.
+    if bounds.windows(2).any(|w| w[1] - w[0] == dst.len()) {
+        let (min, max) = crate::tuple::key_range(dst).expect("bucket is non-empty");
         if min == max {
             return; // single-key bucket is already totally ordered
         }
-        // `min < max` guarantees ≥ 2 non-empty sub-buckets (min maps to
-        // bucket 0, max to a higher one), so the recursion always
-        // shrinks and terminates even on pathological distributions.
-        let bounds = radix::msd_radix_partition(bucket);
-        for w in bounds.windows(2) {
-            finish_bucket(&mut bucket[w[0]..w[1]]);
-        }
+        let tight = radix::RadixShift::for_range(min, max, RADIX_BITS);
+        let bounds = radix::msd_radix_scatter(dst, src, tight, tuning.prefetch);
+        spill_children(src, dst, &bounds, tight, tuning, scratch);
         return;
     }
-    intro::introsort_coarse(bucket, INSERTION_CUTOFF);
-    insertion::insertion_sort(bucket);
+    for (b, w) in bounds.windows(2).enumerate() {
+        if w[1] - w[0] < 2 {
+            continue; // already in dst; see the overflow note on spill_children
+        }
+        sort_resident(
+            &mut dst[w[0]..w[1]],
+            &mut src[w[0]..w[1]],
+            shift.child(b, RADIX_BITS),
+            tuning,
+            scratch,
+        );
+    }
+}
+
+/// Sort a bucket in place in `data`, using same-sized `aux` as scatter
+/// space. The ping-pong counterpart of [`sort_spill`].
+fn sort_resident(
+    data: &mut [Tuple],
+    aux: &mut [Tuple],
+    shift: radix::RadixShift,
+    tuning: &SortTuning,
+    scratch: &mut SortScratch,
+) {
+    debug_assert_eq!(data.len(), aux.len());
+    if data.len() <= CACHE_RESIDENT_TUPLES {
+        leaf_finish(data, tuning, scratch);
+        return;
+    }
+    let bounds = radix::msd_radix_scatter(data, aux, shift, tuning.prefetch);
+    if shift.shift == 0 {
+        data.copy_from_slice(aux);
+        return;
+    }
+    if bounds.windows(2).any(|w| w[1] - w[0] == data.len()) {
+        // Collapsed (see sort_spill): `aux == data`, re-tighten from
+        // `data` and scatter again.
+        let (min, max) = crate::tuple::key_range(data).expect("bucket is non-empty");
+        if min == max {
+            return;
+        }
+        let tight = radix::RadixShift::for_range(min, max, RADIX_BITS);
+        let bounds = radix::msd_radix_scatter(data, aux, tight, tuning.prefetch);
+        spill_children(aux, data, &bounds, tight, tuning, scratch);
+        return;
+    }
+    spill_children(aux, data, &bounds, shift, tuning, scratch);
+}
+
+/// Apply the tuning's finishing kernel to one cache-resident bucket.
+fn leaf_finish(bucket: &mut [Tuple], tuning: &SortTuning, scratch: &mut SortScratch) {
+    if bucket.len() < 2 {
+        return;
+    }
+    match tuning.kernel {
+        SortKernel::IntrosortInsertion => {
+            if bucket.len() <= INSERTION_CUTOFF {
+                insertion::insertion_sort(bucket);
+            } else {
+                intro::introsort_coarse(bucket, INSERTION_CUTOFF);
+                insertion::insertion_sort(bucket);
+            }
+        }
+        SortKernel::Bitonic => {
+            bitonic::quicksort_to_network(
+                bucket,
+                tuning.block,
+                scratch,
+                &mut bitonic::bitonic_sort_with,
+            );
+        }
+        SortKernel::Simd => {
+            bitonic::quicksort_to_network(
+                bucket,
+                tuning.block,
+                scratch,
+                &mut simd::bitonic_sort_simd,
+            );
+        }
+    }
 }
 
 /// [`three_phase_sort`] with its traffic recorded against the run's
@@ -135,6 +321,21 @@ pub fn three_phase_sort_audited(run: &mut [Tuple], home: NodeId, scope: &mut Cou
     scope.touch(home, true, run.len() as u64);
     scope.touch(home, false, run.len() as u64);
     three_phase_sort(run);
+}
+
+/// [`three_phase_sort_audited`] with an explicit tuning and caller
+/// scratch — what `ExecContext::sort_run` uses so every MPSM variant
+/// sorts with the context's kernel and per-worker scratch.
+pub fn three_phase_sort_tuned_audited(
+    run: &mut [Tuple],
+    home: NodeId,
+    scope: &mut CounterScope,
+    tuning: &SortTuning,
+    scratch: &mut SortScratch,
+) {
+    scope.touch(home, true, run.len() as u64);
+    scope.touch(home, false, run.len() as u64);
+    three_phase_sort_tuned(run, tuning, scratch);
 }
 
 /// The seed's literal three-phase sort: one radix pass, coarse
@@ -159,6 +360,52 @@ pub fn three_phase_sort_naive(tuples: &mut [Tuple]) {
     insertion::insertion_sort(tuples);
 }
 
+/// The PR 2 sort path, frozen for honest before/after benches: radix
+/// recursion that re-scans each oversized bucket's key range (twice per
+/// level) plus the introsort+insertion finisher. `BENCH_7.json`'s
+/// headline compares the tuned kernel against this, so the recorded
+/// speedup covers everything this PR changed (branch-free network
+/// leaves + scan-free shift descent + the prefetch knob), not just the
+/// finisher swap.
+pub fn three_phase_sort_pr2_baseline(tuples: &mut [Tuple]) {
+    if tuples.len() < 2 {
+        return;
+    }
+    if tuples.len() <= INSERTION_CUTOFF {
+        insertion::insertion_sort(tuples);
+        return;
+    }
+    let boundaries = radix::msd_radix_partition_nopf(tuples);
+    for w in boundaries.windows(2) {
+        finish_bucket_pr2(&mut tuples[w[0]..w[1]]);
+    }
+}
+
+/// The PR 2 `finish_bucket`, frozen alongside
+/// [`three_phase_sort_pr2_baseline`].
+fn finish_bucket_pr2(bucket: &mut [Tuple]) {
+    if bucket.len() < 2 {
+        return;
+    }
+    if bucket.len() <= INSERTION_CUTOFF {
+        insertion::insertion_sort(bucket);
+        return;
+    }
+    if bucket.len() > CACHE_RESIDENT_TUPLES {
+        let (min, max) = crate::tuple::key_range(bucket).expect("bucket is non-empty");
+        if min == max {
+            return;
+        }
+        let bounds = radix::msd_radix_partition_nopf(bucket);
+        for w in bounds.windows(2) {
+            finish_bucket_pr2(&mut bucket[w[0]..w[1]]);
+        }
+        return;
+    }
+    intro::introsort_coarse(bucket, INSERTION_CUTOFF);
+    insertion::insertion_sort(bucket);
+}
+
 /// Sort by key using introsort alone (no radix pass); used by the
 /// ablation benchmarks to quantify the radix phase's contribution.
 pub fn introsort_only(tuples: &mut [Tuple]) {
@@ -168,7 +415,8 @@ pub fn introsort_only(tuples: &mut [Tuple]) {
 
 /// Three-phase sort finishing small partitions with bitonic networks
 /// instead of the deferred insertion pass — the §6 SIMD-outlook
-/// ablation (see [`bitonic`]).
+/// ablation (see [`bitonic`]). Superseded by the tuned kernel registry
+/// but retained so the historical ablation stays runnable.
 pub fn three_phase_sort_bitonic(tuples: &mut [Tuple]) {
     if tuples.len() < 2 {
         return;
@@ -196,6 +444,12 @@ mod tests {
                 Tuple::new(state >> 32, i as u64)
             })
             .collect()
+    }
+
+    fn sort_with(kernel: SortKernel, block: usize, data: &mut [Tuple]) {
+        let tuning = SortTuning::new(kernel, block);
+        let mut scratch = SortScratch::new();
+        three_phase_sort_tuned(data, &tuning, &mut scratch);
     }
 
     #[test]
@@ -286,13 +540,47 @@ mod tests {
 
     #[test]
     fn per_bucket_finish_matches_naive_global_pass() {
+        // The keys at these seeds are collision-free, so any correct
+        // sort produces the identical tuple sequence regardless of
+        // partition strategy (scatter vs. in-place) or finisher.
         for seed in [3u64, 17, 91] {
             let mut a = pseudo_random(30_000, seed);
             let mut b = a.clone();
-            three_phase_sort(&mut a);
+            sort_with(SortKernel::IntrosortInsertion, INSERTION_CUTOFF, &mut a);
             three_phase_sort_naive(&mut b);
             assert_eq!(a, b, "seed {seed}: both finishes must produce the same total order");
         }
+    }
+
+    #[test]
+    fn every_kernel_produces_the_same_sorted_multiset() {
+        for seed in [5u64, 23] {
+            let reference = {
+                let mut r = pseudo_random(30_000, seed);
+                three_phase_sort_naive(&mut r);
+                r.iter().map(|t| (t.key, t.payload)).collect::<std::collections::BTreeSet<_>>()
+            };
+            for kernel in SortKernel::ALL {
+                let mut data = pseudo_random(30_000, seed);
+                sort_with(kernel, 64, &mut data);
+                assert!(is_key_sorted(&data), "{kernel:?}");
+                let got: std::collections::BTreeSet<_> =
+                    data.iter().map(|t| (t.key, t.payload)).collect();
+                assert_eq!(got, reference, "{kernel:?} must preserve the multiset");
+            }
+        }
+    }
+
+    #[test]
+    fn pr2_baseline_matches_the_tuned_introsort_kernel() {
+        // Collision-free keys at this seed: the frozen baseline
+        // (in-place permutation) and the tuned path (ping-pong scatter)
+        // must still agree tuple for tuple.
+        let mut a = pseudo_random(40_000, 13);
+        let mut b = a.clone();
+        three_phase_sort_pr2_baseline(&mut a);
+        sort_with(SortKernel::IntrosortInsertion, INSERTION_CUTOFF, &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

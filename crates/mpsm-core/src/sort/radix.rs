@@ -54,6 +54,45 @@ impl RadixShift {
         debug_assert!(key >= self.base);
         (((key - self.base) >> self.shift) as usize).min((1usize << bits) - 1)
     }
+
+    /// The shift for recursing into non-empty `bucket` of a partition
+    /// made with `self`: the next `bits` lower key bits.
+    ///
+    /// Needs **no scan of the bucket**: a partition on `self` confines
+    /// bucket `b`'s keys to the span of width `2^shift` starting at
+    /// `base + (b << shift)` — for the clamped top bucket too, because
+    /// [`RadixShift::for_range`] guarantees the whole span is below
+    /// `2^(shift + bits)`. So the child rebases to the bucket's floor
+    /// and consumes the next digit. Once `self.shift` is 0 every bucket
+    /// holds a single key value and recursion must stop — callers check
+    /// that before deriving a child.
+    ///
+    /// Only call this for buckets that **contain a key**: the rebased
+    /// floor is then bounded by that key, so the addition cannot
+    /// overflow. For empty high buckets of a near-`u64::MAX` domain the
+    /// floor itself can exceed `u64::MAX` (callers skip trivial buckets
+    /// before deriving children).
+    #[inline]
+    pub fn child(&self, bucket: usize, bits: u32) -> RadixShift {
+        RadixShift {
+            base: self.base + ((bucket as u64) << self.shift),
+            shift: self.shift.saturating_sub(bits),
+        }
+    }
+}
+
+/// Prefetch the cache line holding `*p` into all levels (T0 hint).
+/// A pure hint: any address is architecturally safe, and the function
+/// is a no-op off x86_64.
+#[inline(always)]
+fn prefetch_read(p: *const Tuple) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch never faults; SSE is in the x86_64 baseline.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(p.cast::<i8>());
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
 }
 
 /// Partition `tuples` in place into up to 256 key-ordered buckets.
@@ -67,10 +106,51 @@ pub fn msd_radix_partition(tuples: &mut [Tuple]) -> Vec<usize> {
     msd_radix_partition_with(tuples, shift)
 }
 
+/// [`msd_radix_partition_with`] with the software-prefetch hints under a
+/// runtime switch — the entry point for the tuned sort path, whose
+/// `SortTuning::prefetch` knob is a per-machine property swept by
+/// `SortTuning::auto_tune`. The permutation's displacement chain is
+/// serially dependent, so the hint leads its use by only one hop: on
+/// some cores that still beats the extra issue slots, on others it is a
+/// measured loss.
+pub fn msd_radix_partition_tuned(
+    tuples: &mut [Tuple],
+    shift: RadixShift,
+    prefetch: bool,
+) -> Vec<usize> {
+    if prefetch {
+        partition_impl::<true>(tuples, shift)
+    } else {
+        partition_impl::<false>(tuples, shift)
+    }
+}
+
+/// [`msd_radix_partition`] without the software-prefetch hints — the
+/// PR 2 pass frozen verbatim so the benchmark baseline
+/// (`three_phase_sort_pr2_baseline`) measures exactly the code it
+/// claims to, including the per-level range re-scan the tuned path
+/// replaces with [`RadixShift::child`].
+pub fn msd_radix_partition_nopf(tuples: &mut [Tuple]) -> Vec<usize> {
+    let Some((min, max)) = key_range(tuples) else {
+        return vec![0; BUCKETS + 1];
+    };
+    let shift = RadixShift::for_range(min, max, RADIX_BITS);
+    partition_impl::<false>(tuples, shift)
+}
+
 /// Like [`msd_radix_partition`], with a caller-provided shift (used when
 /// the global domain is known from a previous scan).
 pub fn msd_radix_partition_with(tuples: &mut [Tuple], shift: RadixShift) -> Vec<usize> {
-    // 1. Histogram.
+    partition_impl::<true>(tuples, shift)
+}
+
+/// The pass itself; `PREFETCH` is a compile-time switch so the hint
+/// instructions vanish entirely from the variants that don't want them
+/// instead of hiding behind a runtime branch in the hot loops.
+fn partition_impl<const PREFETCH: bool>(tuples: &mut [Tuple], shift: RadixShift) -> Vec<usize> {
+    // 1. Histogram. A pure sequential scan: the hardware prefetcher
+    // tracks it perfectly, so no software hints here (measured: an
+    // explicit per-element hint *costs* ~2 ns/tuple at 1M).
     let mut counts = [0usize; BUCKETS];
     for t in tuples.iter() {
         counts[shift.bucket(t.key, RADIX_BITS)] += 1;
@@ -84,7 +164,9 @@ pub fn msd_radix_partition_with(tuples: &mut [Tuple], shift: RadixShift) -> Vec<
     // `heads[b]` is the next write position of bucket `b`. A displaced
     // element is carried in a register and follows its cycle — one read
     // and one write per element instead of a full `swap` (two of each),
-    // which matters because every hop is a cache miss at scale.
+    // which matters because every hop is a cache miss at scale. Each
+    // hop's destination line is prefetched as soon as the carried key
+    // names it, overlapping the fill with the loop's bookkeeping.
     let mut heads: Vec<usize> = bounds[..BUCKETS].to_vec();
     for b in 0..BUCKETS {
         let end = bounds[b + 1];
@@ -95,6 +177,9 @@ pub fn msd_radix_partition_with(tuples: &mut [Tuple], shift: RadixShift) -> Vec<
             if target == b {
                 heads[b] += 1;
                 continue;
+            }
+            if PREFETCH {
+                prefetch_read(&raw const tuples[heads[target]]);
             }
             // Follow the displacement cycle until an element belonging
             // to bucket `b` lands in the cursor slot.
@@ -108,8 +193,76 @@ pub fn msd_radix_partition_with(tuples: &mut [Tuple], shift: RadixShift) -> Vec<
                     heads[b] += 1;
                     break;
                 }
+                if PREFETCH {
+                    prefetch_read(&raw const tuples[heads[target]]);
+                }
             }
         }
+    }
+    bounds
+}
+
+/// Out-of-place MSD radix scatter: histogram `src`, then stream it into
+/// `dst` bucket-ordered. Returns the same boundary offsets as the
+/// in-place pass.
+///
+/// This is the tuned sort's pass-2: the in-place cycle-leader
+/// permutation above reads *and* writes at random addresses and each
+/// hop serially depends on the carried tuple, so at scale the core
+/// stalls on one cache miss at a time. The scatter reads sequentially
+/// (hardware-prefetched) and writes to 256 independent streams the
+/// store buffer can overlap — at the price of an equal-sized aux
+/// buffer, which the callers ping-pong so even-depth recursions land
+/// back in place with zero extra copies.
+///
+/// The scatter is **stable** (bucket-internal order preserved), which
+/// the collapse-retighten path in the caller relies on: a partition
+/// that lands in a single bucket leaves `dst` an exact copy of `src`.
+///
+/// `prefetch` hints each tuple's destination slot one iteration ahead
+/// (approximate — the bucket head may advance a few slots in between,
+/// but within the prefetched line for all but pathological skew). Like
+/// the in-place hint this is a per-machine property: the auto-tune
+/// sweep decides whether it pays.
+pub fn msd_radix_scatter(
+    src: &[Tuple],
+    dst: &mut [Tuple],
+    shift: RadixShift,
+    prefetch: bool,
+) -> Vec<usize> {
+    if prefetch {
+        scatter_impl::<true>(src, dst, shift)
+    } else {
+        scatter_impl::<false>(src, dst, shift)
+    }
+}
+
+fn scatter_impl<const PREFETCH: bool>(
+    src: &[Tuple],
+    dst: &mut [Tuple],
+    shift: RadixShift,
+) -> Vec<usize> {
+    assert_eq!(src.len(), dst.len(), "scatter needs an equal-sized destination");
+    let mut counts = [0usize; BUCKETS];
+    for t in src.iter() {
+        counts[shift.bucket(t.key, RADIX_BITS)] += 1;
+    }
+    let mut bounds = vec![0usize; BUCKETS + 1];
+    for b in 0..BUCKETS {
+        bounds[b + 1] = bounds[b] + counts[b];
+    }
+    let mut heads: Vec<usize> = bounds[..BUCKETS].to_vec();
+    const LOOKAHEAD: usize = 8;
+    for (i, t) in src.iter().enumerate() {
+        if PREFETCH {
+            if let Some(ahead) = src.get(i + LOOKAHEAD) {
+                let b = shift.bucket(ahead.key, RADIX_BITS);
+                prefetch_read(&raw const dst[heads[b]]);
+            }
+        }
+        let b = shift.bucket(t.key, RADIX_BITS);
+        dst[heads[b]] = *t;
+        heads[b] += 1;
     }
     bounds
 }
@@ -234,6 +387,100 @@ mod tests {
         let bounds = msd_radix_partition(&mut data);
         assert_eq!(data, before);
         assert_eq!(bounds[1] - bounds[0], 200, "all tuples in bucket 0");
+    }
+
+    #[test]
+    fn prefetched_and_frozen_passes_agree_exactly() {
+        // The prefetch hints must not perturb the permutation: both
+        // variants are the same algorithm instruction-for-instruction
+        // apart from the hints.
+        let mut a = pseudo_random(10_000, 31);
+        let mut b = a.clone();
+        let bounds_a = msd_radix_partition(&mut a);
+        let bounds_b = msd_radix_partition_nopf(&mut b);
+        assert_eq!(bounds_a, bounds_b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tuned_pass_matches_both_prefetch_settings() {
+        let mut a = pseudo_random(10_000, 37);
+        let mut b = a.clone();
+        let mut c = a.clone();
+        let (min, max) = key_range(&a).unwrap();
+        let shift = RadixShift::for_range(min, max, RADIX_BITS);
+        let bounds = msd_radix_partition_with(&mut a, shift);
+        assert_eq!(bounds, msd_radix_partition_tuned(&mut b, shift, false));
+        assert_eq!(bounds, msd_radix_partition_tuned(&mut c, shift, true));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn child_shift_covers_every_bucket_without_rescanning() {
+        // Partition, then check each non-empty bucket against the shift
+        // derived arithmetically: every key must land at or above the
+        // child base and inside the child's 2^(shift + RADIX_BITS) span,
+        // which is exactly what lets the recursion skip the re-scan.
+        let mut data = pseudo_random(20_000, 41);
+        let (min, max) = key_range(&data).unwrap();
+        let shift = RadixShift::for_range(min, max, RADIX_BITS);
+        let bounds = msd_radix_partition_with(&mut data, shift);
+        for b in 0..BUCKETS {
+            let bucket = &data[bounds[b]..bounds[b + 1]];
+            if bucket.is_empty() {
+                continue;
+            }
+            let child = shift.child(b, RADIX_BITS);
+            assert_eq!(child.shift, shift.shift.saturating_sub(RADIX_BITS));
+            for t in bucket {
+                assert!(t.key >= child.base, "bucket {b}: key below child base");
+                let span = t.key - child.base;
+                assert!(
+                    (span >> child.shift) >> RADIX_BITS == 0,
+                    "bucket {b}: key {:#x} outside the derived child domain",
+                    t.key
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_agrees_with_inplace_pass_and_is_stable() {
+        let mut inplace = pseudo_random(10_000, 43);
+        let src = inplace.clone();
+        let (min, max) = key_range(&src).unwrap();
+        let shift = RadixShift::for_range(min, max, RADIX_BITS);
+        let bounds_inplace = msd_radix_partition_with(&mut inplace, shift);
+        for prefetch in [false, true] {
+            let mut dst = vec![Tuple::new(0, 0); src.len()];
+            let bounds = msd_radix_scatter(&src, &mut dst, shift, prefetch);
+            assert_eq!(bounds, bounds_inplace, "prefetch={prefetch}");
+            assert_is_radix_partitioned(&dst, &bounds, shift);
+            // Stability: within each bucket the source order (encoded
+            // in the payloads) must be preserved — the collapse-
+            // retighten path in the sort relies on it.
+            for b in 0..BUCKETS {
+                let bucket = &dst[bounds[b]..bounds[b + 1]];
+                assert!(
+                    bucket.windows(2).all(|w| w[0].payload < w[1].payload),
+                    "prefetch={prefetch}: bucket {b} not stable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn collapsed_scatter_is_an_exact_copy() {
+        // All keys in one bucket: stability means dst == src verbatim,
+        // which is what lets the sort re-tighten without a copy-back.
+        let src: Vec<Tuple> = (0..500).map(|i| Tuple::new(7_000_000 + (i % 3), i)).collect();
+        let shift = RadixShift::for_range(0, u64::MAX, RADIX_BITS);
+        let mut dst = vec![Tuple::new(0, 0); src.len()];
+        let bounds = msd_radix_scatter(&src, &mut dst, shift, false);
+        assert_eq!(dst, src);
+        let non_empty = (0..BUCKETS).filter(|&b| bounds[b + 1] > bounds[b]).count();
+        assert_eq!(non_empty, 1);
     }
 
     #[test]

@@ -151,6 +151,16 @@ pub struct QueryPlan {
     /// Critical-path duration of each join phase, in ms, when the
     /// execution recorded them.
     pub phases_ms: Option<[f64; 4]>,
+    /// Tuples that entered the join (selected R + selected S) — the
+    /// normalizer for the per-tuple phase rates row. Only rendered when
+    /// `phases_ms` is also present.
+    pub phase_tuples: Option<u64>,
+    /// The sort tuning the execution context used
+    /// (`SortTuning::describe()`), rendered as the `SortKernel` node so
+    /// a plan reader can tell which finishing kernel sorted the runs
+    /// and where the choice came from (default / auto-tuned /
+    /// explicit).
+    pub sort_kernel: Option<String>,
     /// NUMA placement and locality of the join, when it executed
     /// inside an [`mpsm_core::context::ExecContext`].
     pub placement: Option<PlacementInfo>,
@@ -219,6 +229,9 @@ impl QueryPlan {
         if let Some(placement) = &self.placement {
             join = join.child(Node::new(placement.label()));
         }
+        if let Some(kernel) = &self.sort_kernel {
+            join = join.child(Node::new(format!("SortKernel [{kernel}]")));
+        }
         if let Some(cache) = &self.run_cache {
             join = join.child(Node::new(cache.label()));
         }
@@ -227,6 +240,22 @@ impl QueryPlan {
                 "Phases [1: {:.3} ms, 2: {:.3} ms, 3: {:.3} ms, 4: {:.3} ms]",
                 p[0], p[1], p[2], p[3],
             )));
+            // Per-tuple rates, grouped by what the phases do: sort =
+            // run production (phases 1 + 3), scatter = the partition
+            // pass (phase 2), merge = the join itself (phase 4). The
+            // normalizer is the tuples that entered the join, so the
+            // numbers compare directly with the sort bench's ns/tuple.
+            if let Some(tuples) = self.phase_tuples {
+                if tuples > 0 {
+                    let per = |ms: f64| ms * 1e6 / tuples as f64;
+                    join = join.child(Node::new(format!(
+                        "Phases [sort={:.1} ns/t, scatter={:.1} ns/t, merge={:.1} ns/t]",
+                        per(p[0] + p[2]),
+                        per(p[1]),
+                        per(p[3]),
+                    )));
+                }
+            }
         }
         join =
             join.child(side("private (R)", &self.private)).child(side("public (S)", &self.public));
@@ -271,6 +300,8 @@ mod tests {
             join_rows: Some(2000),
             queue_wait_ms: None,
             phases_ms: None,
+            phase_tuples: None,
+            sort_kernel: None,
             placement: None,
             run_cache: None,
         }
@@ -341,6 +372,39 @@ Aggregate [max(R.payload + S.payload)]
         // The queue node shifts the whole pipeline one level deeper;
         // the private side keeps its continuation bars intact.
         assert!(text.contains("      ├─ private (R):\n      │  └─ Select"), "{text}");
+    }
+
+    #[test]
+    fn phase_rates_row_renders_exactly() {
+        // The per-tuple row: sort = phases 1 + 3, scatter = phase 2,
+        // merge = phase 4, normalized by the tuples entering the join.
+        // 0.5 ms + 0.25 ms over 50k tuples = 15.0 ns/t, and so on.
+        let mut p = sample();
+        p.phases_ms = Some([0.5, 1.0, 0.25, 2.0]);
+        p.phase_tuples = Some(50_000);
+        p.sort_kernel = Some("bitonic, block=64, default".into());
+        let expected = "\
+Aggregate [max(R.payload + S.payload)]
+└─ Join [P-MPSM; T = 8; out = 2000 rows]
+   ├─ SortKernel [bitonic, block=64, default]
+   ├─ Phases [1: 0.500 ms, 2: 1.000 ms, 3: 0.250 ms, 4: 2.000 ms]
+   ├─ Phases [sort=15.0 ns/t, scatter=20.0 ns/t, merge=40.0 ns/t]
+   ├─ private (R):
+   │  └─ Select [out = 500 rows]
+   │     └─ Scan orders [1000 rows]
+   └─ public (S):
+      └─ Select [out = 4000 rows]
+         └─ Scan lineitem [4000 rows]
+";
+        assert_eq!(p.explain(), expected);
+        // Zero tuples (empty inputs) suppresses the rate row instead of
+        // rendering infinities.
+        p.phase_tuples = Some(0);
+        assert!(!p.explain().contains("ns/t"), "{}", p.explain());
+        // Without the normalizer the ms row still renders alone.
+        p.phase_tuples = None;
+        assert!(p.explain().contains("Phases [1: 0.500 ms"), "{}", p.explain());
+        assert!(!p.explain().contains("ns/t"));
     }
 
     #[test]

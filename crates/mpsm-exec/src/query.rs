@@ -118,6 +118,8 @@ where
     let mut out =
         assemble(algorithm.name(), cx.threads(), r, s, r_sel.len(), s_sel.len(), max, stats);
     out.plan.phases_ms = Some(out.stats.phases_ms());
+    out.plan.phase_tuples = Some((r_sel.len() + s_sel.len()) as u64);
+    out.plan.sort_kernel = Some(cx.sort_tuning().describe());
     out.plan.placement = Some(placement_of(cx));
     out
 }
@@ -181,6 +183,8 @@ pub(crate) fn paper_query_cached(
         out.stats,
     );
     result.plan.phases_ms = Some(result.stats.phases_ms());
+    result.plan.phase_tuples = Some((r_prep.rows + s_prep.rows) as u64);
+    result.plan.sort_kernel = Some(cx.sort_tuning().describe());
     result.plan.placement = Some(placement_of(cx));
     let totals = cache.stats();
     result.plan.run_cache = Some(RunCacheInfo {
@@ -300,6 +304,8 @@ fn assemble(
         join_rows: None,
         queue_wait_ms: None,
         phases_ms: None,
+        phase_tuples: None,
+        sort_kernel: None,
         placement: None,
         run_cache: None,
     };

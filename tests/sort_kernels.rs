@@ -1,0 +1,220 @@
+//! Cross-kernel equivalence for the sort-kernel registry.
+//!
+//! Every [`SortKernel`] — through every block size and both prefetch
+//! settings — must produce exactly what `three_phase_sort_naive`
+//! produces: the same key order and the same multiset of
+//! `(key, payload)` pairs (the kernels are not stable, so payload
+//! *order* within a key group may differ, but no tuple may be dropped,
+//! duplicated, or invented). The inputs deliberately straddle every
+//! dispatch boundary (insertion cutoff 16, bitonic blocks 16–128, the
+//! exact-network limit 128, the cache-resident recursion threshold
+//! 2048) and include the adversarial distributions that broke earlier
+//! drafts: all-equal keys, keys at `u64::MAX` (the bitonic padding
+//! sentinel), presorted, reversed, and heavily skewed domains.
+
+use mpsm::core::sort::bitonic::bitonic_sort_with;
+use mpsm::core::sort::tuning::BLOCK_CANDIDATES;
+use mpsm::core::sort::{
+    three_phase_sort_naive, three_phase_sort_tuned, SortKernel, SortScratch, SortTuning,
+};
+use mpsm::core::tuple::is_key_sorted;
+use mpsm::core::Tuple;
+use proptest::prelude::*;
+
+/// Tuples with distinct payloads so multiset comparison catches any
+/// dropped or duplicated element.
+fn tuples(keys: &[u64]) -> Vec<Tuple> {
+    keys.iter().enumerate().map(|(i, &k)| Tuple::new(k, i as u64)).collect()
+}
+
+fn pairs(tuples: &[Tuple]) -> Vec<(u64, u64)> {
+    tuples.iter().map(|t| (t.key, t.payload)).collect()
+}
+
+/// Sort `keys` with one tuned kernel and check it against the naive
+/// reference: keys identically ordered, `(key, payload)` multiset
+/// identical.
+fn check_kernel(keys: &[u64], tuning: SortTuning) -> Result<(), String> {
+    let mut expected = tuples(keys);
+    three_phase_sort_naive(&mut expected);
+
+    let mut got = tuples(keys);
+    let mut scratch = SortScratch::default();
+    three_phase_sort_tuned(&mut got, &tuning, &mut scratch);
+
+    if !is_key_sorted(&got) {
+        return Err(format!("{}: output not key-sorted (n={})", tuning.describe(), keys.len()));
+    }
+    let got_keys: Vec<u64> = got.iter().map(|t| t.key).collect();
+    let expected_keys: Vec<u64> = expected.iter().map(|t| t.key).collect();
+    if got_keys != expected_keys {
+        return Err(format!("{}: key order diverges (n={})", tuning.describe(), keys.len()));
+    }
+    let mut got_pairs = pairs(&got);
+    let mut expected_pairs = pairs(&expected);
+    got_pairs.sort_unstable();
+    expected_pairs.sort_unstable();
+    if got_pairs != expected_pairs {
+        return Err(format!(
+            "{}: (key, payload) multiset diverges (n={}) — tuples dropped, duplicated, or \
+             invented",
+            tuning.describe(),
+            keys.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Run every kernel × a spread of block sizes × both prefetch settings
+/// over one input.
+fn check_all_kernels(keys: &[u64]) -> Result<(), String> {
+    for kernel in SortKernel::ALL {
+        for block in [16, 64, 128] {
+            for prefetch in [false, true] {
+                check_kernel(keys, SortTuning::new(kernel, block).with_prefetch(prefetch))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The sizes where dispatch changes shape: around the insertion cutoff
+/// (16), the block candidates (16/32/64/128), the exact-network limit
+/// (128), powers of two vs. padded non-powers, and the cache-resident
+/// recursion threshold (2048).
+const BOUNDARY_SIZES: [usize; 22] = [
+    0, 1, 2, 3, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129, 200, 255, 256, 2047, 2048, 2049,
+];
+
+/// Deterministic key generators indexed by `dist`; `seed` varies the
+/// pseudo-random ones.
+fn keys_for(dist: usize, n: usize, seed: u64) -> Vec<u64> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state
+    };
+    match dist % 6 {
+        // Uniform over the full u64 domain.
+        0 => (0..n).map(|_| next()).collect(),
+        // All keys equal (and huge): every bucket collapses.
+        1 => vec![u64::MAX - (seed % 3); n],
+        // Keys at/near u64::MAX — collides with the bitonic padding
+        // sentinel if the kernel ever confuses pads with real tuples.
+        2 => (0..n).map(|i| u64::MAX - (i as u64 % 2)).collect(),
+        // Presorted.
+        3 => (0..n).map(|i| i as u64 * 37).collect(),
+        // Reverse-sorted.
+        4 => (0..n).map(|i| (n - i) as u64 * 37).collect(),
+        // Zipf-flavored skew: exponentially spread magnitudes, so a few
+        // buckets hold most tuples at every radix level.
+        5 => (0..n).map(|_| 1u64 << (next() % 60)).collect(),
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn every_kernel_matches_naive_at_every_boundary_size() {
+    for n in BOUNDARY_SIZES {
+        for dist in 0..6 {
+            let keys = keys_for(dist, n, 0x5EED_0007 + dist as u64);
+            if let Err(msg) = check_all_kernels(&keys) {
+                panic!("dist {dist}, n {n}: {msg}");
+            }
+        }
+    }
+}
+
+/// Regression for the padding bug: `bitonic_sort_with` pads non-power-
+/// of-two inputs above the exact-network limit with `(u64::MAX,
+/// u64::MAX)` sentinels. Real tuples whose key *and* payload are
+/// `u64::MAX` are indistinguishable from those pads by value, so the
+/// unpad step must count positions, not match values. This input mixes
+/// genuine `(u64::MAX, u64::MAX)` tuples with distinct-payload
+/// `u64::MAX` keys at a size (200) that forces the padded path.
+#[test]
+fn padded_bitonic_keeps_real_u64_max_tuples() {
+    let n = 200; // > 128 (exact-network limit), not a power of two.
+    let mut data: Vec<Tuple> = (0..n)
+        .map(|i| {
+            if i % 3 == 0 {
+                Tuple::new(u64::MAX, u64::MAX) // identical to the pad sentinel
+            } else {
+                Tuple::new(u64::MAX - (i as u64 % 2), i as u64)
+            }
+        })
+        .collect();
+    let mut expected = pairs(&data);
+    expected.sort_unstable();
+
+    let mut scratch = SortScratch::default();
+    bitonic_sort_with(&mut data, &mut scratch);
+
+    assert_eq!(data.len(), n, "padding must not change the tuple count");
+    assert!(is_key_sorted(&data));
+    let mut got = pairs(&data);
+    got.sort_unstable();
+    assert_eq!(got, expected, "sentinel-valued real tuples must survive the pad/unpad cycle");
+}
+
+/// Same property through the full tuned entry point: a run dominated by
+/// `u64::MAX` keys, sized to recurse through the radix pass and finish
+/// in padded bitonic leaves.
+#[test]
+fn tuned_sort_survives_a_max_key_heavy_run() {
+    let keys: Vec<u64> =
+        (0..3000).map(|i| if i % 7 == 0 { u64::MAX } else { u64::MAX - (i as u64 % 5) }).collect();
+    check_all_kernels(&keys).unwrap();
+}
+
+/// Every auto-tune sweep candidate block size stays correct at sizes
+/// just off the block boundary.
+#[test]
+fn all_block_candidates_sort_boundary_straddling_runs() {
+    for &block in BLOCK_CANDIDATES.iter() {
+        for n in [block - 1, block, block + 1, 2 * block + 1] {
+            let keys = keys_for(0, n, block as u64);
+            for kernel in SortKernel::ALL {
+                check_kernel(&keys, SortTuning::new(kernel, block))
+                    .unwrap_or_else(|msg| panic!("block {block}, n {n}: {msg}"));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kernels_match_naive_on_arbitrary_keys(
+        keys in proptest::collection::vec(any::<u64>(), 0..2600),
+        kernel_idx in 0usize..3,
+        block_idx in 0usize..4,
+        prefetch in any::<bool>(),
+    ) {
+        let kernel = SortKernel::ALL[kernel_idx];
+        let block = BLOCK_CANDIDATES[block_idx];
+        let tuning = SortTuning::new(kernel, block).with_prefetch(prefetch);
+        if let Err(msg) = check_kernel(&keys, tuning) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    #[test]
+    fn kernels_match_naive_on_adversarial_distributions(
+        dist in 0usize..6,
+        n in 1usize..2600,
+        seed in any::<u64>(),
+        kernel_idx in 0usize..3,
+    ) {
+        let keys = keys_for(dist, n, seed);
+        let kernel = SortKernel::ALL[kernel_idx];
+        // Small block (16) maximizes leaf-dispatch traffic; prefetch on
+        // exercises the hinted permutation pass.
+        for tuning in [SortTuning::new(kernel, 16), SortTuning::new(kernel, 64).with_prefetch(true)] {
+            if let Err(msg) = check_kernel(&keys, tuning) {
+                prop_assert!(false, "dist {}, n {}: {}", dist, n, msg);
+            }
+        }
+    }
+}
