@@ -1,0 +1,305 @@
+//! `bench_htap` — analytic query cost under live writes (the HTAP
+//! read path over mutable relations).
+//!
+//! Two experiments against one [`mpsm_exec::Session`]:
+//!
+//! 1. **Delta-fraction sweep** (compaction held off): the same
+//!    analytic join runs with the R-side delta log preloaded to 0%,
+//!    5%, 10%, and 25% of the base cardinality. Reports analytic
+//!    ns/tuple per point plus the slowdown relative to the clean
+//!    (0%) run — the price of merging the snapshot's delta on the fly
+//!    instead of reading pure cached base runs.
+//! 2. **Sustained writes**: a writer thread appends batches as fast as
+//!    it can while a closed-loop analytic client keeps querying, with
+//!    the background compactor folding deltas past its threshold.
+//!    Reports sustained write ops/s, analytic queries/s, and how many
+//!    compactions landed.
+//!
+//! `BENCH_8.json` at the repo root records the committed trajectory
+//! point.
+//!
+//! ```text
+//! cargo run --release -p mpsm-bench --bin bench_htap
+//!     [--scale N] [--threads N] [--queries N] [--seed N] [--trials N]
+//!     [--write-batches N] [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` divides the scale by 8. Every reported number is
+//! validated finite, and every analytic result is checked against a
+//! closed-form expectation — a snapshot that loses writes, tears, or
+//! double-counts cannot write a plausible-looking report.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use mpsm_core::Tuple;
+use mpsm_exec::{CompactionConfig, QuerySpec, Relation, RunCacheConfig, SchedulerConfig, Session};
+
+struct Args {
+    scale: usize,
+    threads: usize,
+    queries: usize,
+    seed: u64,
+    trials: usize,
+    write_batches: usize,
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 1 << 16,
+        threads: 4,
+        queries: 12,
+        seed: 42,
+        trials: 3,
+        write_batches: 64,
+        quick: false,
+        out: "BENCH_8.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    let num = |it: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
+        it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| panic!("{flag} needs a number"))
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => args.scale = num(&mut it, "--scale"),
+            "--threads" => args.threads = num(&mut it, "--threads"),
+            "--queries" => args.queries = num(&mut it, "--queries"),
+            "--seed" => args.seed = num(&mut it, "--seed") as u64,
+            "--trials" => args.trials = num(&mut it, "--trials"),
+            "--write-batches" => args.write_batches = num(&mut it, "--write-batches"),
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next().unwrap_or_else(|| panic!("--out needs a path")),
+            other => panic!(
+                "unknown flag {other}; supported: --scale --threads --queries --seed --trials \
+                 --write-batches --quick --out"
+            ),
+        }
+    }
+    if args.quick {
+        args.scale /= 8;
+    }
+    assert!(args.scale > 16 && args.threads > 0 && args.queries > 0);
+    assert!(args.trials > 0 && args.write_batches > 0);
+    args
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    assert!(!v.is_empty());
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in measurements"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+fn finite(label: &str, v: f64) -> f64 {
+    assert!(v.is_finite(), "{label} is not finite: {v}");
+    v
+}
+
+fn lcg(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed | 1;
+    move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 32
+    }
+}
+
+/// Base relation: every key in `0..scale` exactly once (shuffled
+/// insertion order), payload = key. Any pair joins 1:1 and
+/// `max(payload + payload)` has the closed form `2 * (scale - 1)`.
+fn relation(name: &str, scale: usize, seed: u64) -> Relation {
+    let mut keys: Vec<u64> = (0..scale as u64).collect();
+    let mut next = lcg(seed);
+    for i in (1..keys.len()).rev() {
+        keys.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+    Relation::new(name, keys.into_iter().map(|k| Tuple::new(k, k)).collect())
+}
+
+/// Delta appends for the sweep: existing keys, payload = key — every
+/// append joins but the closed-form max is unchanged, so a lost or
+/// doubled delta shows up in the checked cardinality instead.
+fn delta_batch(scale: usize, count: usize, seed: u64) -> Vec<Tuple> {
+    let mut next = lcg(seed ^ 0xD0_17A);
+    (0..count).map(|_| Tuple::new(next() % scale as u64, next() % scale as u64)).collect()
+}
+
+/// Experiment 1: analytic cost vs. preloaded delta fraction.
+fn delta_sweep(args: &Args) -> Vec<String> {
+    let fractions = [0usize, 5, 10, 25];
+    let mut rows = Vec::new();
+    let mut clean_ns = None;
+    for &pct in &fractions {
+        let delta_ops = args.scale * pct / 100;
+        let mut ns_trials = Vec::new();
+        for trial in 0..args.trials {
+            // Fresh session per trial; compaction manual so the delta
+            // stays exactly where the sweep put it.
+            let session = Session::with_compaction(
+                SchedulerConfig::new(args.threads),
+                RunCacheConfig::default(),
+                CompactionConfig::manual(),
+            );
+            let r = session.register(relation("R", args.scale, args.seed));
+            let s = session.register(relation("S", args.scale, args.seed ^ 1));
+            if delta_ops > 0 {
+                session
+                    .append("R", delta_batch(args.scale, delta_ops, args.seed + trial as u64))
+                    .expect("R is registered");
+            }
+            assert_eq!(session.delta_len("R"), Some(delta_ops), "sweep delta held in place");
+            // Warm round pays the compulsory cache misses; measured
+            // rounds read cached base runs + the live delta merge.
+            let warm = session.query(QuerySpec::join(&r, &s)).expect("warm query").result;
+            assert_eq!(warm.max_payload_sum, Some(2 * (args.scale as u64 - 1)));
+            assert_eq!(warm.r_selected, args.scale + delta_ops, "delta visible exactly once");
+            let tuples_per_query = (2 * args.scale + delta_ops) as f64;
+            let start = Instant::now();
+            for q in 0..args.queries {
+                let out = session.query(QuerySpec::join(&r, &s)).expect("analytic query").result;
+                assert_eq!(
+                    out.max_payload_sum,
+                    Some(2 * (args.scale as u64 - 1)),
+                    "trial {trial} query {q} disagrees with the closed form"
+                );
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            ns_trials.push(elapsed / (args.queries as f64 * tuples_per_query));
+        }
+        let label = format!("delta={pct}%");
+        let ns_per_tuple = finite(&label, median(ns_trials));
+        let clean = *clean_ns.get_or_insert(ns_per_tuple);
+        let vs_clean = finite(&label, ns_per_tuple / clean);
+        eprintln!(
+            "  delta {pct:2}% ({delta_ops:6} ops): {ns_per_tuple:7.2} ns/tuple \
+             ({vs_clean:.3}x vs clean)"
+        );
+        rows.push(format!(
+            "    {{\"delta_fraction_pct\": {pct}, \"delta_ops\": {delta_ops}, \
+             \"analytic_ns_per_tuple\": {ns_per_tuple:.3}, \"vs_clean\": {vs_clean:.3}}}"
+        ));
+    }
+    rows
+}
+
+/// Experiment 2: analytic throughput under a sustained write stream,
+/// background compactor on.
+fn sustained_writes(args: &Args) -> String {
+    let batch = (args.scale / 64).max(16);
+    let session = Session::with_compaction(
+        SchedulerConfig::new(args.threads),
+        RunCacheConfig::default(),
+        CompactionConfig::default()
+            .threshold(batch * 4)
+            .interval(std::time::Duration::from_millis(5)),
+    );
+    let r = session.register(relation("R", args.scale, args.seed));
+    let s = session.register(relation("S", args.scale, args.seed ^ 1));
+
+    let writes_done = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let (analytic_qps, write_ops_per_sec, analytic_queries) = std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let start = Instant::now();
+            for b in 0..args.write_batches {
+                session
+                    .append("R", delta_batch(args.scale, batch, args.seed.wrapping_add(b as u64)))
+                    .expect("R is registered");
+                writes_done.fetch_add(batch as u64, Ordering::Relaxed);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            writes_done.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
+        });
+        let start = Instant::now();
+        let mut queries = 0u64;
+        // Closed loop until the writer finishes (minimum of `queries`
+        // so the denominator is never zero).
+        while queries < args.queries as u64 || !writer.is_finished() {
+            let out = session.query(QuerySpec::join(&r, &s)).expect("analytic query").result;
+            assert_eq!(
+                out.max_payload_sum,
+                Some(2 * (args.scale as u64 - 1)),
+                "analytic answer drifted under writes"
+            );
+            // The snapshot sees the base plus some delta prefix —
+            // never less than the base, never a torn partial batch
+            // beyond what was appended when it was captured.
+            assert!(out.r_selected >= args.scale, "snapshot lost base tuples");
+            queries += 1;
+            if queries >= 10_000 {
+                stop.store(true, Ordering::Relaxed);
+            }
+        }
+        let qps = queries as f64 / start.elapsed().as_secs_f64();
+        (qps, writer.join().expect("writer panicked"), queries)
+    });
+
+    // Drain: fold whatever is left so the end state is checkable.
+    while session.delta_len("R").unwrap_or(0) > 0 {
+        session.compact("R");
+    }
+    let metrics = session.scheduler().metrics();
+    let final_version = session.relation("R").expect("registered").version();
+    let total_written = writes_done.load(Ordering::Relaxed);
+    let expected_len = args.scale as u64 + total_written;
+    assert_eq!(
+        session.relation("R").expect("registered").len() as u64,
+        expected_len,
+        "compacted base must hold every written tuple exactly once"
+    );
+    assert!(metrics.compactions >= 1, "sustained writes never triggered compaction");
+    let label = "sustained";
+    let analytic_qps = finite(label, analytic_qps);
+    let write_rate = finite(label, write_ops_per_sec);
+    eprintln!(
+        "  sustained: {analytic_qps:7.2} analytic q/s while absorbing {write_rate:9.0} write \
+         ops/s ({} compactions, final base v{final_version}, {analytic_queries} queries)",
+        metrics.compactions
+    );
+    format!(
+        "  \"sustained\": {{\"analytic_qps\": {analytic_qps:.3}, \
+         \"write_ops_per_sec\": {write_rate:.1}, \"writes_total\": {total_written}, \
+         \"analytic_queries\": {analytic_queries}, \"compactions\": {}, \
+         \"final_base_version\": {final_version}}}",
+        metrics.compactions
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "bench_htap: |R| = |S| = {}, pool = {} workers, {} queries/point, seed = {}, \
+         trials = {}, write batches = {}",
+        args.scale, args.threads, args.queries, args.seed, args.trials, args.write_batches
+    );
+    eprintln!("delta-fraction sweep (compaction manual):");
+    let sweep_rows = delta_sweep(&args);
+    eprintln!("sustained write stream (compactor on):");
+    let sustained = sustained_writes(&args);
+
+    let json = format!(
+        "{{\n  \"config\": {{\"scale\": {}, \"pool_threads\": {}, \"queries_per_point\": {}, \
+         \"seed\": {}, \"trials\": {}, \"write_batches\": {}, \"quick\": {}}},\n  \
+         \"unit\": \"analytic ns per logical input tuple (median of trials); writes are delta \
+         ops\",\n  \"delta_sweep\": [\n{}\n  ],\n{}\n}}\n",
+        args.scale,
+        args.threads,
+        args.queries,
+        args.seed,
+        args.trials,
+        args.write_batches,
+        args.quick,
+        sweep_rows.join(",\n"),
+        sustained
+    );
+    assert!(!json.to_ascii_lowercase().contains("nan"), "NaN leaked into the report");
+    std::fs::write(&args.out, &json).expect("write report");
+    eprintln!("wrote {}", args.out);
+}

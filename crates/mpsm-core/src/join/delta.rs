@@ -1,0 +1,504 @@
+//! Delta stores and snapshot-aware run merging — the core half of the
+//! HTAP turn.
+//!
+//! The paper's §7 treats sorted runs as a durable by-product; this
+//! module makes relations *mutable* without giving that up. A relation
+//! becomes an immutable sorted **base** (the runs the executor's cache
+//! keeps) plus a small unsorted **delta** of [`DeltaOp`]s. Readers fold
+//! the delta prefix they captured into a [`DeltaOverlay`] — a set of
+//! added tuples and a set of *masked* keys (deleted or overwritten in
+//! the base) — and the merge phase joins base runs and the sorted delta
+//! run together, skipping masked keys inline. Writers never touch the
+//! base, so they never block readers; a compactor folds the delta into
+//! a new base version off the hot path (LSM-style, the Polynesia /
+//! consistent-snapshot design space named in PAPERS.md).
+//!
+//! The fold is defined against a trivially-correct oracle,
+//! [`materialize`], which replays the ops literally; proptests pin
+//! `overlay.apply(base) == materialize(base, ops)` as multisets for
+//! arbitrary op interleavings.
+
+use std::collections::BTreeMap;
+
+use mpsm_numa::NumaBuf;
+
+use crate::context::ExecContext;
+use crate::interpolation::interpolation_lower_bound;
+use crate::join::runs::RunSet;
+use crate::merge::{merge_join_scanned, MergeScan};
+use crate::sink::JoinSink;
+use crate::stats::{JoinStats, Phase};
+use crate::tuple::Tuple;
+
+/// One logical write against a mutable relation. Ops are keyed —
+/// [`DeltaOp::Update`] and [`DeltaOp::Delete`] affect *every* base or
+/// previously-appended tuple with the key (an update is an upsert:
+/// delete-all-with-key, then insert exactly one tuple).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Insert one tuple (duplicates with existing keys are fine — the
+    /// relation is a multiset, like every join input here).
+    Append(Tuple),
+    /// Upsert: remove every tuple with `key`, then insert
+    /// `(key, payload)`.
+    Update {
+        /// Key whose tuples are replaced.
+        key: u64,
+        /// Payload of the single surviving tuple.
+        payload: u64,
+    },
+    /// Remove every tuple with `key`.
+    Delete {
+        /// Key whose tuples are removed.
+        key: u64,
+    },
+}
+
+/// Replay `ops` literally over `base` — the trivially-correct oracle
+/// the [`DeltaOverlay`] fold is verified against (and what a compactor
+/// runs to produce the next base version).
+pub fn materialize(base: &[Tuple], ops: &[DeltaOp]) -> Vec<Tuple> {
+    let mut tuples = base.to_vec();
+    for op in ops {
+        match *op {
+            DeltaOp::Append(t) => tuples.push(t),
+            DeltaOp::Delete { key } => tuples.retain(|t| t.key != key),
+            DeltaOp::Update { key, payload } => {
+                tuples.retain(|t| t.key != key);
+                tuples.push(Tuple::new(key, payload));
+            }
+        }
+    }
+    tuples
+}
+
+/// The folded effect of a delta prefix: tuples to add on top of the
+/// base, plus the base keys that no longer exist (deleted, or replaced
+/// by an update). The fold needs no base reads at all — which is what
+/// lets a reader capture a snapshot with one lock-free length read and
+/// fold it later, off the write path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaOverlay {
+    /// Tuples the delta adds (sorted by key; appended and upserted
+    /// rows that survived later deletes/updates).
+    pub adds: Vec<Tuple>,
+    /// Keys whose *base* tuples are dead (sorted, deduplicated). Only
+    /// the base is masked — `adds` already reflects every in-delta
+    /// overwrite.
+    pub masked: Vec<u64>,
+}
+
+impl DeltaOverlay {
+    /// Fold `ops` in order. Per key the fold tracks whether the base
+    /// group is dead and which added payloads survive:
+    /// append pushes a payload, delete kills the base group *and* the
+    /// pending adds, update kills both and leaves exactly one payload.
+    pub fn from_ops(ops: &[DeltaOp]) -> Self {
+        #[derive(Default)]
+        struct KeyState {
+            masked: bool,
+            adds: Vec<u64>,
+        }
+        let mut keys: BTreeMap<u64, KeyState> = BTreeMap::new();
+        for op in ops {
+            match *op {
+                DeltaOp::Append(t) => keys.entry(t.key).or_default().adds.push(t.payload),
+                DeltaOp::Delete { key } => {
+                    let state = keys.entry(key).or_default();
+                    state.masked = true;
+                    state.adds.clear();
+                }
+                DeltaOp::Update { key, payload } => {
+                    let state = keys.entry(key).or_default();
+                    state.masked = true;
+                    state.adds = vec![payload];
+                }
+            }
+        }
+        let mut adds = Vec::new();
+        let mut masked = Vec::new();
+        for (key, state) in keys {
+            if state.masked {
+                masked.push(key);
+            }
+            adds.extend(state.adds.into_iter().map(|p| Tuple::new(key, p)));
+        }
+        DeltaOverlay { adds, masked }
+    }
+
+    /// Apply the overlay to `base`: every base tuple whose key is not
+    /// masked, plus the adds. Multiset-equal to
+    /// [`materialize`]`(base, ops)` for the ops this overlay was folded
+    /// from.
+    pub fn apply(&self, base: &[Tuple]) -> Vec<Tuple> {
+        let mut out: Vec<Tuple> =
+            base.iter().copied().filter(|t| self.masked.binary_search(&t.key).is_err()).collect();
+        out.extend_from_slice(&self.adds);
+        out
+    }
+
+    /// Whether the overlay changes nothing (empty delta prefix).
+    pub fn is_empty(&self) -> bool {
+        self.adds.is_empty() && self.masked.is_empty()
+    }
+}
+
+/// Merge-join two key-sorted runs, skipping every key present in the
+/// corresponding sorted mask. The masked path of the snapshot merge:
+/// deltas are small and masks rare, so this linear two-pointer kernel
+/// (mask cursors advance monotonically alongside the run cursors)
+/// deliberately skips the galloping machinery of
+/// [`merge_join_scanned`] — correctness over peak speed on the cold
+/// path.
+pub fn merge_join_masked<S: JoinSink>(
+    r: &[Tuple],
+    s: &[Tuple],
+    r_masked: &[u64],
+    s_masked: &[u64],
+    sink: &mut S,
+) -> MergeScan {
+    debug_assert!(crate::tuple::is_key_sorted(r), "private run must be sorted");
+    debug_assert!(crate::tuple::is_key_sorted(s), "public run must be sorted");
+    let (mut i, mut j) = (0usize, 0usize);
+    let (mut rm, mut sm) = (0usize, 0usize);
+    while i < r.len() && j < s.len() {
+        let rk = r[i].key;
+        while rm < r_masked.len() && r_masked[rm] < rk {
+            rm += 1;
+        }
+        if rm < r_masked.len() && r_masked[rm] == rk {
+            i = group_end(r, i);
+            continue;
+        }
+        let sk = s[j].key;
+        while sm < s_masked.len() && s_masked[sm] < sk {
+            sm += 1;
+        }
+        if sm < s_masked.len() && s_masked[sm] == sk {
+            j = group_end(s, j);
+            continue;
+        }
+        if rk < sk {
+            i += 1;
+        } else if rk > sk {
+            j += 1;
+        } else {
+            let i_end = group_end(r, i);
+            let j_end = group_end(s, j);
+            for rt in &r[i..i_end] {
+                for st in &s[j..j_end] {
+                    sink.on_match(*rt, *st);
+                }
+            }
+            i = i_end;
+            j = j_end;
+        }
+    }
+    MergeScan { r_scanned: i.min(r.len()), s_scanned: j.min(s.len()) }
+}
+
+/// One-past-the-end of the duplicate group starting at `start`.
+#[inline]
+fn group_end(run: &[Tuple], start: usize) -> usize {
+    let key = run[start].key;
+    let mut end = start + 1;
+    while end < run.len() && run[end].key == key {
+        end += 1;
+    }
+    end
+}
+
+/// One join input of a snapshot merge: the immutable base runs (served
+/// from the run cache or built fresh), the sorted delta run of added
+/// tuples, and the mask of dead base keys. `delta: None, mask: []` is
+/// exactly a plain [`RunSet`] side — the zero-delta case degenerates to
+/// [`crate::join::runs::merge_run_sets_in`] behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaSide<'a> {
+    /// The relation's sorted, range-partitioned base runs.
+    pub base: &'a RunSet,
+    /// Sorted run of tuples the delta adds (never masked).
+    pub delta: Option<&'a NumaBuf<Tuple>>,
+    /// Sorted, deduplicated keys whose base tuples are dead.
+    pub mask: &'a [u64],
+}
+
+impl<'a> DeltaSide<'a> {
+    /// A side with no delta at all (plain run-set semantics).
+    pub fn base_only(base: &'a RunSet) -> Self {
+        DeltaSide { base, delta: None, mask: &[] }
+    }
+
+    /// Base runs plus the optional delta run.
+    fn run_count(&self) -> usize {
+        self.base.parts() + usize::from(self.delta.is_some())
+    }
+
+    /// Run `idx` and the mask that applies to it (the shared base mask
+    /// for base runs, nothing for the delta run).
+    fn run(&self, idx: usize) -> (&'a NumaBuf<Tuple>, &'a [u64]) {
+        if idx < self.base.parts() {
+            (&self.base.runs()[idx], self.mask)
+        } else {
+            (self.delta.expect("index beyond base implies a delta run"), &[])
+        }
+    }
+
+    /// Logical tuple count of the side: base minus masked base tuples
+    /// plus the delta run. Counting masked base tuples costs one binary
+    /// search pair per (masked key, run) — masks are small.
+    pub fn logical_tuples(&self) -> usize {
+        let dead: usize = self
+            .mask
+            .iter()
+            .map(|&key| {
+                self.base
+                    .runs()
+                    .iter()
+                    .map(|run| {
+                        let lo = run.partition_point(|t| t.key < key);
+                        let hi = run.partition_point(|t| t.key <= key);
+                        hi - lo
+                    })
+                    .sum::<usize>()
+            })
+            .sum();
+        self.base.total_tuples() - dead + self.delta.map_or(0, |d| d.len())
+    }
+}
+
+/// Phase 4 over two snapshot sides: every private run (base runs, then
+/// the delta run) merges with every public run. Unmasked pairs take the
+/// interpolation-entry galloping path of the read-only merge; any pair
+/// with a live mask goes through [`merge_join_masked`]. Workers pick up
+/// private runs round-robin, exactly like
+/// [`crate::join::runs::merge_run_sets_in`].
+pub fn merge_delta_sides_in<S: JoinSink>(
+    cx: &ExecContext,
+    r: DeltaSide<'_>,
+    s: DeltaSide<'_>,
+    stats: &mut JoinStats,
+) -> S::Result {
+    let t = cx.threads();
+    let r_total = r.run_count();
+    let (phase4, d4) = cx.pool().run_timed(|w| {
+        let mut scope = cx.scope(w);
+        let mut sink = S::default();
+        for rp in (w..r_total).step_by(t.max(1)) {
+            let (run, r_mask) = r.run(rp);
+            let my_home = run.home();
+            let Some(first) = run.first() else { continue };
+            for sp in 0..s.run_count() {
+                let (s_run, s_mask) = s.run(sp);
+                if s_run.is_empty() {
+                    continue;
+                }
+                let scan = if r_mask.is_empty() && s_mask.is_empty() {
+                    let start = interpolation_lower_bound(s_run, first.key);
+                    scope.touch(s_run.home(), false, (s_run.len() as u64).ilog2() as u64 + 1);
+                    merge_join_scanned(run, &s_run[start..], &mut sink)
+                } else {
+                    merge_join_masked(run, s_run, r_mask, s_mask, &mut sink)
+                };
+                scope.touch(my_home, true, scan.r_scanned as u64);
+                scope.touch(s_run.home(), true, scan.s_scanned as u64);
+            }
+        }
+        (sink.finish(), scope.finish())
+    });
+    let (partials, c4): (Vec<_>, Vec<_>) = phase4.into_iter().unzip();
+    stats.record_phase(Phase::Four, &d4);
+    cx.record(Phase::Four, c4);
+    S::combine_all(partials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::runs::build_run_set;
+    use crate::sink::{CollectSink, CountSink};
+
+    fn lcg(seed: u64) -> impl FnMut() -> u64 {
+        let mut state = seed | 1;
+        move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 32
+        }
+    }
+
+    fn random(n: usize, domain: u64, seed: u64) -> Vec<Tuple> {
+        let mut next = lcg(seed);
+        (0..n).map(|i| Tuple::new(next() % domain, i as u64)).collect()
+    }
+
+    fn random_ops(n: usize, domain: u64, seed: u64) -> Vec<DeltaOp> {
+        let mut next = lcg(seed);
+        (0..n)
+            .map(|i| match next() % 4 {
+                0 => DeltaOp::Delete { key: next() % domain },
+                1 => DeltaOp::Update { key: next() % domain, payload: 900_000 + i as u64 },
+                _ => DeltaOp::Append(Tuple::new(next() % domain, 500_000 + i as u64)),
+            })
+            .collect()
+    }
+
+    fn multiset(tuples: &[Tuple]) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = tuples.iter().map(|t| (t.key, t.payload)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn nested_loop_count(r: &[Tuple], s: &[Tuple]) -> u64 {
+        r.iter().map(|rt| s.iter().filter(|st| st.key == rt.key).count() as u64).sum()
+    }
+
+    #[test]
+    fn fold_matches_materialize_on_directed_cases() {
+        let base = vec![Tuple::new(1, 10), Tuple::new(2, 20), Tuple::new(2, 21), Tuple::new(3, 30)];
+        let cases: Vec<Vec<DeltaOp>> = vec![
+            vec![],
+            vec![DeltaOp::Append(Tuple::new(5, 50))],
+            vec![DeltaOp::Delete { key: 2 }],
+            vec![DeltaOp::Update { key: 2, payload: 99 }],
+            // Append then delete the same key: the append dies too.
+            vec![DeltaOp::Append(Tuple::new(7, 70)), DeltaOp::Delete { key: 7 }],
+            // Delete then append: the append survives.
+            vec![DeltaOp::Delete { key: 1 }, DeltaOp::Append(Tuple::new(1, 11))],
+            // Append then update: exactly one tuple survives.
+            vec![DeltaOp::Append(Tuple::new(3, 31)), DeltaOp::Update { key: 3, payload: 32 }],
+            // Update then append: both survive.
+            vec![DeltaOp::Update { key: 3, payload: 32 }, DeltaOp::Append(Tuple::new(3, 33))],
+            // Delete a key that only exists in the delta.
+            vec![DeltaOp::Append(Tuple::new(9, 90)), DeltaOp::Delete { key: 9 }],
+        ];
+        for (i, ops) in cases.iter().enumerate() {
+            let overlay = DeltaOverlay::from_ops(ops);
+            assert_eq!(
+                multiset(&overlay.apply(&base)),
+                multiset(&materialize(&base, ops)),
+                "case {i}: {ops:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_matches_materialize_on_random_interleavings() {
+        for seed in 0..20u64 {
+            let base = random(200, 40, seed);
+            let ops = random_ops(60, 40, seed ^ 0xA5A5);
+            let overlay = DeltaOverlay::from_ops(&ops);
+            assert!(crate::tuple::is_key_sorted(&overlay.adds), "adds come out key-sorted");
+            assert!(overlay.masked.windows(2).all(|w| w[0] < w[1]), "mask sorted + deduped");
+            assert_eq!(
+                multiset(&overlay.apply(&base)),
+                multiset(&materialize(&base, &ops)),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn masked_merge_skips_exactly_the_masked_keys() {
+        let r: Vec<Tuple> = (0..20u64).map(|k| Tuple::new(k, k)).collect();
+        let s: Vec<Tuple> = (0..20u64).map(|k| Tuple::new(k, 100 + k)).collect();
+        let mut sink = CollectSink::default();
+        let scan = merge_join_masked(&r, &s, &[3, 7], &[7, 11], &mut sink);
+        let rows = sink.finish();
+        assert_eq!(rows.len(), 20 - 3, "keys 3, 7, 11 drop out");
+        assert!(rows.iter().all(|&(k, _, _)| k != 3 && k != 7 && k != 11));
+        assert!(scan.r_scanned >= 19 && scan.s_scanned >= 19);
+    }
+
+    #[test]
+    fn masked_merge_handles_duplicate_groups_and_empty_masks() {
+        let r = vec![Tuple::new(4, 1), Tuple::new(4, 2), Tuple::new(9, 3)];
+        let s = vec![Tuple::new(4, 10), Tuple::new(4, 11), Tuple::new(9, 12)];
+        // Empty masks: plain duplicate semantics (2 × 2 + 1 × 1).
+        let mut sink = CountSink::default();
+        merge_join_masked(&r, &s, &[], &[], &mut sink);
+        assert_eq!(sink.finish(), 5);
+        // Masking the duplicate group on one side kills all its pairs.
+        let mut sink = CountSink::default();
+        merge_join_masked(&r, &s, &[4], &[], &mut sink);
+        assert_eq!(sink.finish(), 1);
+    }
+
+    /// The structural invariant of the snapshot merge: joining
+    /// (base runs + delta run + mask) per side must equal the plain
+    /// join over the materialized relations.
+    #[test]
+    fn delta_merge_equals_join_over_materialized_union() {
+        let cx = ExecContext::flat(4);
+        for seed in 0..6u64 {
+            let r_base = random(1200, 300, seed * 2 + 1);
+            let s_base = random(2400, 300, seed * 2 + 2);
+            let r_ops = random_ops(80, 300, seed ^ 0x11);
+            let s_ops = random_ops(50, 300, seed ^ 0x22);
+            let r_overlay = DeltaOverlay::from_ops(&r_ops);
+            let s_overlay = DeltaOverlay::from_ops(&s_ops);
+            let expected =
+                nested_loop_count(&materialize(&r_base, &r_ops), &materialize(&s_base, &s_ops));
+
+            let mut stats = JoinStats::new(4);
+            let r_runs = build_run_set(&cx, &r_base, 10, Phase::Two, Phase::Three, &mut stats);
+            let s_runs = build_run_set(&cx, &s_base, 10, Phase::One, Phase::One, &mut stats);
+            let mut scope = cx.scope(0);
+            let r_delta = cx.sorted_run(0, &r_overlay.adds, &mut scope);
+            let s_delta = cx.sorted_run(0, &s_overlay.adds, &mut scope);
+            scope.finish();
+            let r_side =
+                DeltaSide { base: &r_runs, delta: Some(&r_delta), mask: &r_overlay.masked };
+            let s_side =
+                DeltaSide { base: &s_runs, delta: Some(&s_delta), mask: &s_overlay.masked };
+            let got = merge_delta_sides_in::<CountSink>(&cx, r_side, s_side, &mut stats);
+            assert_eq!(got, expected, "seed {seed}");
+            assert_eq!(
+                r_side.logical_tuples(),
+                materialize(&r_base, &r_ops).len(),
+                "seed {seed}: logical cardinality"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_delta_side_degenerates_to_plain_run_merge() {
+        let cx = ExecContext::flat(3);
+        let r = random(900, 256, 7);
+        let s = random(1800, 256, 9);
+        let mut stats = JoinStats::new(3);
+        let r_runs = build_run_set(&cx, &r, 10, Phase::Two, Phase::Three, &mut stats);
+        let s_runs = build_run_set(&cx, &s, 10, Phase::One, Phase::One, &mut stats);
+        let got = merge_delta_sides_in::<CountSink>(
+            &cx,
+            DeltaSide::base_only(&r_runs),
+            DeltaSide::base_only(&s_runs),
+            &mut stats,
+        );
+        assert_eq!(got, nested_loop_count(&r, &s));
+        assert_eq!(DeltaSide::base_only(&r_runs).logical_tuples(), r.len());
+    }
+
+    #[test]
+    fn empty_base_with_delta_only_still_joins() {
+        let cx = ExecContext::flat(2);
+        let base: Vec<Tuple> = Vec::new();
+        let ops: Vec<DeltaOp> = (0..50u64).map(|k| DeltaOp::Append(Tuple::new(k, k))).collect();
+        let overlay = DeltaOverlay::from_ops(&ops);
+        let s = random(400, 50, 13);
+        let mut stats = JoinStats::new(2);
+        let r_runs = build_run_set(&cx, &base, 10, Phase::Two, Phase::Three, &mut stats);
+        let s_runs = build_run_set(&cx, &s, 10, Phase::One, Phase::One, &mut stats);
+        let mut scope = cx.scope(0);
+        let delta = cx.sorted_run(0, &overlay.adds, &mut scope);
+        scope.finish();
+        let r_side = DeltaSide { base: &r_runs, delta: Some(&delta), mask: &overlay.masked };
+        let got = merge_delta_sides_in::<CountSink>(
+            &cx,
+            r_side,
+            DeltaSide::base_only(&s_runs),
+            &mut stats,
+        );
+        assert_eq!(got, nested_loop_count(&materialize(&base, &ops), &s));
+        assert_eq!(r_side.logical_tuples(), 50);
+    }
+}

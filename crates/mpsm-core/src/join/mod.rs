@@ -3,6 +3,7 @@
 
 pub mod b_mpsm;
 pub mod d_mpsm;
+pub mod delta;
 pub mod p_mpsm;
 pub mod runs;
 pub mod variant;

@@ -50,6 +50,21 @@
 //! to merge-join. EXPLAIN grows a `RunCache [R=hit, S=miss; …]` line,
 //! and re-registering a relation bumps its catalog version, which
 //! invalidates every run set built from older versions.
+//!
+//! ## Mutable relations and consistent snapshots
+//!
+//! Registered relations accept writes — [`session::Session::append`],
+//! [`session::Session::update`], [`session::Session::delete`] — which
+//! land in a per-relation append-only delta log ([`snapshot::DeltaLog`])
+//! without disturbing the immutable sorted base the run cache serves.
+//! Each submitted query captures a [`snapshot::Snapshot`] per side at
+//! admission: base version plus delta watermark. The join merges the
+//! visible delta in on the fly (one extra sorted run, with superseded
+//! base keys masked), so writers never block readers and a running join
+//! never tears. A background compactor owned by the [`sched::Scheduler`]
+//! folds deltas into new base versions — cache invalidation falls out of
+//! the ordinary version bump. EXPLAIN grows
+//! `Snapshot [R: base=vN, delta=K tuples]` rows.
 
 #![warn(missing_docs)]
 
@@ -61,17 +76,19 @@ pub mod run_cache;
 pub mod scan;
 pub mod sched;
 pub mod session;
+pub mod snapshot;
 
 pub use groupby::{sorted_group_by, CountAgg, KeyAggregate, MaxAgg, SumAgg};
 pub use ops::{CountRows, JoinOp, MaxPayloadSum, Select};
-pub use plan::{PlacementInfo, PlanStep, QueryPlan, RunCacheInfo, RunCacheOutcome};
+pub use plan::{PlacementInfo, PlanStep, QueryPlan, RunCacheInfo, RunCacheOutcome, SnapshotInfo};
 pub use query::{paper_query, paper_query_in, paper_query_on, PaperQueryResult};
 pub use run_cache::{
     splitter_fingerprint, BuildPermit, Lookup, RunCache, RunCacheConfig, RunCacheStats, RunKey,
 };
 pub use scan::Relation;
 pub use sched::{
-    QueryError, QueryOutput, QueryStatus, QueryTicket, Scheduler, SchedulerConfig,
-    SchedulerMetrics, SubmitError,
+    CompactionConfig, CompactionTask, QueryError, QueryOutput, QueryStatus, QueryTicket, Scheduler,
+    SchedulerConfig, SchedulerMetrics, SubmitError,
 };
-pub use session::{JoinSpec, Predicate, QuerySpec, Session};
+pub use session::{JoinSpec, Predicate, QuerySpec, Session, WriteError};
+pub use snapshot::{DeltaLog, RelationState, Snapshot};

@@ -60,6 +60,12 @@ pub struct PlacementInfo {
     /// flat-scheduler tests need no `unwrap` chains to distinguish
     /// "no placement info" from "nothing to place".
     pub flat: bool,
+    /// Bytes resident in the context's NUMA arena per node at
+    /// plan-assembly time (index = node id) — how much run/partition
+    /// storage the query's world holds on each socket. Empty when the
+    /// execution path did not sample the arena (the pre-PR-8 shape);
+    /// the label then renders exactly as before.
+    pub arena_bytes: Vec<u64>,
 }
 
 impl PlacementInfo {
@@ -72,7 +78,40 @@ impl PlacementInfo {
                 None => "node=spread".to_string(),
             }
         };
-        format!("Placement [{node}, local={:.1}%, remote={:.1}%]", self.local_pct, self.remote_pct)
+        let arena = if self.arena_bytes.is_empty() {
+            String::new()
+        } else {
+            let per_node: Vec<String> = self.arena_bytes.iter().map(|b| b.to_string()).collect();
+            format!(", arena={} B", per_node.join("/"))
+        };
+        format!(
+            "Placement [{node}, local={:.1}%, remote={:.1}%{arena}]",
+            self.local_pct, self.remote_pct
+        )
+    }
+}
+
+/// The consistent snapshot one join input was executed against,
+/// rendered as a `Snapshot` EXPLAIN node: the base version the side's
+/// cached runs key on, and how many delta ops the snapshot merged in on
+/// the fly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Which input the snapshot covers (`"R"` or `"S"`).
+    pub side: &'static str,
+    /// Catalog version of the immutable base the snapshot pinned.
+    pub base_version: u64,
+    /// Delta ops visible at the snapshot's watermark (0 = the side was
+    /// clean; the query read pure base runs).
+    pub delta: usize,
+}
+
+impl SnapshotInfo {
+    fn label(&self) -> String {
+        format!(
+            "Snapshot [{}: base=v{}, delta={} tuples]",
+            self.side, self.base_version, self.delta
+        )
     }
 }
 
@@ -167,6 +206,10 @@ pub struct QueryPlan {
     /// Run-cache outcomes, when the query ran through a cache-aware
     /// session.
     pub run_cache: Option<RunCacheInfo>,
+    /// The consistent snapshots the query's inputs were pinned to, one
+    /// entry per catalog-resolved side (empty for inputs outside any
+    /// session catalog).
+    pub snapshots: Vec<SnapshotInfo>,
 }
 
 /// A rendered EXPLAIN node: a label plus child nodes.
@@ -228,6 +271,9 @@ impl QueryPlan {
         ));
         if let Some(placement) = &self.placement {
             join = join.child(Node::new(placement.label()));
+        }
+        for snapshot in &self.snapshots {
+            join = join.child(Node::new(snapshot.label()));
         }
         if let Some(kernel) = &self.sort_kernel {
             join = join.child(Node::new(format!("SortKernel [{kernel}]")));
@@ -304,6 +350,7 @@ mod tests {
             sort_kernel: None,
             placement: None,
             run_cache: None,
+            snapshots: vec![],
         }
     }
 
@@ -412,8 +459,13 @@ Aggregate [max(R.payload + S.payload)]
         // The acceptance shape of the NUMA refactor: a pinned query's
         // EXPLAIN carries the Placement node directly under the join.
         let mut p = sample();
-        p.placement =
-            Some(PlacementInfo { node: Some(2), local_pct: 97.7, remote_pct: 2.3, flat: false });
+        p.placement = Some(PlacementInfo {
+            node: Some(2),
+            local_pct: 97.7,
+            remote_pct: 2.3,
+            flat: false,
+            arena_bytes: vec![],
+        });
         let expected = "\
 Aggregate [max(R.payload + S.payload)]
 └─ Join [P-MPSM; T = 8; out = 2000 rows]
@@ -427,21 +479,93 @@ Aggregate [max(R.payload + S.payload)]
 ";
         assert_eq!(p.explain(), expected);
         // A spread (unpinned) execution names no node.
-        p.placement =
-            Some(PlacementInfo { node: None, local_pct: 31.25, remote_pct: 68.75, flat: false });
+        p.placement = Some(PlacementInfo {
+            node: None,
+            local_pct: 31.25,
+            remote_pct: 68.75,
+            flat: false,
+            arena_bytes: vec![],
+        });
         assert!(
             p.explain().contains("Placement [node=spread, local=31.2%, remote=68.8%]"),
             "{}",
             p.explain()
         );
         // A single-node topology renders the explicit flat placement.
-        p.placement =
-            Some(PlacementInfo { node: Some(0), local_pct: 100.0, remote_pct: 0.0, flat: true });
+        p.placement = Some(PlacementInfo {
+            node: Some(0),
+            local_pct: 100.0,
+            remote_pct: 0.0,
+            flat: true,
+            arena_bytes: vec![],
+        });
         assert!(
             p.explain().contains("Placement [flat, local=100.0%, remote=0.0%]"),
             "{}",
             p.explain()
         );
+    }
+
+    #[test]
+    fn placement_arena_bytes_render_exactly() {
+        // The carried PR 5 EXPLAIN item: per-node arena residency joins
+        // the Placement row. One entry per node, slash-separated, in
+        // node-id order.
+        let mut p = sample();
+        p.placement = Some(PlacementInfo {
+            node: Some(1),
+            local_pct: 92.5,
+            remote_pct: 7.5,
+            flat: false,
+            arena_bytes: vec![0, 16384, 0, 512],
+        });
+        let expected = "\
+Aggregate [max(R.payload + S.payload)]
+└─ Join [P-MPSM; T = 8; out = 2000 rows]
+   ├─ Placement [node=1, local=92.5%, remote=7.5%, arena=0/16384/0/512 B]
+   ├─ private (R):
+   │  └─ Select [out = 500 rows]
+   │     └─ Scan orders [1000 rows]
+   └─ public (S):
+      └─ Select [out = 4000 rows]
+         └─ Scan lineitem [4000 rows]
+";
+        assert_eq!(p.explain(), expected);
+        // A flat machine has one node and therefore one arena figure.
+        p.placement = Some(PlacementInfo {
+            node: Some(0),
+            local_pct: 100.0,
+            remote_pct: 0.0,
+            flat: true,
+            arena_bytes: vec![4096],
+        });
+        assert!(
+            p.explain().contains("Placement [flat, local=100.0%, remote=0.0%, arena=4096 B]"),
+            "{}",
+            p.explain()
+        );
+    }
+
+    #[test]
+    fn snapshot_rows_render_exactly() {
+        let mut p = sample();
+        p.snapshots = vec![
+            SnapshotInfo { side: "R", base_version: 3, delta: 4 },
+            SnapshotInfo { side: "S", base_version: 1, delta: 0 },
+        ];
+        let expected = "\
+Aggregate [max(R.payload + S.payload)]
+└─ Join [P-MPSM; T = 8; out = 2000 rows]
+   ├─ Snapshot [R: base=v3, delta=4 tuples]
+   ├─ Snapshot [S: base=v1, delta=0 tuples]
+   ├─ private (R):
+   │  └─ Select [out = 500 rows]
+   │     └─ Scan orders [1000 rows]
+   └─ public (S):
+      └─ Select [out = 4000 rows]
+         └─ Scan lineitem [4000 rows]
+";
+        assert_eq!(p.explain(), expected);
     }
 
     #[test]

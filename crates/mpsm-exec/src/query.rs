@@ -11,20 +11,24 @@
 //! could be exploited").
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use mpsm_core::context::ExecContext;
-use mpsm_core::join::runs::{join_runs_in, RunsInput, SharedRunSet};
+use mpsm_core::join::delta::{merge_delta_sides_in, DeltaSide};
+use mpsm_core::join::runs::{build_run_set, join_runs_in, RunsInput, SharedRunSet};
 use mpsm_core::join::{JoinAlgorithm, PooledJoin};
 use mpsm_core::sink::MaxAggSink;
-use mpsm_core::stats::JoinStats;
+use mpsm_core::stats::{JoinStats, Phase};
 use mpsm_core::worker::SharedWorkerPool;
 use mpsm_core::Tuple;
+use mpsm_numa::NumaBuf;
 
 use crate::ops::{JoinOp, MaxPayloadSum, Select};
 use crate::plan::{PlacementInfo, PlanStep, QueryPlan, RunCacheInfo, RunCacheOutcome};
 use crate::run_cache::{splitter_fingerprint, BuildPermit, Lookup, RunCache, RunKey};
 use crate::scan::Relation;
 use crate::session::{Predicate, QuerySpec};
+use crate::snapshot::Snapshot;
 
 /// Result of one paper-query execution.
 #[derive(Debug, Clone)]
@@ -133,6 +137,7 @@ fn placement_of(cx: &ExecContext) -> PlacementInfo {
         local_pct: (1.0 - remote) * 100.0,
         remote_pct: remote * 100.0,
         flat: cx.topology().nodes <= 1,
+        arena_bytes: cx.arena().stats().iter().map(|s| s.bytes).collect(),
     }
 }
 
@@ -270,6 +275,161 @@ fn prep_side(
     }
 }
 
+/// The paper query over consistent snapshots with live deltas — the
+/// HTAP read path. Each side joins as base runs (served from the run
+/// cache keyed on the snapshot's **base** version, so writes never
+/// poison a key) plus an on-the-fly-sorted run of the delta's added
+/// tuples, with deleted/overwritten base keys masked inside the merge.
+/// Taken whenever at least one captured snapshot has a non-zero delta
+/// watermark; clean queries stay on [`paper_query_cached`] /
+/// [`paper_query_in`] unchanged.
+pub(crate) fn paper_query_snapshot(cx: &ExecContext, spec: &QuerySpec) -> PaperQueryResult {
+    let radix_bits = spec.join.config().radix_bits;
+    let fingerprint = splitter_fingerprint(cx.threads(), radix_bits);
+    let wall = Instant::now();
+    let mut stats = JoinStats::new(cx.threads());
+
+    let r_prep = prep_snapshot_side(
+        cx,
+        true,
+        &spec.r,
+        spec.r_snapshot.as_ref(),
+        &spec.r_pred,
+        spec.r_filtered,
+        spec.cache.as_ref(),
+        fingerprint,
+        radix_bits,
+        &mut stats,
+    );
+    let s_prep = prep_snapshot_side(
+        cx,
+        false,
+        &spec.s,
+        spec.s_snapshot.as_ref(),
+        &spec.s_pred,
+        spec.s_filtered,
+        spec.cache.as_ref(),
+        fingerprint,
+        radix_bits,
+        &mut stats,
+    );
+
+    let r_side = DeltaSide { base: &r_prep.base, delta: r_prep.delta.as_ref(), mask: &r_prep.mask };
+    let s_side = DeltaSide { base: &s_prep.base, delta: s_prep.delta.as_ref(), mask: &s_prep.mask };
+    let (r_rows, s_rows) = (r_side.logical_tuples(), s_side.logical_tuples());
+    let max = merge_delta_sides_in::<MaxAggSink>(cx, r_side, s_side, &mut stats);
+    stats.wall = wall.elapsed();
+
+    let mut result =
+        assemble(spec.join.name(), cx.threads(), &spec.r, &spec.s, r_rows, s_rows, max, stats);
+    result.plan.phases_ms = Some(result.stats.phases_ms());
+    result.plan.phase_tuples = Some((r_rows + s_rows) as u64);
+    result.plan.sort_kernel = Some(cx.sort_tuning().describe());
+    result.plan.placement = Some(placement_of(cx));
+    if let Some(cache) = &spec.cache {
+        let totals = cache.stats();
+        result.plan.run_cache = Some(RunCacheInfo {
+            r: r_prep.outcome,
+            s: s_prep.outcome,
+            hits: totals.hits,
+            misses: totals.misses,
+            evictions: totals.evictions,
+        });
+    }
+    result
+}
+
+/// One snapshot side, resolved to merge inputs: base runs, the sorted
+/// delta run, and the base-key mask.
+struct SnapPrep {
+    base: SharedRunSet,
+    delta: Option<NumaBuf<Tuple>>,
+    mask: Vec<u64>,
+    outcome: RunCacheOutcome,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn prep_snapshot_side(
+    cx: &ExecContext,
+    private: bool,
+    rel: &Relation,
+    snapshot: Option<&Snapshot>,
+    pred: &Predicate,
+    filtered: bool,
+    cache: Option<&Arc<RunCache>>,
+    fingerprint: u64,
+    radix_bits: u32,
+    stats: &mut JoinStats,
+) -> SnapPrep {
+    let (partition_phase, sort_phase) =
+        if private { (Phase::Two, Phase::Three) } else { (Phase::One, Phase::One) };
+    let plain = |tuples: &[Tuple], stats: &mut JoinStats| {
+        Arc::new(build_run_set(cx, tuples, radix_bits, partition_phase, sort_phase, stats))
+    };
+    if filtered {
+        // Query-specific rows: materialize the snapshot's literal
+        // state (base + visible delta), filter, and build private
+        // runs. Never cached — same bypass rule as the clean path.
+        let source = match snapshot {
+            Some(snapshot) => snapshot.materialize(),
+            None => rel.tuples().to_vec(),
+        };
+        let selected: Vec<Tuple> = source.into_iter().filter(|t| pred(t)).collect();
+        return SnapPrep {
+            base: plain(&selected, stats),
+            delta: None,
+            mask: vec![],
+            outcome: RunCacheOutcome::Bypass,
+        };
+    }
+    let Some(snapshot) = snapshot else {
+        // The side lives outside any catalog: no snapshot, no cache
+        // identity — build from its raw tuples.
+        return SnapPrep {
+            base: plain(rel.tuples(), stats),
+            delta: None,
+            mask: vec![],
+            outcome: RunCacheOutcome::Bypass,
+        };
+    };
+
+    let overlay = snapshot.overlay();
+    let base_rel = snapshot.base();
+    let (base, outcome) = match cache {
+        Some(cache) if base_rel.version() > 0 => {
+            let key = RunKey { relation: base_rel.id(), version: base_rel.version(), fingerprint };
+            match cache.lookup(key) {
+                Lookup::Hit(runs) => (runs, RunCacheOutcome::Hit),
+                Lookup::Miss(permit) => {
+                    let built = plain(base_rel.tuples(), stats);
+                    permit.publish(built.clone());
+                    (built, RunCacheOutcome::Miss)
+                }
+                // Someone else is building this base; don't wait.
+                Lookup::Busy => (plain(base_rel.tuples(), stats), RunCacheOutcome::Miss),
+            }
+        }
+        _ => (plain(base_rel.tuples(), stats), RunCacheOutcome::Bypass),
+    };
+
+    // The delta's adds become one extra sorted run — tiny, so one
+    // worker sorts it with the tuned kernels; its cost books under the
+    // side's sort phase.
+    let delta = if overlay.adds.is_empty() {
+        None
+    } else {
+        let sort_start = Instant::now();
+        let mut scope = cx.scope(0);
+        let run = cx.sorted_run(0, &overlay.adds, &mut scope);
+        let mut durations = vec![Duration::ZERO; cx.threads()];
+        durations[0] = sort_start.elapsed();
+        stats.record_phase(sort_phase, &durations);
+        cx.record(sort_phase, [scope.finish()]);
+        Some(run)
+    };
+    SnapPrep { base, delta, mask: overlay.masked, outcome }
+}
+
 fn side_input<'a>(prep: &'a SidePrep, rel: &'a Relation) -> RunsInput<'a> {
     match (&prep.cached, &prep.selected) {
         (Some(runs), _) => RunsInput::Runs(runs.clone()),
@@ -308,6 +468,7 @@ fn assemble(
         sort_kernel: None,
         placement: None,
         run_cache: None,
+        snapshots: vec![],
     };
     PaperQueryResult { max_payload_sum: max, r_selected, s_selected, stats, plan }
 }

@@ -149,6 +149,86 @@ impl Default for SchedulerConfig {
     }
 }
 
+/// Sizing of the background delta compactor a [`Scheduler`] may run
+/// (see [`Scheduler::start_compactor`]). Compaction folds a relation's
+/// delta log into a new sorted base version off the query path; the
+/// knobs bound how eagerly and how much.
+#[derive(Debug, Clone)]
+pub struct CompactionConfig {
+    /// Delta ops that make a relation *eligible* for a background
+    /// sweep. Writers below the threshold only pay the (tiny) merge at
+    /// read time; the periodic sweep ignores them.
+    pub threshold: usize,
+    /// How long the compactor sleeps between sweeps when nobody nudges
+    /// it (writers nudge as soon as a delta crosses the threshold).
+    pub interval: Duration,
+    /// Budget per sweep: at most this many relations are folded before
+    /// the compactor goes back to sleep, so a burst of dirty relations
+    /// cannot occupy the pool indefinitely.
+    pub max_per_sweep: usize,
+    /// After publishing a new base version, immediately build and cache
+    /// its sorted runs (single-flighted through the run cache), so the
+    /// next analytic query starts from a warm hit instead of a miss.
+    pub warm_cache: bool,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        CompactionConfig {
+            threshold: 4096,
+            interval: Duration::from_millis(50),
+            max_per_sweep: 4,
+            warm_cache: true,
+        }
+    }
+}
+
+impl CompactionConfig {
+    /// A config whose background sweep never triggers on its own:
+    /// compaction happens only through explicit calls (e.g.
+    /// `Session::compact`). Deterministic tests and delta-fraction
+    /// benchmarks use this to hold the delta where they put it.
+    pub fn manual() -> Self {
+        CompactionConfig::default().threshold(usize::MAX).interval(Duration::from_secs(3600))
+    }
+
+    /// Builder-style override of the eligibility threshold.
+    pub fn threshold(mut self, ops: usize) -> Self {
+        self.threshold = ops;
+        self
+    }
+
+    /// Builder-style override of the sweep interval.
+    pub fn interval(mut self, interval: Duration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Builder-style override of the per-sweep budget.
+    pub fn max_per_sweep(mut self, n: usize) -> Self {
+        assert!(n > 0, "a sweep must be allowed to compact something");
+        self.max_per_sweep = n;
+        self
+    }
+
+    /// Builder-style override of run-cache warming.
+    pub fn warm_cache(mut self, enabled: bool) -> Self {
+        self.warm_cache = enabled;
+        self
+    }
+}
+
+/// What the background compactor runs each sweep. Implemented by the
+/// session's shared catalog; kept as a trait so the scheduler owns the
+/// *thread* without owning (or even knowing about) the catalog — no
+/// reference cycle between `Session` and `Scheduler`.
+pub trait CompactionTask: Send + Sync {
+    /// Fold eligible deltas per `config`; returns how many relations
+    /// were compacted (folded into the scheduler's `compactions`
+    /// metric).
+    fn compact_pending(&self, cx: &ExecContext, config: &CompactionConfig) -> usize;
+}
+
 /// Why a submission was not admitted.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
@@ -307,6 +387,9 @@ pub struct SchedulerMetrics {
     pub cache_misses: u64,
     /// Cached run sets dropped by invalidation or the byte budget.
     pub cache_evictions: u64,
+    /// Delta compactions performed (background sweeps and explicit
+    /// [`crate::session::Session::compact`] calls alike).
+    pub compactions: u64,
 }
 
 #[derive(Default)]
@@ -316,6 +399,7 @@ struct AtomicMetrics {
     rejected: AtomicU64,
     panicked: AtomicU64,
     queue_wait_micros: AtomicU64,
+    compactions: AtomicU64,
 }
 
 struct QueuedQuery {
@@ -387,6 +471,27 @@ pub struct Scheduler {
     /// Sorted-run cache attached to every submitted spec (and read by
     /// [`Scheduler::metrics`]); `None` = every query runs uncached.
     run_cache: Option<Arc<RunCache>>,
+    /// Background compactor thread plus its wake/shutdown control,
+    /// when [`Scheduler::start_compactor`] attached one.
+    compactor: Option<CompactorHandle>,
+}
+
+struct CompactorCtl {
+    state: Mutex<CompactorState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct CompactorState {
+    shutdown: bool,
+    /// Set by writers whose delta crossed the threshold; a sweep runs
+    /// as soon as the compactor wakes instead of after a full interval.
+    nudged: bool,
+}
+
+struct CompactorHandle {
+    ctl: Arc<CompactorCtl>,
+    thread: std::thread::JoinHandle<()>,
 }
 
 impl Scheduler {
@@ -421,7 +526,7 @@ impl Scheduler {
                 std::thread::spawn(move || coordinator_loop(&core, &cx))
             })
             .collect();
-        Scheduler { core, cx, coordinators, run_cache: None }
+        Scheduler { core, cx, coordinators, run_cache: None, compactor: None }
     }
 
     /// Attach a sorted-run cache: every subsequently submitted query
@@ -430,6 +535,47 @@ impl Scheduler {
     pub fn with_run_cache(mut self, cache: Arc<RunCache>) -> Self {
         self.run_cache = Some(cache);
         self
+    }
+
+    /// Start the background delta compactor. `task` (the session's
+    /// catalog) is swept every [`CompactionConfig::interval`] — or
+    /// immediately after [`Scheduler::nudge_compactor`] — and each
+    /// relation it folds bumps the `compactions` metric. At most one
+    /// compactor per scheduler; it drains on drop before the
+    /// coordinators do.
+    pub fn start_compactor(&mut self, task: Arc<dyn CompactionTask>, config: CompactionConfig) {
+        assert!(self.compactor.is_none(), "compactor already started");
+        let ctl = Arc::new(CompactorCtl {
+            state: Mutex::new(CompactorState::default()),
+            cv: Condvar::new(),
+        });
+        let thread = {
+            let ctl = Arc::clone(&ctl);
+            let core = Arc::clone(&self.core);
+            // The compactor gets its own derived context so its
+            // build/sort audits never leak into per-query placement
+            // reports (owner id 0 is never assigned to a query).
+            let cx = self.cx.for_owner(0);
+            std::thread::spawn(move || compactor_loop(&ctl, &core, &cx, &*task, &config))
+        };
+        self.compactor = Some(CompactorHandle { ctl, thread });
+    }
+
+    /// Wake the compactor before its next interval tick (writers call
+    /// this through the session once a delta crosses the threshold).
+    /// A no-op when no compactor is attached.
+    pub fn nudge_compactor(&self) {
+        if let Some(compactor) = &self.compactor {
+            compactor.ctl.state.lock().expect("compactor ctl poisoned").nudged = true;
+            compactor.ctl.cv.notify_one();
+        }
+    }
+
+    /// Fold `n` explicit compactions into the `compactions` metric
+    /// (the session's manual [`crate::session::Session::compact`] path
+    /// reports through this).
+    pub(crate) fn note_compactions(&self, n: u64) {
+        self.core.metrics.compactions.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Submit a query. Returns a ticket immediately, or rejects when
@@ -489,6 +635,7 @@ impl Scheduler {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_evictions: cache.evictions,
+            compactions: m.compactions.load(Ordering::Relaxed),
         }
     }
 
@@ -504,13 +651,47 @@ impl Scheduler {
 }
 
 impl Drop for Scheduler {
-    /// Graceful shutdown: already-admitted queries (executing *and*
-    /// queued) are drained to completion, then the coordinators exit.
+    /// Graceful shutdown: the compactor exits first (no new versions
+    /// appear under draining queries), then already-admitted queries
+    /// (executing *and* queued) are drained to completion, then the
+    /// coordinators exit.
     fn drop(&mut self) {
+        if let Some(compactor) = self.compactor.take() {
+            compactor.ctl.state.lock().expect("compactor ctl poisoned").shutdown = true;
+            compactor.ctl.cv.notify_all();
+            let _ = compactor.thread.join();
+        }
         self.core.queue.lock().expect("scheduler queue poisoned").shutdown = true;
         self.core.work_cv.notify_all();
         for handle in self.coordinators.drain(..) {
             let _ = handle.join();
+        }
+    }
+}
+
+fn compactor_loop(
+    ctl: &CompactorCtl,
+    core: &SchedCore,
+    cx: &ExecContext,
+    task: &dyn CompactionTask,
+    config: &CompactionConfig,
+) {
+    loop {
+        {
+            let mut state = ctl.state.lock().expect("compactor ctl poisoned");
+            if !state.nudged && !state.shutdown {
+                let (next, _) =
+                    ctl.cv.wait_timeout(state, config.interval).expect("compactor ctl poisoned");
+                state = next;
+            }
+            if state.shutdown {
+                return;
+            }
+            state.nudged = false;
+        }
+        let folded = task.compact_pending(cx, config);
+        if folded > 0 {
+            core.metrics.compactions.fetch_add(folded as u64, Ordering::Relaxed);
         }
     }
 }

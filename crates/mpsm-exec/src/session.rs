@@ -34,23 +34,85 @@
 //!     assert!(ticket.wait().expect("query failed").result.max_payload_sum.is_some());
 //! }
 //! ```
+//!
+//! ## The write path
+//!
+//! Registered relations are **mutable**: [`Session::append`],
+//! [`Session::update`], and [`Session::delete`] land in the relation's
+//! delta log without touching its immutable sorted base. Every query
+//! captures a consistent [`Snapshot`] of each side at submit time —
+//! the delta prefix visible then is merged into the join on the fly;
+//! later writes are invisible. A background compactor (or an explicit
+//! [`Session::compact`]) folds the delta into a new base version,
+//! which re-keys the run cache through the ordinary version-bump
+//! machinery.
+//!
+//! ```
+//! use mpsm_exec::session::{QuerySpec, Session};
+//! use mpsm_exec::sched::SchedulerConfig;
+//! use mpsm_exec::Relation;
+//! use mpsm_core::Tuple;
+//!
+//! let session = Session::new(SchedulerConfig::new(2));
+//! let r = session.register(Relation::new("R", (0..10u64).map(|k| Tuple::new(k, k)).collect()));
+//! let s = session.register(Relation::new("S", (0..10u64).map(|k| Tuple::new(k, k)).collect()));
+//!
+//! session.append("R", [Tuple::new(9, 100)]).expect("R is registered");
+//! session.delete("S", 3).expect("S is registered");
+//! let out = session.query(QuerySpec::join(&r, &s)).expect("query failed");
+//! assert_eq!(out.result.max_payload_sum, Some(100 + 9));
+//! assert!(out.result.plan.explain().contains("Snapshot [R: base=v1, delta=1 tuples]"));
+//!
+//! // Folding the delta bumps the base version; answers don't change.
+//! assert!(session.compact("R"));
+//! let out = session.query(QuerySpec::join(&r, &s)).expect("query failed");
+//! assert_eq!(out.result.max_payload_sum, Some(100 + 9));
+//! ```
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use mpsm_core::context::ExecContext;
+use mpsm_core::join::delta::{materialize, DeltaOp};
 use mpsm_core::join::p_mpsm::PMpsmJoin;
+use mpsm_core::join::runs::build_run_set;
 use mpsm_core::join::{b_mpsm::BMpsmJoin, JoinAlgorithm, JoinConfig};
+use mpsm_core::stats::{JoinStats, Phase};
 use mpsm_core::Tuple;
 
-use crate::query::{paper_query_cached, paper_query_in, PaperQueryResult};
-use crate::run_cache::{RunCache, RunCacheConfig};
+use crate::plan::SnapshotInfo;
+use crate::query::{paper_query_cached, paper_query_in, paper_query_snapshot, PaperQueryResult};
+use crate::run_cache::{splitter_fingerprint, Lookup, RunCache, RunCacheConfig, RunKey};
 use crate::scan::Relation;
-use crate::sched::{QueryError, QueryOutput, QueryTicket, Scheduler, SchedulerConfig, SubmitError};
+use crate::sched::{
+    CompactionConfig, CompactionTask, QueryError, QueryOutput, QueryTicket, Scheduler,
+    SchedulerConfig, SubmitError,
+};
+use crate::snapshot::{DeltaLog, RelationState, Snapshot};
 
 /// An owned, shareable selection predicate.
 pub type Predicate = Arc<dyn Fn(&Tuple) -> bool + Send + Sync>;
+
+/// Why a write was not applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteError {
+    /// No relation with this name is registered in the session's
+    /// catalog (writes need a delta log to land in; register first).
+    UnknownRelation(String),
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriteError::UnknownRelation(name) => {
+                write!(f, "no relation named {name:?} is registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WriteError {}
 
 /// Which join algorithm a scheduled query runs, with its configuration.
 ///
@@ -95,30 +157,61 @@ impl JoinSpec {
     /// scheduler derives one context per query, carrying its owner tag
     /// and node pinning).
     ///
-    /// When the spec carries a run cache and at least one side is
-    /// cacheable — unfiltered and catalog-registered — execution goes
-    /// through the run-set path, which consults and populates the
-    /// cache. Otherwise the plain four-phase path runs.
+    /// Routing, most specific first:
+    ///
+    /// 1. A side whose captured snapshot has pending delta ops sends
+    ///    the whole query down the snapshot-merge path (base runs —
+    ///    cache-served when possible — plus the sorted delta run, with
+    ///    masked base keys skipped in the merge).
+    /// 2. Otherwise, with a run cache attached and at least one
+    ///    cacheable side — unfiltered and catalog-registered — the
+    ///    run-set path consults and populates the cache.
+    /// 3. Otherwise the plain four-phase path runs.
     pub(crate) fn run(&self, cx: &ExecContext, spec: &QuerySpec) -> PaperQueryResult {
-        if let Some(cache) = &spec.cache {
-            let r_cacheable = !spec.r_filtered && spec.r.version() > 0;
-            let s_cacheable = !spec.s_filtered && spec.s.version() > 0;
-            if r_cacheable || s_cacheable {
-                return paper_query_cached(cx, spec, cache);
+        // A side needs the snapshot path when its snapshot carries
+        // pending delta ops, or when compaction moved the lineage past
+        // the handle (the snapshot's base is a newer version than the
+        // Arc the client holds — its tuples, not the handle's, are the
+        // live relation).
+        let needs_snapshot = |snapshot: &Option<Snapshot>, handle: &Arc<Relation>| {
+            snapshot.as_ref().is_some_and(|s| s.delta_len() > 0 || !Arc::ptr_eq(s.base(), handle))
+        };
+        let dirty =
+            needs_snapshot(&spec.r_snapshot, &spec.r) || needs_snapshot(&spec.s_snapshot, &spec.s);
+        let cacheable = spec.cache.is_some()
+            && ((!spec.r_filtered && spec.r.version() > 0)
+                || (!spec.s_filtered && spec.s.version() > 0));
+        let mut result = if dirty {
+            paper_query_snapshot(cx, spec)
+        } else if cacheable {
+            paper_query_cached(cx, spec, spec.cache.as_ref().expect("checked by `cacheable`"))
+        } else {
+            fn go<J: JoinAlgorithm>(
+                cx: &ExecContext,
+                spec: &QuerySpec,
+                algorithm: &J,
+            ) -> PaperQueryResult {
+                let (r_pred, s_pred) = (&spec.r_pred, &spec.s_pred);
+                paper_query_in(cx, &spec.r, &spec.s, |t| r_pred(t), |t| s_pred(t), algorithm)
+            }
+            match self {
+                JoinSpec::PMpsm(cfg) => go(cx, spec, &PMpsmJoin::new(cfg.clone())),
+                JoinSpec::BMpsm(cfg) => go(cx, spec, &BMpsmJoin::new(cfg.clone())),
+            }
+        };
+        // Every catalog-resolved side reports the snapshot it was
+        // pinned to — also when the delta was empty and execution took
+        // a clean path.
+        for (side, snapshot) in [("R", &spec.r_snapshot), ("S", &spec.s_snapshot)] {
+            if let Some(snapshot) = snapshot {
+                result.plan.snapshots.push(SnapshotInfo {
+                    side,
+                    base_version: snapshot.base_version(),
+                    delta: snapshot.delta_len(),
+                });
             }
         }
-        fn go<J: JoinAlgorithm>(
-            cx: &ExecContext,
-            spec: &QuerySpec,
-            algorithm: &J,
-        ) -> PaperQueryResult {
-            let (r_pred, s_pred) = (&spec.r_pred, &spec.s_pred);
-            paper_query_in(cx, &spec.r, &spec.s, |t| r_pred(t), |t| s_pred(t), algorithm)
-        }
-        match self {
-            JoinSpec::PMpsm(cfg) => go(cx, spec, &PMpsmJoin::new(cfg.clone())),
-            JoinSpec::BMpsm(cfg) => go(cx, spec, &BMpsmJoin::new(cfg.clone())),
-        }
+        result
     }
 }
 
@@ -138,6 +231,11 @@ pub struct QuerySpec {
     pub(crate) s_filtered: bool,
     /// The session's run cache, attached at submit time.
     pub(crate) cache: Option<Arc<RunCache>>,
+    /// Consistent snapshot of `r`, captured at submit time when the
+    /// handle resolves in the session catalog.
+    pub(crate) r_snapshot: Option<Snapshot>,
+    /// Consistent snapshot of `s`.
+    pub(crate) s_snapshot: Option<Snapshot>,
 }
 
 impl QuerySpec {
@@ -152,6 +250,8 @@ impl QuerySpec {
             r_filtered: false,
             s_filtered: false,
             cache: None,
+            r_snapshot: None,
+            s_snapshot: None,
         }
     }
 
@@ -186,47 +286,215 @@ impl std::fmt::Debug for QuerySpec {
     }
 }
 
-/// A client session: one scheduler (one shared pool), a versioned
-/// relation catalog, and (by default) a sorted-run cache shared by
-/// every query on the session. See the module docs for a walkthrough.
-pub struct Session {
-    scheduler: Scheduler,
-    catalog: Mutex<HashMap<String, Arc<Relation>>>,
+/// One catalog slot: the name's history as **lineages** of
+/// [`RelationState`] epochs. `register` starts a new lineage (new
+/// contents — handles from older lineages must keep their old world);
+/// compaction appends an epoch *within* the current lineage (same
+/// logical contents, new base version — handles keep tracking live
+/// writes right through it). All epochs stay retained so any handle
+/// ever returned still resolves.
+#[derive(Default)]
+struct MutableEntry {
+    lineages: Vec<Vec<Arc<RelationState>>>,
+}
+
+impl MutableEntry {
+    fn current(&self) -> &Arc<RelationState> {
+        self.current_lineage().last().expect("a lineage always holds at least one state")
+    }
+
+    fn current_lineage(&self) -> &[Arc<RelationState>] {
+        self.lineages.last().expect("an entry always holds at least one lineage")
+    }
+
+    /// Resolve a handle's `(id, version)` to the state its queries
+    /// should read: the **newest** epoch of whichever lineage the
+    /// handle belongs to. Within a lineage compaction is transparent
+    /// (the folded state is the same logical relation, plus any writes
+    /// since); across lineages a re-registration replaced the data,
+    /// so older handles stay pinned to their lineage's final world.
+    fn resolve(&self, id: u64, version: u64) -> Option<&Arc<RelationState>> {
+        self.lineages
+            .iter()
+            .rev()
+            .find(|lineage| {
+                lineage.iter().any(|st| st.base().id() == id && st.base().version() == version)
+            })
+            .and_then(|lineage| lineage.last())
+    }
+}
+
+/// The session state shared with the scheduler's background compactor:
+/// the catalog, the id allocator, the run cache, and the compaction
+/// knobs. Kept apart from [`Session`] (which owns the [`Scheduler`])
+/// so the compactor thread holding an `Arc` of this creates no
+/// ownership cycle.
+struct SessionShared {
+    catalog: Mutex<HashMap<String, MutableEntry>>,
     /// Monotonic catalog-id allocator (ids start at 1; 0 means
     /// "unregistered" on a [`Relation`]).
     next_id: AtomicU64,
     run_cache: Option<Arc<RunCache>>,
+    compaction: CompactionConfig,
+}
+
+impl SessionShared {
+    /// The snapshot for a query-side handle: the retained epoch whose
+    /// base identity matches the handle, at the delta watermark
+    /// observed now. `None` when the handle never came from this
+    /// catalog (unregistered, or a foreign session's).
+    fn snapshot_for(&self, handle: &Arc<Relation>) -> Option<Snapshot> {
+        if handle.version() == 0 {
+            return None;
+        }
+        let catalog = self.catalog.lock().expect("catalog poisoned");
+        let entry = catalog.get(handle.name())?;
+        entry.resolve(handle.id(), handle.version()).map(RelationState::snapshot)
+    }
+
+    /// Fold one relation's pending delta into a new base version.
+    /// Returns `false` when there was nothing to fold or a concurrent
+    /// re-register won the race (its version bump supersedes ours).
+    fn compact_relation(&self, cx: &ExecContext, name: &str, warm_cache: bool) -> bool {
+        // Capture the epoch and watermark to fold; the merge itself
+        // runs outside the catalog lock (writers keep writing — their
+        // ops land past the watermark and survive in the tail).
+        let (state, watermark) = {
+            let catalog = self.catalog.lock().expect("catalog poisoned");
+            let Some(entry) = catalog.get(name) else { return false };
+            let state = Arc::clone(entry.current());
+            let watermark = state.delta().len();
+            if watermark == 0 {
+                return false;
+            }
+            (state, watermark)
+        };
+        let base = state.base();
+        let merged = materialize(base.tuples(), &state.delta().ops_prefix(watermark));
+        let (id, new_version) = (base.id(), base.version() + 1);
+        let new_base = Arc::new(Relation::new(base.name(), merged).with_identity(id, new_version));
+        {
+            let mut catalog = self.catalog.lock().expect("catalog poisoned");
+            let Some(entry) = catalog.get_mut(name) else { return false };
+            if !Arc::ptr_eq(entry.current(), &state) {
+                // A register() replaced the epoch while we merged; its
+                // contents win, our fold is stale.
+                return false;
+            }
+            let tail = Arc::new(DeltaLog::with_ops(state.delta().ops_from(watermark)));
+            entry
+                .lineages
+                .last_mut()
+                .expect("an entry always holds at least one lineage")
+                .push(Arc::new(RelationState::with_delta(Arc::clone(&new_base), tail)));
+        }
+        if let Some(cache) = &self.run_cache {
+            // The version bump retires every older cached run set …
+            cache.invalidate_relation(id, new_version);
+            if warm_cache {
+                // … and optionally pre-builds the new version's runs so
+                // the next analytic query opens on a hit. Single-flight:
+                // if a query is already building this key, skip.
+                let radix_bits = JoinConfig::with_threads(1).radix_bits;
+                let key = RunKey {
+                    relation: id,
+                    version: new_version,
+                    fingerprint: splitter_fingerprint(cx.threads(), radix_bits),
+                };
+                if let Lookup::Miss(permit) = cache.lookup(key) {
+                    let mut stats = JoinStats::new(cx.threads());
+                    let runs = build_run_set(
+                        cx,
+                        new_base.tuples(),
+                        radix_bits,
+                        Phase::One,
+                        Phase::One,
+                        &mut stats,
+                    );
+                    permit.publish(Arc::new(runs));
+                }
+            }
+        }
+        true
+    }
+}
+
+impl CompactionTask for SessionShared {
+    fn compact_pending(&self, cx: &ExecContext, config: &CompactionConfig) -> usize {
+        let eligible: Vec<String> = {
+            let catalog = self.catalog.lock().expect("catalog poisoned");
+            let mut names: Vec<String> = catalog
+                .iter()
+                .filter(|(_, entry)| entry.current().delta().len() >= config.threshold.max(1))
+                .map(|(name, _)| name.clone())
+                .collect();
+            names.sort();
+            names.truncate(config.max_per_sweep);
+            names
+        };
+        eligible.iter().filter(|name| self.compact_relation(cx, name, config.warm_cache)).count()
+    }
+}
+
+/// A client session: one scheduler (one shared pool), a versioned
+/// catalog of **mutable** relations, and (by default) a sorted-run
+/// cache shared by every query on the session. See the module docs for
+/// a walkthrough of both the read and the write path.
+pub struct Session {
+    scheduler: Scheduler,
+    shared: Arc<SessionShared>,
 }
 
 impl Session {
-    /// Open a session with its own scheduler and a default-configured
-    /// run cache.
+    /// Open a session with its own scheduler, a default-configured run
+    /// cache, and a default background compactor.
     pub fn new(config: SchedulerConfig) -> Self {
         Session::with_run_cache(config, RunCacheConfig::default())
     }
 
     /// Open a session with an explicitly configured run cache.
     pub fn with_run_cache(config: SchedulerConfig, cache: RunCacheConfig) -> Self {
-        let cache = Arc::new(RunCache::new(cache));
-        let scheduler = Scheduler::new(config).with_run_cache(Arc::clone(&cache));
-        Session {
-            scheduler,
-            catalog: Mutex::new(HashMap::new()),
-            next_id: AtomicU64::new(1),
-            run_cache: Some(cache),
-        }
+        Session::with_compaction(config, cache, CompactionConfig::default())
+    }
+
+    /// Open a session with explicit run-cache *and* compaction
+    /// configuration (pass [`CompactionConfig::manual`] to keep the
+    /// background sweep from ever firing on its own).
+    pub fn with_compaction(
+        config: SchedulerConfig,
+        cache: RunCacheConfig,
+        compaction: CompactionConfig,
+    ) -> Self {
+        Session::build(config, Some(Arc::new(RunCache::new(cache))), compaction)
     }
 
     /// Open a session with no run cache: every query partitions and
     /// sorts from scratch (the pre-cache behaviour; useful as a
     /// benchmark baseline).
     pub fn uncached(config: SchedulerConfig) -> Self {
-        Session {
-            scheduler: Scheduler::new(config),
+        Session::build(config, None, CompactionConfig::default())
+    }
+
+    fn build(
+        config: SchedulerConfig,
+        cache: Option<Arc<RunCache>>,
+        compaction: CompactionConfig,
+    ) -> Self {
+        let mut scheduler = Scheduler::new(config);
+        if let Some(cache) = &cache {
+            scheduler = scheduler.with_run_cache(Arc::clone(cache));
+        }
+        let shared = Arc::new(SessionShared {
             catalog: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
-            run_cache: None,
-        }
+            run_cache: cache,
+            compaction,
+        });
+        scheduler.start_compactor(
+            Arc::clone(&shared) as Arc<dyn CompactionTask>,
+            shared.compaction.clone(),
+        );
+        Session { scheduler, shared }
     }
 
     /// Register a relation under its own name, returning the shared,
@@ -235,37 +503,120 @@ impl Session {
     /// First registration of a name allocates a fresh stable id and
     /// stamps version 1. Re-registering the name keeps the id and
     /// bumps the version — which invalidates every cached run set
-    /// built from older versions. Already-submitted queries keep the
-    /// `Arc` (and therefore the exact version) they captured.
+    /// built from older versions and starts a fresh, empty delta log.
+    /// Already-submitted queries keep the `Arc` (and therefore the
+    /// exact version and snapshot) they captured.
     pub fn register(&self, relation: Relation) -> Arc<Relation> {
-        let mut catalog = self.catalog.lock().expect("catalog poisoned");
+        let mut catalog = self.shared.catalog.lock().expect("catalog poisoned");
         let (id, version) = match catalog.get(relation.name()) {
-            Some(prev) => (prev.id(), prev.version() + 1),
-            None => (self.next_id.fetch_add(1, Ordering::Relaxed), 1),
+            Some(entry) => {
+                let current = entry.current().base();
+                (current.id(), current.version() + 1)
+            }
+            None => (self.shared.next_id.fetch_add(1, Ordering::Relaxed), 1),
         };
         let handle = Arc::new(relation.with_identity(id, version));
-        catalog.insert(handle.name().to_string(), Arc::clone(&handle));
+        catalog
+            .entry(handle.name().to_string())
+            .or_default()
+            .lineages
+            .push(vec![Arc::new(RelationState::new(Arc::clone(&handle)))]);
         drop(catalog);
-        if let Some(cache) = &self.run_cache {
+        if let Some(cache) = &self.shared.run_cache {
             cache.invalidate_relation(id, version);
         }
         handle
     }
 
-    /// Look up a registered relation by name (the newest version).
+    /// Look up a registered relation by name (the newest base version;
+    /// pending delta ops are not folded in — they surface through
+    /// queries and [`Session::compact`]).
     pub fn relation(&self, name: &str) -> Option<Arc<Relation>> {
-        self.catalog.lock().expect("catalog poisoned").get(name).cloned()
+        let catalog = self.shared.catalog.lock().expect("catalog poisoned");
+        catalog.get(name).map(|entry| Arc::clone(entry.current().base()))
+    }
+
+    /// Append tuples to a registered relation's delta. Returns the new
+    /// delta watermark (ops visible to a snapshot captured now).
+    pub fn append(
+        &self,
+        name: &str,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<usize, WriteError> {
+        self.write(name, tuples.into_iter().map(DeltaOp::Append))
+    }
+
+    /// Upsert: delete every tuple with `key`, then insert
+    /// `(key, payload)`. Returns the new delta watermark.
+    pub fn update(&self, name: &str, key: u64, payload: u64) -> Result<usize, WriteError> {
+        self.write(name, [DeltaOp::Update { key, payload }])
+    }
+
+    /// Delete every tuple with `key`. Returns the new delta watermark.
+    pub fn delete(&self, name: &str, key: u64) -> Result<usize, WriteError> {
+        self.write(name, [DeltaOp::Delete { key }])
+    }
+
+    fn write(
+        &self,
+        name: &str,
+        ops: impl IntoIterator<Item = DeltaOp>,
+    ) -> Result<usize, WriteError> {
+        // The ops land in the *current* epoch's log under the catalog
+        // lock: compaction swaps epochs under the same lock, so a
+        // write can never slip into an epoch that was already folded
+        // (no lost writes). The lock is held for one Vec::extend.
+        let watermark = {
+            let catalog = self.shared.catalog.lock().expect("catalog poisoned");
+            let entry =
+                catalog.get(name).ok_or_else(|| WriteError::UnknownRelation(name.to_string()))?;
+            entry.current().delta().extend(ops)
+        };
+        if watermark >= self.shared.compaction.threshold {
+            self.scheduler.nudge_compactor();
+        }
+        Ok(watermark)
+    }
+
+    /// Pending delta ops on a relation's current epoch (`None` for
+    /// unknown names). 0 means queries read pure base runs.
+    pub fn delta_len(&self, name: &str) -> Option<usize> {
+        let catalog = self.shared.catalog.lock().expect("catalog poisoned");
+        catalog.get(name).map(|entry| entry.current().delta().len())
+    }
+
+    /// Fold a relation's pending delta into a new base version right
+    /// now, on the caller's thread (deterministic alternative to the
+    /// background sweep; tests and benchmarks use this). Returns
+    /// whether a fold happened.
+    pub fn compact(&self, name: &str) -> bool {
+        let folded = self.shared.compact_relation(
+            self.scheduler.context(),
+            name,
+            self.shared.compaction.warm_cache,
+        );
+        if folded {
+            self.scheduler.note_compactions(1);
+        }
+        folded
     }
 
     /// The session's sorted-run cache, if caching is enabled.
     pub fn run_cache(&self) -> Option<&Arc<RunCache>> {
-        self.run_cache.as_ref()
+        self.shared.run_cache.as_ref()
     }
 
     /// Submit a query for asynchronous execution. Fails fast when the
     /// scheduler's admission queue is full.
+    ///
+    /// This is the snapshot capture point: each side that resolves in
+    /// the catalog is pinned to its epoch and delta watermark *here*,
+    /// before the query ever waits in the admission queue — writes
+    /// racing the queue wait are invisible to it.
     pub fn submit(&self, mut spec: QuerySpec) -> Result<QueryTicket, SubmitError> {
-        spec.cache = self.run_cache.clone();
+        spec.cache = self.shared.run_cache.clone();
+        spec.r_snapshot = self.shared.snapshot_for(&spec.r);
+        spec.s_snapshot = self.shared.snapshot_for(&spec.s);
         self.scheduler.submit(spec)
     }
 
@@ -397,5 +748,122 @@ mod tests {
         let s = Arc::new(rel("S", 1));
         let text = format!("{:?}", QuerySpec::join(&r, &s));
         assert!(text.contains("\"R\"") && text.contains("PMpsm"), "{text}");
+    }
+
+    #[test]
+    fn writes_are_visible_to_later_queries_and_plans() {
+        let session = Session::new(SchedulerConfig::new(2));
+        let r = session.register(rel("R", 50));
+        let s = session.register(rel("S", 50));
+        // Clean query first: Snapshot rows render with delta=0.
+        let clean = session.query(QuerySpec::join(&r, &s)).expect("clean").result;
+        assert_eq!(clean.max_payload_sum, Some(49 + 49));
+        assert!(
+            clean.plan.explain().contains("Snapshot [R: base=v1, delta=0 tuples]"),
+            "{}",
+            clean.plan.explain()
+        );
+        // Append a tuple that dominates the aggregate.
+        assert_eq!(session.append("R", [Tuple::new(49, 1000)]).expect("registered"), 1);
+        assert_eq!(session.delta_len("R"), Some(1));
+        let dirty = session.query(QuerySpec::join(&r, &s)).expect("dirty").result;
+        assert_eq!(dirty.max_payload_sum, Some(1000 + 49));
+        assert_eq!(dirty.r_selected, 51, "logical cardinality includes the delta");
+        assert!(
+            dirty.plan.explain().contains("Snapshot [R: base=v1, delta=1 tuples]"),
+            "{}",
+            dirty.plan.explain()
+        );
+        // Delete + update through the same path.
+        session.delete("S", 49).expect("registered");
+        session.update("S", 48, 500).expect("registered");
+        let out = session.query(QuerySpec::join(&r, &s)).expect("written").result;
+        assert_eq!(out.max_payload_sum, Some(48 + 500), "S key 49 gone, 48 upserted to 500");
+        assert_eq!(out.s_selected, 49, "one S tuple deleted, one replaced");
+    }
+
+    #[test]
+    fn writes_error_on_unknown_relations() {
+        let session = Session::new(SchedulerConfig::new(1));
+        assert_eq!(
+            session.append("ghost", [Tuple::new(1, 1)]),
+            Err(WriteError::UnknownRelation("ghost".into()))
+        );
+        assert!(session.delta_len("ghost").is_none());
+        assert!(!session.compact("ghost"), "nothing to fold");
+        let err = WriteError::UnknownRelation("ghost".into());
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn compaction_folds_the_delta_and_bumps_the_version() {
+        let session = Session::new(SchedulerConfig::new(2));
+        let r = session.register(rel("R", 100));
+        let s = session.register(rel("S", 100));
+        session.append("R", (100..120u64).map(|k| Tuple::new(k, k))).expect("registered");
+        session.delete("R", 0).expect("registered");
+        let before = session.query(QuerySpec::join(&r, &s)).expect("before").result;
+
+        assert!(session.compact("R"));
+        assert!(!session.compact("R"), "second fold has nothing to do");
+        assert_eq!(session.delta_len("R"), Some(0), "delta folded into the base");
+        let current = session.relation("R").expect("resolves");
+        assert_eq!(current.version(), 2, "compaction bumps the catalog version");
+        assert_eq!(current.len(), 100 + 20 - 1, "new base holds the folded state");
+        assert_eq!(session.scheduler().metrics().compactions, 1);
+
+        // Old handles keep answering from their captured snapshot; a
+        // fresh handle sees the compacted base.
+        let after_old = session.query(QuerySpec::join(&r, &s)).expect("old handle").result;
+        assert_eq!(after_old.max_payload_sum, before.max_payload_sum);
+        let after_new = session.query(QuerySpec::join(&current, &s)).expect("new handle").result;
+        assert_eq!(after_new.max_payload_sum, before.max_payload_sum);
+        assert!(
+            after_new.plan.explain().contains("Snapshot [R: base=v2, delta=0 tuples]"),
+            "{}",
+            after_new.plan.explain()
+        );
+    }
+
+    #[test]
+    fn background_compactor_folds_past_the_threshold() {
+        use std::time::Duration;
+        let session = Session::with_compaction(
+            SchedulerConfig::new(2),
+            RunCacheConfig::default(),
+            CompactionConfig::default().threshold(8).interval(Duration::from_millis(5)),
+        );
+        session.register(rel("R", 64));
+        session.append("R", (64..80u64).map(|k| Tuple::new(k, k))).expect("registered");
+        // The write crossed the threshold and nudged the compactor;
+        // wait (bounded) for the background fold to land.
+        let mut folded = false;
+        for _ in 0..2000 {
+            if session.relation("R").expect("resolves").version() == 2 {
+                folded = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(folded, "background compactor never folded the delta");
+        assert_eq!(session.delta_len("R"), Some(0));
+        assert!(session.scheduler().metrics().compactions >= 1);
+        assert_eq!(session.relation("R").expect("resolves").len(), 80);
+    }
+
+    #[test]
+    fn manual_compaction_config_never_fires_on_its_own() {
+        let session = Session::with_compaction(
+            SchedulerConfig::new(1),
+            RunCacheConfig::default(),
+            CompactionConfig::manual(),
+        );
+        session.register(rel("R", 10));
+        session.append("R", (0..100u64).map(|k| Tuple::new(k, k))).expect("registered");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(session.relation("R").expect("resolves").version(), 1, "no background fold");
+        assert_eq!(session.delta_len("R"), Some(100));
+        assert!(session.compact("R"), "manual fold still works");
+        assert_eq!(session.relation("R").expect("resolves").version(), 2);
     }
 }

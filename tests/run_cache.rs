@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use mpsm::core::Tuple;
-use mpsm::exec::{QuerySpec, Relation, SchedulerConfig, Session};
+use mpsm::exec::{CompactionConfig, QuerySpec, Relation, RunCacheConfig, SchedulerConfig, Session};
 use proptest::prelude::*;
 
 fn lcg(seed: u64) -> impl FnMut() -> u64 {
@@ -103,8 +103,141 @@ fn old_handles_recompute_after_invalidation() {
     assert!(stats.evictions >= 1, "the re-registration evicted v1's runs: {stats:?}");
 }
 
+/// Compaction folds the delta, bumps the version, and — with cache
+/// warming on — publishes **exactly one** cache entry per new version
+/// (single-flighted), which the very next query hits on both sides.
+#[test]
+fn compaction_warms_exactly_one_cache_entry_per_version() {
+    let n = 256;
+    let session = Session::with_compaction(
+        SchedulerConfig::new(2),
+        RunCacheConfig::default(),
+        CompactionConfig::manual(),
+    );
+    let s = session.register(plain_s(n));
+    let r = session.register(versioned_r(n, 1));
+    assert_eq!(
+        session.query(QuerySpec::join(&r, &s)).expect("populate").result.max_payload_sum,
+        expected_max(n, 1)
+    );
+    let base_inserts = session.run_cache().expect("cached").stats().inserts;
+    assert_eq!(base_inserts, 2, "first query built both sides into the cache");
+
+    for round in 1..=4u64 {
+        // One dominating append on key 0 (plain S has payload 0 there),
+        // so every round's answer proves which writes the join saw.
+        session.append("R", [Tuple::new(0, 9_000_000 + round)]).expect("registered");
+        assert!(session.compact("R"), "round {round}: delta folds");
+        let stats = session.run_cache().expect("cached").stats();
+        assert_eq!(
+            stats.inserts,
+            base_inserts + round,
+            "round {round}: compaction publishes exactly one entry for the new version"
+        );
+        let before = stats;
+        let out = session.query(QuerySpec::join(&r, &s)).expect("post-compaction").result;
+        assert_eq!(out.max_payload_sum, Some(9_000_000 + round), "round {round}");
+        let after = session.run_cache().expect("cached").stats();
+        assert_eq!(after.hits, before.hits + 2, "round {round}: warmed runs hit on both sides");
+        assert_eq!(after.inserts, before.inserts, "round {round}: the query built nothing");
+        assert_eq!(
+            session.relation("R").expect("resolves").version(),
+            1 + round,
+            "round {round}: each fold bumps the version"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Write storm vs. the cache: random appends, deletes, compactions,
+    /// re-registrations and queries, with every answer checked against
+    /// a replayed model of the handle's own lineage. A stale hit —
+    /// cached runs served for contents they no longer describe — shows
+    /// up as a wrong `max` immediately.
+    #[test]
+    fn write_storms_never_serve_stale_hits(
+        ops in proptest::collection::vec(any::<u64>(), 4..40),
+    ) {
+        let n = 192u64;
+        let session = Session::with_compaction(
+            SchedulerConfig::new(2),
+            RunCacheConfig::default(),
+            CompactionConfig::manual(),
+        );
+        let s = session.register(plain_s(n));
+        let s_data: Vec<Tuple> = (0..n).map(|k| Tuple::new(k, k)).collect();
+        let oracle = |model: &[Tuple]| -> Option<u64> {
+            let mut max = None;
+            for rt in model {
+                for st in &s_data {
+                    if rt.key == st.key {
+                        let sum = rt.payload + st.payload;
+                        if max.is_none_or(|m| sum > m) {
+                            max = Some(sum);
+                        }
+                    }
+                }
+            }
+            max
+        };
+
+        // Per-lineage replayed contents: a re-registration freezes the
+        // old lineage's model (its handles pin that final world) and
+        // starts a new one; writes and compactions evolve the last.
+        let first: Vec<Tuple> = (0..n).map(|k| Tuple::new(k, 1_000_000 + k)).collect();
+        let mut lineages: Vec<Vec<Tuple>> = vec![first];
+        let mut handles: Vec<(Arc<Relation>, usize)> =
+            vec![(session.register(versioned_r(n, 1)), 0)];
+        let mut version = 1u64;
+        let mut stamp = 0u64;
+        for (step, w) in ops.iter().enumerate() {
+            match w % 6 {
+                0 | 1 => {
+                    stamp += 1;
+                    let t = Tuple::new(w % n, 2_000_000 + stamp);
+                    session.append("R", [t]).expect("registered");
+                    lineages.last_mut().expect("nonempty").push(t);
+                }
+                2 => {
+                    let key = (w / 6) % n;
+                    session.delete("R", key).expect("registered");
+                    lineages.last_mut().expect("nonempty").retain(|t| t.key != key);
+                }
+                3 => {
+                    session.compact("R");
+                }
+                4 => {
+                    version += 1;
+                    lineages.push(
+                        (0..n).map(|k| Tuple::new(k, version * 1_000_000 + k)).collect(),
+                    );
+                    handles.push((session.register(versioned_r(n, version)), lineages.len() - 1));
+                }
+                _ => {
+                    let (handle, lineage) = &handles[(*w as usize / 6) % handles.len()];
+                    let out = session
+                        .query(QuerySpec::join(handle, &s))
+                        .expect("query failed")
+                        .result;
+                    prop_assert_eq!(
+                        out.max_payload_sum,
+                        oracle(&lineages[*lineage]),
+                        "step {}: stale or torn answer for lineage {}",
+                        step,
+                        lineage
+                    );
+                }
+            }
+        }
+        // Quiesce and sweep every handle once more.
+        session.compact("R");
+        for (handle, lineage) in &handles {
+            let out = session.query(QuerySpec::join(handle, &s)).expect("final sweep").result;
+            prop_assert_eq!(out.max_payload_sum, oracle(&lineages[*lineage]));
+        }
+    }
 
     #[test]
     fn random_register_query_interleavings_never_serve_stale_runs(
