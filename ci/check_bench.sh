@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Validate committed BENCH_*.json trajectory points against per-file
+# schemas: every report must parse, carry its required top-level keys,
+# and contain only finite numbers (NaN/Infinity are not valid JSON but
+# a hand-edited file could smuggle them as strings or via a lenient
+# writer — reject both). Other sessions build on these numbers; a
+# truncated or hand-edited report must not survive CI.
+#
+# Usage: ci/check_bench.sh [FILE...]   (defaults to BENCH_*.json in
+# the repo root; unknown BENCH files fail — add a schema when adding a
+# report.)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+  files=(BENCH_*.json)
+fi
+
+python3 - "${files[@]}" <<'EOF'
+import json
+import math
+import sys
+
+# Required top-level keys per committed report. A new BENCH file needs
+# an entry here (the point of the check: schemas are explicit, not
+# inferred from whatever got committed).
+SCHEMAS = {
+    "BENCH_2.json": ["config", "unit", "contenders", "ablations"],
+    "BENCH_3.json": ["config", "unit", "throughput"],
+    "BENCH_5.json": ["config", "topology", "model", "checks", "variants"],
+    "BENCH_6.json": ["config", "unit", "throughput"],
+    "BENCH_7.json": ["config", "unit", "contenders", "ablations", "sort_kernels"],
+    "BENCH_8.json": ["config", "unit", "delta_sweep", "sustained"],
+    "BENCH_9.json": ["config", "unit", "sweep", "anytime", "server"],
+}
+
+def walk(value, path, errors):
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            errors.append(f"{path}: non-finite number {value!r}")
+    elif isinstance(value, str):
+        if value.strip().lower() in ("nan", "inf", "infinity", "-inf", "-infinity"):
+            errors.append(f"{path}: string-smuggled non-finite {value!r}")
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            walk(item, f"{path}.{key}", errors)
+    elif isinstance(value, list):
+        for i, item in enumerate(value):
+            walk(item, f"{path}[{i}]", errors)
+
+failed = False
+for name in sys.argv[1:]:
+    base = name.rsplit("/", 1)[-1]
+    errors = []
+    if base not in SCHEMAS:
+        errors.append("no schema registered in ci/check_bench.sh (add one)")
+        report = None
+    else:
+        try:
+            # parse_constant rejects the non-standard NaN/Infinity
+            # literals Python's json would otherwise accept.
+            with open(name) as handle:
+                report = json.load(
+                    handle,
+                    parse_constant=lambda c: (_ for _ in ()).throw(
+                        ValueError(f"non-finite literal {c}")
+                    ),
+                )
+        except (OSError, ValueError) as exc:
+            errors.append(f"does not parse: {exc}")
+            report = None
+    if report is not None:
+        if not isinstance(report, dict):
+            errors.append("top level is not an object")
+        else:
+            for key in SCHEMAS[base]:
+                if key not in report:
+                    errors.append(f"missing required key {key!r}")
+            walk(report, base, errors)
+    if errors:
+        failed = True
+        print(f"FAIL {name}")
+        for error in errors:
+            print(f"  - {error}")
+    else:
+        print(f"ok   {name}")
+
+sys.exit(1 if failed else 0)
+EOF

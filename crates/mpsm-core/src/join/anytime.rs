@@ -1,0 +1,437 @@
+//! Anytime (interruptible) run-set merging — MPSM's phase 4 as a
+//! *degradable* operator.
+//!
+//! MPSM is naturally anytime: [`build_run_set`](super::runs::build_run_set)
+//! produces runs covering **ascending disjoint key ranges**, so merging
+//! run 0, then run 1, … advances monotonically through the sorted key
+//! domain. A merge interrupted after the first `k` units has joined a
+//! *downward-closed prefix* of the key domain — a well-defined partial
+//! answer ("joined through key `x`, covering `c%` of the input"), not an
+//! arbitrary subset.
+//!
+//! [`merge_run_sets_anytime`] exploits this: it processes the private
+//! runs in ascending order, in key-group-aligned blocks of roughly
+//! [`ANYTIME_BLOCK_TUPLES`] tuples, and consults an [`AnytimeToken`]
+//! before dispatching each block to the pool. When the token expires the
+//! merge stops *between* blocks, so every retained match comes from a
+//! fully merged block and the covered key set stays downward-closed.
+//! Blocks never split a key group (a boundary is extended past duplicate
+//! keys), which gives the **prefix contract**: for every covered key the
+//! partial result holds *all* of the full join's matches, and therefore
+//! the partial rows — sorted by `(key, r_payload, s_payload)` — are
+//! exactly a prefix of the sorted full join.
+//!
+//! Coverage is reported as merged private tuples over total private
+//! tuples. Runs are equi-height (built from the relation's own
+//! histogram), so the tuple fraction is the natural estimator of the
+//! key-domain fraction covered.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::context::ExecContext;
+use crate::interpolation::interpolation_lower_bound;
+use crate::merge::merge_join_scanned;
+use crate::sink::JoinSink;
+use crate::stats::{JoinStats, Phase};
+use crate::tuple::Tuple;
+
+/// Target tuples per interruption block. The driver checks the token
+/// once per block, so this bounds how far a merge overshoots its
+/// deadline: one block of private tuples (times the matching public
+/// work). Blocks are extended past duplicate keys, so a block may be
+/// larger when a key group straddles the boundary.
+pub const ANYTIME_BLOCK_TUPLES: usize = 4096;
+
+/// When an anytime merge must stop. Checked by the *driver* thread
+/// between blocks — never inside the hot merge kernel, and never
+/// concurrently — so budget-based tokens are fully deterministic.
+#[derive(Debug, Clone)]
+pub enum AnytimeToken {
+    /// Never expires: the merge runs to completion (the non-anytime
+    /// behaviour, with identical results).
+    Never,
+    /// Expires once the wall clock passes the instant (an absolute
+    /// deadline; schedulers compute it at submit time so the SLA
+    /// includes queue wait).
+    Deadline(Instant),
+    /// Expires after a fixed number of checks: check `n` and later
+    /// report expired. Deterministic — block merge order is fixed and
+    /// only the driver consults the token — which is what makes
+    /// coverage-monotonicity properties testable without wall-clock
+    /// flakiness.
+    Budget(Arc<AtomicI64>),
+}
+
+impl AnytimeToken {
+    /// A token that never expires.
+    pub fn never() -> Self {
+        AnytimeToken::Never
+    }
+
+    /// A token expiring at the absolute instant.
+    pub fn at(deadline: Instant) -> Self {
+        AnytimeToken::Deadline(deadline)
+    }
+
+    /// A token expiring `timeout` from now.
+    pub fn deadline_in(timeout: Duration) -> Self {
+        AnytimeToken::Deadline(Instant::now() + timeout)
+    }
+
+    /// A deterministic token allowing exactly `checks` successful
+    /// checks before reporting expiry.
+    pub fn budget(checks: u64) -> Self {
+        AnytimeToken::Budget(Arc::new(AtomicI64::new(checks.min(i64::MAX as u64) as i64)))
+    }
+
+    /// Consult the token. Budget tokens count this call.
+    pub fn expired(&self) -> bool {
+        match self {
+            AnytimeToken::Never => false,
+            AnytimeToken::Deadline(at) => Instant::now() >= *at,
+            AnytimeToken::Budget(left) => left.fetch_sub(1, Ordering::Relaxed) <= 0,
+        }
+    }
+}
+
+/// What an interruptible merge produced: the (possibly partial) sink
+/// result plus exactly how much of the private input it covered.
+#[derive(Debug, Clone)]
+pub struct AnytimeOutcome<R> {
+    /// The combined sink result over every fully merged block.
+    pub result: R,
+    /// Private runs merged to completion (prefix of the run order).
+    pub merged_runs: usize,
+    /// Private runs in the set.
+    pub total_runs: usize,
+    /// Private tuples in fully merged blocks.
+    pub merged_tuples: usize,
+    /// Private tuples in the set.
+    pub total_tuples: usize,
+    /// Whether the merge ran to completion (`coverage() == 1.0`).
+    pub complete: bool,
+}
+
+impl<R> AnytimeOutcome<R> {
+    /// Fraction of the private input merged, in `[0, 1]`. Equi-height
+    /// runs make this the estimator of the key-domain fraction covered.
+    /// An empty private input counts as fully covered.
+    pub fn coverage(&self) -> f64 {
+        if self.total_tuples == 0 {
+            1.0
+        } else {
+            self.merged_tuples as f64 / self.total_tuples as f64
+        }
+    }
+}
+
+/// Split `run` into blocks of roughly `target` tuples whose boundaries
+/// never divide a key group: a boundary landing inside a group of equal
+/// keys is pushed past it, so each key of the run lives in exactly one
+/// block. Returns the block end offsets (ascending, last == `run.len()`).
+fn key_aligned_block_ends(run: &[Tuple], target: usize) -> Vec<usize> {
+    let target = target.max(1);
+    let mut ends = Vec::with_capacity(run.len() / target + 1);
+    let mut end = 0;
+    while end < run.len() {
+        end = (end + target).min(run.len());
+        while end < run.len() && run[end].key == run[end - 1].key {
+            end += 1;
+        }
+        ends.push(end);
+    }
+    ends
+}
+
+/// Phase 4 over two run sets, interruptible between key-aligned blocks.
+///
+/// Identical matching semantics to
+/// [`merge_run_sets_in`](super::runs::merge_run_sets_in) when the token
+/// never expires: every private run merges with every public run from
+/// an interpolation-searched entry point. The difference is the work
+/// order — private runs are processed strictly ascending (run 0 first),
+/// one block at a time, with the pool parallelizing each block across
+/// the *public* runs — and the token check between blocks. Time and
+/// access counters book under [`Phase::Four`], as on the
+/// non-interruptible path.
+pub fn merge_run_sets_anytime<S: JoinSink>(
+    cx: &ExecContext,
+    r_runs: &super::runs::RunSet,
+    s_runs: &super::runs::RunSet,
+    token: &AnytimeToken,
+    stats: &mut JoinStats,
+) -> AnytimeOutcome<S::Result> {
+    let t = cx.threads();
+    let pool = cx.pool();
+    let total_runs = r_runs.parts();
+    let total_tuples = r_runs.total_tuples();
+    let mut d4 = vec![Duration::ZERO; t];
+    let mut partials: Vec<S::Result> = Vec::new();
+    let mut merged_runs = 0;
+    let mut merged_tuples = 0;
+    let mut expired = false;
+
+    'runs: for run in r_runs.runs() {
+        if run.is_empty() {
+            // Nothing to merge; an empty run completes for free (no
+            // token charge — it covers no tuples and no key range that
+            // matters for the prefix contract).
+            merged_runs += 1;
+            continue;
+        }
+        let ends = key_aligned_block_ends(run, ANYTIME_BLOCK_TUPLES);
+        let mut start = 0;
+        for &end in &ends {
+            if token.expired() {
+                expired = true;
+                break 'runs;
+            }
+            let block = &run[start..end];
+            let block_home = run.home();
+            let first_key = block[0].key;
+            let (phase, d_block) = pool.run_timed(|w| {
+                let mut scope = cx.scope(w);
+                let mut sink = S::default();
+                for sp in (w..s_runs.parts()).step_by(t.max(1)) {
+                    let s_run = &s_runs.runs()[sp];
+                    let entry = interpolation_lower_bound(s_run, first_key);
+                    if !s_run.is_empty() {
+                        scope.touch(s_run.home(), false, (s_run.len() as u64).ilog2() as u64 + 1);
+                    }
+                    let scan = merge_join_scanned(block, &s_run[entry..], &mut sink);
+                    scope.touch(block_home, true, scan.r_scanned as u64);
+                    scope.touch(s_run.home(), true, scan.s_scanned as u64);
+                }
+                (sink.finish(), scope.finish())
+            });
+            let (block_partials, c_block): (Vec<_>, Vec<_>) = phase.into_iter().unzip();
+            for (acc, d) in d4.iter_mut().zip(&d_block) {
+                *acc += *d;
+            }
+            cx.record(Phase::Four, c_block);
+            partials.push(S::combine_all(block_partials));
+            merged_tuples += block.len();
+            start = end;
+        }
+        if start == run.len() {
+            merged_runs += 1;
+        }
+    }
+
+    stats.record_phase(Phase::Four, &d4);
+    AnytimeOutcome {
+        result: S::combine_all(partials),
+        merged_runs,
+        total_runs,
+        merged_tuples,
+        total_tuples,
+        complete: !expired && merged_tuples == total_tuples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::runs::{build_run_set, merge_run_sets_in, RunSet};
+    use super::*;
+    use crate::sink::{CollectSink, CountSink, MaxAggSink};
+
+    fn lcg(seed: u64) -> impl FnMut() -> u64 {
+        let mut state = seed | 1;
+        move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 32
+        }
+    }
+
+    fn random(n: usize, domain: u64, seed: u64) -> Vec<Tuple> {
+        let mut next = lcg(seed);
+        (0..n).map(|i| Tuple::new(next() % domain, i as u64)).collect()
+    }
+
+    fn sets(r: &[Tuple], s: &[Tuple], cx: &ExecContext) -> (RunSet, RunSet) {
+        let mut stats = JoinStats::new(cx.threads());
+        let r_runs = build_run_set(cx, r, 10, Phase::Two, Phase::Three, &mut stats);
+        let s_runs = build_run_set(cx, s, 10, Phase::One, Phase::One, &mut stats);
+        (r_runs, s_runs)
+    }
+
+    fn sorted_rows(mut rows: Vec<(u64, u64, u64)>) -> Vec<(u64, u64, u64)> {
+        rows.sort_unstable();
+        rows
+    }
+
+    #[test]
+    fn never_expiring_token_matches_the_plain_merge() {
+        let r = random(5000, 900, 3);
+        let s = random(9000, 900, 5);
+        let cx = ExecContext::flat(4);
+        let (r_runs, s_runs) = sets(&r, &s, &cx);
+        let mut stats = JoinStats::new(4);
+        let full = merge_run_sets_in::<CountSink>(&cx, &r_runs, &s_runs, &mut stats);
+        let mut stats = JoinStats::new(4);
+        let out = merge_run_sets_anytime::<CountSink>(
+            &cx,
+            &r_runs,
+            &s_runs,
+            &AnytimeToken::never(),
+            &mut stats,
+        );
+        assert_eq!(out.result, full);
+        assert!(out.complete);
+        assert_eq!(out.merged_runs, out.total_runs);
+        assert_eq!(out.merged_tuples, r.len());
+        assert!((out.coverage() - 1.0).abs() < 1e-12);
+        let [.., p4] = stats.phases_ms();
+        assert!(p4 >= 0.0, "merge time books under phase 4");
+    }
+
+    #[test]
+    fn zero_budget_merges_nothing() {
+        let r = random(2000, 300, 7);
+        let s = random(2000, 300, 9);
+        let cx = ExecContext::flat(2);
+        let (r_runs, s_runs) = sets(&r, &s, &cx);
+        let mut stats = JoinStats::new(2);
+        let out = merge_run_sets_anytime::<CountSink>(
+            &cx,
+            &r_runs,
+            &s_runs,
+            &AnytimeToken::budget(0),
+            &mut stats,
+        );
+        assert_eq!(out.result, 0);
+        assert!(!out.complete);
+        assert_eq!(out.merged_tuples, 0);
+        assert_eq!(out.coverage(), 0.0);
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_the_budget_and_rows_are_a_prefix() {
+        // Duplicate-heavy input so key groups straddle block targets.
+        let r = random(6000, 150, 11);
+        let s = random(3000, 150, 13);
+        let cx = ExecContext::flat(3);
+        let (r_runs, s_runs) = sets(&r, &s, &cx);
+        let mut stats = JoinStats::new(3);
+        let full = sorted_rows(
+            merge_run_sets_anytime::<CollectSink>(
+                &cx,
+                &r_runs,
+                &s_runs,
+                &AnytimeToken::never(),
+                &mut stats,
+            )
+            .result,
+        );
+        let mut last_coverage = -1.0f64;
+        for budget in 0..8u64 {
+            let mut stats = JoinStats::new(3);
+            let out = merge_run_sets_anytime::<CollectSink>(
+                &cx,
+                &r_runs,
+                &s_runs,
+                &AnytimeToken::budget(budget),
+                &mut stats,
+            );
+            let coverage = out.coverage();
+            assert!(
+                coverage >= last_coverage,
+                "coverage must grow with the budget: {coverage} after {last_coverage}"
+            );
+            last_coverage = coverage;
+            let rows = sorted_rows(out.result);
+            assert_eq!(
+                rows.as_slice(),
+                &full[..rows.len()],
+                "budget {budget}: partial rows must be a key-order prefix of the full join"
+            );
+            if out.complete {
+                assert_eq!(rows.len(), full.len());
+            }
+        }
+    }
+
+    #[test]
+    fn partial_max_never_exceeds_the_full_answer() {
+        let r = random(4000, 500, 17);
+        let s = random(4000, 500, 19);
+        let cx = ExecContext::flat(2);
+        let (r_runs, s_runs) = sets(&r, &s, &cx);
+        let mut stats = JoinStats::new(2);
+        let full = merge_run_sets_anytime::<MaxAggSink>(
+            &cx,
+            &r_runs,
+            &s_runs,
+            &AnytimeToken::never(),
+            &mut stats,
+        );
+        for budget in [1u64, 2, 3] {
+            let mut stats = JoinStats::new(2);
+            let part = merge_run_sets_anytime::<MaxAggSink>(
+                &cx,
+                &r_runs,
+                &s_runs,
+                &AnytimeToken::budget(budget),
+                &mut stats,
+            );
+            if let Some(m) = part.result {
+                assert!(m <= full.result.expect("full join is non-empty"));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_private_input_is_complete_with_full_coverage() {
+        let s = random(500, 64, 23);
+        let cx = ExecContext::flat(2);
+        let (r_runs, s_runs) = sets(&[], &s, &cx);
+        let mut stats = JoinStats::new(2);
+        let out = merge_run_sets_anytime::<CountSink>(
+            &cx,
+            &r_runs,
+            &s_runs,
+            &AnytimeToken::budget(0),
+            &mut stats,
+        );
+        assert_eq!(out.result, 0);
+        assert!(out.complete, "no work to interrupt");
+        assert_eq!(out.coverage(), 1.0);
+    }
+
+    #[test]
+    fn block_ends_never_split_a_key_group() {
+        let mut run: Vec<Tuple> = Vec::new();
+        for key in 0..40u64 {
+            for i in 0..(1 + key % 7) {
+                run.push(Tuple::new(key, i));
+            }
+        }
+        let ends = key_aligned_block_ends(&run, 16);
+        assert_eq!(*ends.last().expect("non-empty"), run.len());
+        let mut prev = 0;
+        for &end in &ends {
+            assert!(end > prev, "blocks advance");
+            if end < run.len() {
+                assert_ne!(run[end - 1].key, run[end].key, "boundary splits a key group");
+            }
+            prev = end;
+        }
+        // A single giant key group becomes one block.
+        let dup: Vec<Tuple> = (0..100).map(|i| Tuple::new(7, i)).collect();
+        assert_eq!(key_aligned_block_ends(&dup, 8), vec![100]);
+    }
+
+    #[test]
+    fn token_constructors_behave() {
+        assert!(!AnytimeToken::never().expired());
+        assert!(AnytimeToken::at(Instant::now() - Duration::from_millis(1)).expired());
+        assert!(!AnytimeToken::deadline_in(Duration::from_secs(3600)).expired());
+        let b = AnytimeToken::budget(2);
+        assert!(!b.expired());
+        assert!(!b.expired());
+        assert!(b.expired(), "third check exceeds a budget of 2");
+        assert!(b.expired(), "expiry is sticky");
+    }
+}

@@ -1,6 +1,7 @@
 //! The MPSM join suite: configuration, the algorithm trait, and the
 //! three variants (B-MPSM, P-MPSM, D-MPSM).
 
+pub mod anytime;
 pub mod b_mpsm;
 pub mod d_mpsm;
 pub mod delta;

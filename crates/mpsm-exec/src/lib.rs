@@ -80,15 +80,20 @@ pub mod snapshot;
 
 pub use groupby::{sorted_group_by, CountAgg, KeyAggregate, MaxAgg, SumAgg};
 pub use ops::{CountRows, JoinOp, MaxPayloadSum, Select};
-pub use plan::{PlacementInfo, PlanStep, QueryPlan, RunCacheInfo, RunCacheOutcome, SnapshotInfo};
-pub use query::{paper_query, paper_query_in, paper_query_on, PaperQueryResult};
+pub use plan::{
+    AnytimeInfo, PlacementInfo, PlanStep, QueryPlan, QueueCounters, RunCacheInfo, RunCacheOutcome,
+    SnapshotInfo,
+};
+pub use query::{
+    paper_query, paper_query_anytime, paper_query_in, paper_query_on, PaperQueryResult,
+};
 pub use run_cache::{
     splitter_fingerprint, BuildPermit, Lookup, RunCache, RunCacheConfig, RunCacheStats, RunKey,
 };
 pub use scan::Relation;
 pub use sched::{
-    CompactionConfig, CompactionTask, QueryError, QueryOutput, QueryStatus, QueryTicket, Scheduler,
-    SchedulerConfig, SchedulerMetrics, SubmitError,
+    CompactionConfig, CompactionTask, Priority, QueryError, QueryOutput, QueryStatus, QueryTicket,
+    Scheduler, SchedulerConfig, SchedulerMetrics, SubmitError,
 };
 pub use session::{JoinSpec, Predicate, QuerySpec, Session, WriteError};
 pub use snapshot::{DeltaLog, RelationState, Snapshot};

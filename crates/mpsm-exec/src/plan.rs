@@ -115,6 +115,49 @@ impl SnapshotInfo {
     }
 }
 
+/// How far an interruptible (deadline-carrying) query got before its
+/// [`mpsm_core::join::anytime::AnytimeToken`] expired, rendered as the
+/// `Anytime` EXPLAIN node. Present exactly when the query executed on
+/// the anytime merge path; `complete` queries render it too (coverage
+/// 100%), so a plan reader can tell "ran anytime and finished" from
+/// "ran the ordinary path".
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnytimeInfo {
+    /// Fraction of the private input merged, in `[0, 1]`.
+    pub coverage: f64,
+    /// Private runs merged to completion.
+    pub merged_runs: usize,
+    /// Private runs total.
+    pub total_runs: usize,
+    /// Whether the merge ran to completion before the token expired.
+    pub complete: bool,
+}
+
+impl AnytimeInfo {
+    fn label(&self) -> String {
+        format!(
+            "Anytime [coverage={:.1}%, runs={}/{}, {}]",
+            self.coverage * 100.0,
+            self.merged_runs,
+            self.total_runs,
+            if self.complete { "complete" } else { "partial" },
+        )
+    }
+}
+
+/// Scheduler-lifetime SLA counters sampled when the query finished,
+/// appended to the `Queue` EXPLAIN row. Optional so unscheduled (and
+/// pre-existing) plans render exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueCounters {
+    /// Queued queries evicted by higher-priority arrivals.
+    pub shed: u64,
+    /// Queries that finished past their deadline (partial or late).
+    pub deadline_missed: u64,
+    /// Queries that returned a partial (coverage < 100%) answer.
+    pub partial_answers: u64,
+}
+
 /// What the run cache did for one join input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunCacheOutcome {
@@ -187,6 +230,11 @@ pub struct QueryPlan {
     /// Time the query waited in the scheduler's admission queue before
     /// execution started, in ms (`None` for unscheduled executions).
     pub queue_wait_ms: Option<f64>,
+    /// Scheduler SLA counters at completion time, appended to the
+    /// `Queue` row when present (requires `queue_wait_ms`).
+    pub queue_counters: Option<QueueCounters>,
+    /// Anytime-merge coverage, when the query ran interruptibly.
+    pub anytime: Option<AnytimeInfo>,
     /// Critical-path duration of each join phase, in ms, when the
     /// execution recorded them.
     pub phases_ms: Option<[f64; 4]>,
@@ -272,6 +320,9 @@ impl QueryPlan {
         if let Some(placement) = &self.placement {
             join = join.child(Node::new(placement.label()));
         }
+        if let Some(anytime) = &self.anytime {
+            join = join.child(Node::new(anytime.label()));
+        }
         for snapshot in &self.snapshots {
             join = join.child(Node::new(snapshot.label()));
         }
@@ -308,7 +359,15 @@ impl QueryPlan {
 
         let aggregate = Node::new(format!("Aggregate [{}]", self.aggregate)).child(join);
         let root = match self.queue_wait_ms {
-            Some(wait) => Node::new(format!("Queue [wait = {wait:.3} ms]")).child(aggregate),
+            Some(wait) => {
+                let counters = self.queue_counters.map_or(String::new(), |c| {
+                    format!(
+                        "; shed={}, deadline_missed={}, partial={}",
+                        c.shed, c.deadline_missed, c.partial_answers
+                    )
+                });
+                Node::new(format!("Queue [wait = {wait:.3} ms{counters}]")).child(aggregate)
+            }
             None => aggregate,
         };
 
@@ -345,6 +404,8 @@ mod tests {
             aggregate: "max(R.payload + S.payload)".into(),
             join_rows: Some(2000),
             queue_wait_ms: None,
+            queue_counters: None,
+            anytime: None,
             phases_ms: None,
             phase_tuples: None,
             sort_kernel: None,
@@ -452,6 +513,52 @@ Aggregate [max(R.payload + S.payload)]
         p.phase_tuples = None;
         assert!(p.explain().contains("Phases [1: 0.500 ms"), "{}", p.explain());
         assert!(!p.explain().contains("ns/t"));
+    }
+
+    #[test]
+    fn queue_counters_render_exactly() {
+        // Satellite: the SLA counters join the Queue row. Without the
+        // optional counters the row keeps its pre-existing shape (the
+        // `scheduled_plans_render_queue_and_phases` test above), so old
+        // exact-output expectations stay valid.
+        let mut p = sample();
+        p.queue_wait_ms = Some(0.75);
+        p.queue_counters = Some(QueueCounters { shed: 2, deadline_missed: 1, partial_answers: 3 });
+        let text = p.explain();
+        assert!(
+            text.starts_with("Queue [wait = 0.750 ms; shed=2, deadline_missed=1, partial=3]\n"),
+            "{text}"
+        );
+        // Counters without a queue wait never render: the Queue row
+        // exists only for scheduled executions.
+        p.queue_wait_ms = None;
+        assert!(!p.explain().contains("shed="), "{}", p.explain());
+    }
+
+    #[test]
+    fn anytime_node_renders_exactly() {
+        let mut p = sample();
+        p.anytime =
+            Some(AnytimeInfo { coverage: 0.625, merged_runs: 5, total_runs: 8, complete: false });
+        let expected = "\
+Aggregate [max(R.payload + S.payload)]
+└─ Join [P-MPSM; T = 8; out = 2000 rows]
+   ├─ Anytime [coverage=62.5%, runs=5/8, partial]
+   ├─ private (R):
+   │  └─ Select [out = 500 rows]
+   │     └─ Scan orders [1000 rows]
+   └─ public (S):
+      └─ Select [out = 4000 rows]
+         └─ Scan lineitem [4000 rows]
+";
+        assert_eq!(p.explain(), expected);
+        p.anytime =
+            Some(AnytimeInfo { coverage: 1.0, merged_runs: 8, total_runs: 8, complete: true });
+        assert!(
+            p.explain().contains("Anytime [coverage=100.0%, runs=8/8, complete]"),
+            "{}",
+            p.explain()
+        );
     }
 
     #[test]

@@ -14,17 +14,18 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mpsm_core::context::ExecContext;
+use mpsm_core::join::anytime::{merge_run_sets_anytime, AnytimeOutcome, AnytimeToken};
 use mpsm_core::join::delta::{merge_delta_sides_in, DeltaSide};
 use mpsm_core::join::runs::{build_run_set, join_runs_in, RunsInput, SharedRunSet};
 use mpsm_core::join::{JoinAlgorithm, PooledJoin};
-use mpsm_core::sink::MaxAggSink;
+use mpsm_core::sink::{CollectSink, MaxAggSink};
 use mpsm_core::stats::{JoinStats, Phase};
 use mpsm_core::worker::SharedWorkerPool;
 use mpsm_core::Tuple;
 use mpsm_numa::NumaBuf;
 
 use crate::ops::{JoinOp, MaxPayloadSum, Select};
-use crate::plan::{PlacementInfo, PlanStep, QueryPlan, RunCacheInfo, RunCacheOutcome};
+use crate::plan::{AnytimeInfo, PlacementInfo, PlanStep, QueryPlan, RunCacheInfo, RunCacheOutcome};
 use crate::run_cache::{splitter_fingerprint, BuildPermit, Lookup, RunCache, RunKey};
 use crate::scan::Relation;
 use crate::session::{Predicate, QuerySpec};
@@ -43,6 +44,12 @@ pub struct PaperQueryResult {
     pub stats: JoinStats,
     /// The executed plan, for EXPLAIN-style display.
     pub plan: QueryPlan,
+    /// Joined `(key, r_payload, s_payload)` rows in key order, present
+    /// only when the spec asked to collect them
+    /// ([`QuerySpec::collect_rows`](crate::session::QuerySpec::collect_rows)).
+    /// On a deadline-hit anytime query this is a key-order **prefix**
+    /// of the full join (see [`mpsm_core::join::anytime`]).
+    pub rows: Option<Vec<(u64, u64, u64)>>,
 }
 
 /// Run `scan → select → join → max` with the given join algorithm.
@@ -430,6 +437,207 @@ fn prep_snapshot_side(
     SnapPrep { base, delta, mask: overlay.masked, outcome }
 }
 
+/// The paper query with an interruptible merge phase — the SLA-serving
+/// path. Both sides resolve to sorted run sets (cache-served when
+/// clean and registered), then [`merge_run_sets_anytime`] joins them
+/// under `token`: when the token expires mid-merge the query returns
+/// best-so-far results plus a coverage estimate on the plan's
+/// `Anytime` row instead of failing.
+///
+/// With [`QuerySpec::collect_rows`](crate::session::QuerySpec::collect_rows)
+/// set, the joined rows come back sorted by `(key, r_payload,
+/// s_payload)` and truncated to the cap; a partial answer's rows are a
+/// key-order prefix of the full join's (the anytime contract). The
+/// aggregate is computed from the *untruncated* row set, so it agrees
+/// with the aggregate-only path at equal coverage.
+pub fn paper_query_anytime(
+    cx: &ExecContext,
+    spec: &QuerySpec,
+    token: &AnytimeToken,
+) -> PaperQueryResult {
+    let radix_bits = spec.join.config().radix_bits;
+    let fingerprint = splitter_fingerprint(cx.threads(), radix_bits);
+    let wall = Instant::now();
+    let mut stats = JoinStats::new(cx.threads());
+
+    let r_side = resolve_anytime_side(
+        cx,
+        true,
+        &spec.r,
+        spec.r_snapshot.as_ref(),
+        &spec.r_pred,
+        spec.r_filtered,
+        spec.cache.as_ref(),
+        fingerprint,
+        radix_bits,
+        &mut stats,
+    );
+    let s_side = resolve_anytime_side(
+        cx,
+        false,
+        &spec.s,
+        spec.s_snapshot.as_ref(),
+        &spec.s_pred,
+        spec.s_filtered,
+        spec.cache.as_ref(),
+        fingerprint,
+        radix_bits,
+        &mut stats,
+    );
+
+    fn info<R>(out: &AnytimeOutcome<R>) -> AnytimeInfo {
+        AnytimeInfo {
+            coverage: out.coverage(),
+            merged_runs: out.merged_runs,
+            total_runs: out.total_runs,
+            complete: out.complete,
+        }
+    }
+    let (anytime, rows, max) = match spec.rows_cap {
+        Some(cap) => {
+            let out = merge_run_sets_anytime::<CollectSink>(
+                cx,
+                &r_side.runs,
+                &s_side.runs,
+                token,
+                &mut stats,
+            );
+            let anytime = info(&out);
+            let mut rows = out.result;
+            rows.sort_unstable();
+            let max = rows.iter().map(|&(_, rp, sp)| rp.wrapping_add(sp)).max();
+            rows.truncate(cap);
+            (anytime, Some(rows), max)
+        }
+        None => {
+            let out = merge_run_sets_anytime::<MaxAggSink>(
+                cx,
+                &r_side.runs,
+                &s_side.runs,
+                token,
+                &mut stats,
+            );
+            (info(&out), None, out.result)
+        }
+    };
+    stats.wall = wall.elapsed();
+
+    let mut result = assemble(
+        spec.join.name(),
+        cx.threads(),
+        &spec.r,
+        &spec.s,
+        r_side.rows,
+        s_side.rows,
+        max,
+        stats,
+    );
+    result.rows = rows;
+    result.plan.anytime = Some(anytime);
+    result.plan.phases_ms = Some(result.stats.phases_ms());
+    result.plan.phase_tuples = Some((r_side.rows + s_side.rows) as u64);
+    result.plan.sort_kernel = Some(cx.sort_tuning().describe());
+    result.plan.placement = Some(placement_of(cx));
+    if let Some(cache) = &spec.cache {
+        let totals = cache.stats();
+        result.plan.run_cache = Some(RunCacheInfo {
+            r: r_side.outcome,
+            s: s_side.outcome,
+            hits: totals.hits,
+            misses: totals.misses,
+            evictions: totals.evictions,
+        });
+    }
+    result
+}
+
+/// The result of an anytime query whose deadline had already passed
+/// when a coordinator popped it: an empty partial (coverage 0, zero
+/// runs merged) produced without touching the inputs. The scheduler
+/// uses this to honour an SLA that expired in the queue without
+/// spending merge work it is certain to discard.
+pub(crate) fn expired_in_queue_result(cx: &ExecContext, spec: &QuerySpec) -> PaperQueryResult {
+    let stats = JoinStats::new(cx.threads());
+    let mut result = assemble(spec.join.name(), cx.threads(), &spec.r, &spec.s, 0, 0, None, stats);
+    result.rows = spec.rows_cap.map(|_| Vec::new());
+    result.plan.anytime =
+        Some(AnytimeInfo { coverage: 0.0, merged_runs: 0, total_runs: 0, complete: false });
+    result
+}
+
+/// One anytime join input, resolved to sorted runs.
+struct AnytimeSide {
+    runs: SharedRunSet,
+    outcome: RunCacheOutcome,
+    /// Rows entering the join from this side.
+    rows: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_anytime_side(
+    cx: &ExecContext,
+    private: bool,
+    rel: &Relation,
+    snapshot: Option<&Snapshot>,
+    pred: &Predicate,
+    filtered: bool,
+    cache: Option<&Arc<RunCache>>,
+    fingerprint: u64,
+    radix_bits: u32,
+    stats: &mut JoinStats,
+) -> AnytimeSide {
+    let (partition_phase, sort_phase) =
+        if private { (Phase::Two, Phase::Three) } else { (Phase::One, Phase::One) };
+    let build = |tuples: &[Tuple], stats: &mut JoinStats| {
+        Arc::new(build_run_set(cx, tuples, radix_bits, partition_phase, sort_phase, stats))
+    };
+    let dirty = snapshot.is_some_and(|s| s.delta_len() > 0);
+    if filtered || dirty {
+        // Filtered rows are query-specific and a dirty snapshot's
+        // literal state has no cacheable version: both materialize and
+        // build fresh runs (correctness over reuse — the interruptible
+        // path favours a well-defined prefix contract over the
+        // delta-merge optimization).
+        let selected: Vec<Tuple> = match (snapshot, filtered) {
+            (Some(snapshot), true) => {
+                snapshot.materialize().into_iter().filter(|t| pred(t)).collect()
+            }
+            (Some(snapshot), false) => snapshot.materialize(),
+            (None, _) => Select::new(rel, |t| pred(t)).execute_in(cx),
+        };
+        let rows = selected.len();
+        return AnytimeSide {
+            runs: build(&selected, stats),
+            outcome: RunCacheOutcome::Bypass,
+            rows,
+        };
+    }
+    // Clean side: the snapshot's base (or the raw handle) is the
+    // canonical tuple source, and its version keys the run cache.
+    let base_rel: &Relation = match snapshot {
+        Some(snapshot) => snapshot.base(),
+        None => rel,
+    };
+    let rows = base_rel.len();
+    let (runs, outcome) = match cache {
+        Some(cache) if base_rel.version() > 0 => {
+            let key = RunKey { relation: base_rel.id(), version: base_rel.version(), fingerprint };
+            match cache.lookup(key) {
+                Lookup::Hit(runs) => (runs, RunCacheOutcome::Hit),
+                Lookup::Miss(permit) => {
+                    let built = build(base_rel.tuples(), stats);
+                    permit.publish(built.clone());
+                    (built, RunCacheOutcome::Miss)
+                }
+                // Someone else is building this base; don't wait.
+                Lookup::Busy => (build(base_rel.tuples(), stats), RunCacheOutcome::Miss),
+            }
+        }
+        _ => (build(base_rel.tuples(), stats), RunCacheOutcome::Bypass),
+    };
+    AnytimeSide { runs, outcome, rows }
+}
+
 fn side_input<'a>(prep: &'a SidePrep, rel: &'a Relation) -> RunsInput<'a> {
     match (&prep.cached, &prep.selected) {
         (Some(runs), _) => RunsInput::Runs(runs.clone()),
@@ -463,6 +671,8 @@ fn assemble(
         aggregate: "max(R.payload + S.payload)".to_string(),
         join_rows: None,
         queue_wait_ms: None,
+        queue_counters: None,
+        anytime: None,
         phases_ms: None,
         phase_tuples: None,
         sort_kernel: None,
@@ -470,7 +680,7 @@ fn assemble(
         run_cache: None,
         snapshots: vec![],
     };
-    PaperQueryResult { max_payload_sum: max, r_selected, s_selected, stats, plan }
+    PaperQueryResult { max_payload_sum: max, r_selected, s_selected, stats, plan, rows: None }
 }
 
 #[cfg(test)]

@@ -63,12 +63,32 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use mpsm_core::context::ExecContext;
+use mpsm_core::join::anytime::AnytimeToken;
 use mpsm_core::worker::SharedWorkerPool;
 use mpsm_numa::{NodeId, Topology};
 
+use crate::plan::QueueCounters;
 use crate::query::PaperQueryResult;
 use crate::run_cache::RunCache;
 use crate::session::QuerySpec;
+
+/// Admission priority class of a query. Orders the backlog: a
+/// coordinator always pops the highest class first (FIFO within a
+/// class), and when the queue overflows an arriving query may *shed*
+/// the youngest queued query of a strictly lower class instead of being
+/// rejected — load degrades batch work before interactive work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Bulk/background work: popped last, shed first under overload.
+    Batch,
+    /// The default class (every pre-SLA submission behaves exactly as
+    /// before: FIFO, rejected — never shed — on overflow).
+    #[default]
+    Normal,
+    /// Latency-sensitive work: popped first; sheds queued `Normal` and
+    /// `Batch` queries when the backlog is full.
+    Interactive,
+}
 
 /// Sizing of a [`Scheduler`]: pool width, concurrency budget, queue
 /// bound, and the (simulated) machine topology queries are placed on.
@@ -99,6 +119,18 @@ pub struct SchedulerConfig {
     /// milliseconds and makes the chosen kernel machine-dependent, so
     /// tests and short-lived schedulers stick with the fixed default.
     pub auto_tune_sort: bool,
+    /// Deadlines below this are rejected at submit with
+    /// [`SubmitError::DeadlineInfeasible`] — the service's floor on
+    /// what it will even attempt (a zero deadline is always
+    /// infeasible). Deterministic by design: no execution-time
+    /// estimation, so admission decisions are reproducible.
+    pub min_feasible_deadline: Duration,
+    /// Bound on the drop-time drain: [`Scheduler`]'s `Drop` waits this
+    /// long for admitted queries to finish, then abandons the (wedged)
+    /// coordinator threads instead of hanging shutdown. Queries still
+    /// queued behind a wedged coordinator never complete their tickets
+    /// in that case — bounded shutdown is the contract a server needs.
+    pub drain_timeout: Duration,
 }
 
 impl SchedulerConfig {
@@ -112,6 +144,8 @@ impl SchedulerConfig {
             queue_capacity: 16,
             topology: Topology::flat(pool_threads as u32),
             auto_tune_sort: false,
+            min_feasible_deadline: Duration::ZERO,
+            drain_timeout: Duration::from_secs(60),
         }
     }
 
@@ -139,6 +173,18 @@ impl SchedulerConfig {
     /// (see [`SchedulerConfig::auto_tune_sort`]).
     pub fn auto_tune_sort(mut self, enabled: bool) -> Self {
         self.auto_tune_sort = enabled;
+        self
+    }
+
+    /// Builder-style override of the deadline feasibility floor.
+    pub fn min_feasible_deadline(mut self, floor: Duration) -> Self {
+        self.min_feasible_deadline = floor;
+        self
+    }
+
+    /// Builder-style override of the drop-time drain bound.
+    pub fn drain_timeout(mut self, timeout: Duration) -> Self {
+        self.drain_timeout = timeout;
         self
     }
 }
@@ -240,6 +286,14 @@ pub enum SubmitError {
     },
     /// The scheduler is shutting down and accepts no new work.
     ShuttingDown,
+    /// The submitted deadline is below the scheduler's
+    /// [`SchedulerConfig::min_feasible_deadline`] floor (or zero):
+    /// admission refuses SLAs it cannot possibly honor instead of
+    /// queueing work guaranteed to return an empty partial.
+    DeadlineInfeasible {
+        /// The deadline the submission asked for.
+        deadline: Duration,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -249,6 +303,9 @@ impl std::fmt::Display for SubmitError {
                 write!(f, "admission queue full ({capacity} waiting queries)")
             }
             SubmitError::ShuttingDown => write!(f, "scheduler is shutting down"),
+            SubmitError::DeadlineInfeasible { deadline } => {
+                write!(f, "deadline of {deadline:?} is below the feasibility floor")
+            }
         }
     }
 }
@@ -264,6 +321,11 @@ pub enum QueryError {
     /// The query panicked while executing (e.g. a predicate or a join
     /// phase); other queries are unaffected.
     Panicked(String),
+    /// The query was evicted from the admission queue by a
+    /// higher-priority arrival while the backlog was full (the
+    /// shed-on-overload policy; only queued, never running, queries are
+    /// shed).
+    Shed,
 }
 
 impl std::fmt::Display for QueryError {
@@ -271,6 +333,7 @@ impl std::fmt::Display for QueryError {
         match self {
             QueryError::Rejected(e) => write!(f, "query rejected: {e}"),
             QueryError::Panicked(msg) => write!(f, "query panicked: {msg}"),
+            QueryError::Shed => write!(f, "query shed by a higher-priority arrival"),
         }
     }
 }
@@ -390,6 +453,14 @@ pub struct SchedulerMetrics {
     /// Delta compactions performed (background sweeps and explicit
     /// [`crate::session::Session::compact`] calls alike).
     pub compactions: u64,
+    /// Queued queries evicted by higher-priority arrivals under
+    /// overload (their tickets fail with [`QueryError::Shed`]).
+    pub shed: u64,
+    /// Queries that finished past their deadline — returned a partial
+    /// answer, or a complete one later than promised.
+    pub deadline_missed: u64,
+    /// Queries that returned a partial (coverage < 100%) answer.
+    pub partial_answers: u64,
 }
 
 #[derive(Default)]
@@ -400,6 +471,9 @@ struct AtomicMetrics {
     panicked: AtomicU64,
     queue_wait_micros: AtomicU64,
     compactions: AtomicU64,
+    shed: AtomicU64,
+    deadline_missed: AtomicU64,
+    partial_answers: AtomicU64,
 }
 
 struct QueuedQuery {
@@ -407,6 +481,10 @@ struct QueuedQuery {
     spec: QuerySpec,
     cell: Arc<TicketCell>,
     submitted_at: Instant,
+    priority: Priority,
+    /// Absolute deadline, fixed at submit time — the SLA covers queue
+    /// wait, not just execution.
+    deadline_at: Option<Instant>,
 }
 
 #[derive(Default)]
@@ -425,6 +503,12 @@ struct SchedCore {
     /// `max_in_flight + queue_capacity`.
     max_in_flight: usize,
     queue_capacity: usize,
+    min_feasible_deadline: Duration,
+    drain_timeout: Duration,
+    /// Coordinator threads still alive, with a condvar `Drop` waits on
+    /// (bounded) for the drain to finish.
+    live_coordinators: Mutex<usize>,
+    drained_cv: Condvar,
     next_id: AtomicU64,
     /// Queries currently pinned to each node (NUMA-affine placement
     /// picks the least-loaded one; empty when the topology is flat).
@@ -516,6 +600,10 @@ impl Scheduler {
             metrics: AtomicMetrics::default(),
             max_in_flight: config.max_in_flight,
             queue_capacity: config.queue_capacity,
+            min_feasible_deadline: config.min_feasible_deadline,
+            drain_timeout: config.drain_timeout,
+            live_coordinators: Mutex::new(config.max_in_flight),
+            drained_cv: Condvar::new(),
             next_id: AtomicU64::new(1),
             node_load: Mutex::new(vec![0; nodes]),
         });
@@ -523,7 +611,22 @@ impl Scheduler {
             .map(|_| {
                 let core = Arc::clone(&core);
                 let cx = Arc::clone(&cx);
-                std::thread::spawn(move || coordinator_loop(&core, &cx))
+                std::thread::spawn(move || {
+                    // The guard decrements the live count on any exit —
+                    // orderly shutdown or a (should-be-impossible) panic
+                    // — so the drop-time drain never waits on a corpse.
+                    struct LiveGuard(Arc<SchedCore>);
+                    impl Drop for LiveGuard {
+                        fn drop(&mut self) {
+                            let mut live =
+                                self.0.live_coordinators.lock().expect("live count poisoned");
+                            *live -= 1;
+                            self.0.drained_cv.notify_all();
+                        }
+                    }
+                    let _guard = LiveGuard(Arc::clone(&core));
+                    coordinator_loop(&core, &cx);
+                })
             })
             .collect();
         Scheduler { core, cx, coordinators, run_cache: None, compactor: None }
@@ -580,19 +683,54 @@ impl Scheduler {
 
     /// Submit a query. Returns a ticket immediately, or rejects when
     /// the backlog already holds `queue_capacity` queries.
+    ///
+    /// SLA admission: a deadline below the configured feasibility floor
+    /// (or zero) is rejected outright with
+    /// [`SubmitError::DeadlineInfeasible`]. On overflow, an arrival may
+    /// **shed** the youngest queued query of a strictly lower
+    /// [`Priority`] — that victim's ticket fails with
+    /// [`QueryError::Shed`] — instead of being rejected; equal or
+    /// higher-priority backlog still means [`SubmitError::QueueFull`].
+    /// The absolute deadline is fixed here, so queue wait counts
+    /// against the SLA.
     pub fn submit(&self, mut spec: QuerySpec) -> Result<QueryTicket, SubmitError> {
         if spec.cache.is_none() {
             spec.cache = self.run_cache.clone();
         }
+        if let Some(deadline) = spec.deadline {
+            if deadline.is_zero() || deadline < self.core.min_feasible_deadline {
+                self.core.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::DeadlineInfeasible { deadline });
+            }
+        }
+        let priority = spec.priority;
+        let deadline_at = spec.deadline.map(|d| Instant::now() + d);
         let mut queue = self.core.queue.lock().expect("scheduler queue poisoned");
         if queue.shutdown {
             return Err(SubmitError::ShuttingDown);
         }
+        let mut shed_victim = None;
         if queue.backlog.len() + queue.running >= self.core.max_in_flight + self.core.queue_capacity
         {
-            drop(queue);
-            self.core.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(SubmitError::QueueFull { capacity: self.core.queue_capacity });
+            // Shed the youngest queued query of the lowest class — but
+            // only if that class is strictly below the arrival's (a
+            // Normal arrival never sheds Normal backlog, so pre-SLA
+            // behaviour is unchanged).
+            let victim = queue
+                .backlog
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, q)| (q.priority, std::cmp::Reverse(*i)))
+                .filter(|(_, q)| q.priority < priority)
+                .map(|(i, _)| i);
+            match victim {
+                Some(i) => shed_victim = queue.backlog.remove(i),
+                None => {
+                    drop(queue);
+                    self.core.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::QueueFull { capacity: self.core.queue_capacity });
+                }
+            }
         }
         let id = self.core.next_id.fetch_add(1, Ordering::Relaxed);
         let cell =
@@ -602,8 +740,14 @@ impl Scheduler {
             spec,
             cell: Arc::clone(&cell),
             submitted_at: Instant::now(),
+            priority,
+            deadline_at,
         });
         drop(queue);
+        if let Some(victim) = shed_victim {
+            self.core.metrics.shed.fetch_add(1, Ordering::Relaxed);
+            victim.cell.set(TicketState::Done(Box::new(Err(QueryError::Shed))));
+        }
         self.core.metrics.submitted.fetch_add(1, Ordering::Relaxed);
         self.core.work_cv.notify_one();
         Ok(QueryTicket { id, cell })
@@ -636,6 +780,9 @@ impl Scheduler {
             cache_misses: cache.misses,
             cache_evictions: cache.evictions,
             compactions: m.compactions.load(Ordering::Relaxed),
+            shed: m.shed.load(Ordering::Relaxed),
+            deadline_missed: m.deadline_missed.load(Ordering::Relaxed),
+            partial_answers: m.partial_answers.load(Ordering::Relaxed),
         }
     }
 
@@ -655,6 +802,13 @@ impl Drop for Scheduler {
     /// appear under draining queries), then already-admitted queries
     /// (executing *and* queued) are drained to completion, then the
     /// coordinators exit.
+    ///
+    /// The drain is **bounded** by [`SchedulerConfig::drain_timeout`]:
+    /// a coordinator wedged inside a query (a parked predicate, a
+    /// livelocked phase) cannot hang shutdown. On timeout the wedged
+    /// threads are abandoned — they hold `Arc`s of everything they
+    /// touch, so this is leak-bounded, not unsound — and any queries
+    /// still queued behind them never complete their tickets.
     fn drop(&mut self) {
         if let Some(compactor) = self.compactor.take() {
             compactor.ctl.state.lock().expect("compactor ctl poisoned").shutdown = true;
@@ -663,8 +817,26 @@ impl Drop for Scheduler {
         }
         self.core.queue.lock().expect("scheduler queue poisoned").shutdown = true;
         self.core.work_cv.notify_all();
-        for handle in self.coordinators.drain(..) {
-            let _ = handle.join();
+        let deadline = Instant::now() + self.core.drain_timeout;
+        let mut live = self.core.live_coordinators.lock().expect("live count poisoned");
+        while *live > 0 {
+            let Some(left) =
+                deadline.checked_duration_since(Instant::now()).filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            live = self.core.drained_cv.wait_timeout(live, left).expect("live count poisoned").0;
+        }
+        let drained = *live == 0;
+        drop(live);
+        if drained {
+            for handle in self.coordinators.drain(..) {
+                let _ = handle.join();
+            }
+        } else {
+            // Wedged coordinator: abandon the handles. Joining would
+            // block forever; a bounded shutdown is the server contract.
+            self.coordinators.clear();
         }
     }
 }
@@ -701,7 +873,16 @@ fn coordinator_loop(core: &SchedCore, cx: &ExecContext) {
         let job = {
             let mut queue = core.queue.lock().expect("scheduler queue poisoned");
             loop {
-                if let Some(job) = queue.backlog.pop_front() {
+                // Pop the highest priority class; FIFO within a class
+                // (the earliest index wins a tie).
+                let next = queue
+                    .backlog
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(i, q)| (q.priority, std::cmp::Reverse(*i)))
+                    .map(|(i, _)| i);
+                if let Some(i) = next {
+                    let job = queue.backlog.remove(i).expect("index from enumerate");
                     queue.running += 1;
                     break job;
                 }
@@ -728,12 +909,39 @@ fn coordinator_loop(core: &SchedCore, cx: &ExecContext) {
             Some(node) => owned.pinned_to(node),
             None => owned,
         };
+        let token = match job.deadline_at {
+            Some(at) => AnytimeToken::at(at),
+            None => AnytimeToken::never(),
+        };
         let started = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| job.spec.join.run(&query_cx, &job.spec)));
+        // Deadline already blown while queued: skip execution entirely
+        // and return the degraded (empty, coverage-0) answer — the
+        // anytime contract turns an SLA miss into a partial result, not
+        // a rejection.
+        let expired_in_queue = job.deadline_at.is_some_and(|at| Instant::now() >= at);
+        let outcome = if expired_in_queue {
+            Ok(crate::query::expired_in_queue_result(&query_cx, &job.spec))
+        } else {
+            catch_unwind(AssertUnwindSafe(|| {
+                job.spec.join.run_with_token(&query_cx, &job.spec, &token)
+            }))
+        };
         core.release_node(node);
         let done = match outcome {
             Ok(mut result) => {
+                let partial = result.plan.anytime.as_ref().is_some_and(|a| !a.complete);
+                if partial {
+                    core.metrics.partial_answers.fetch_add(1, Ordering::Relaxed);
+                }
+                if job.deadline_at.is_some_and(|at| partial || Instant::now() > at) {
+                    core.metrics.deadline_missed.fetch_add(1, Ordering::Relaxed);
+                }
                 result.plan.queue_wait_ms = Some(queue_wait.as_secs_f64() * 1e3);
+                result.plan.queue_counters = Some(QueueCounters {
+                    shed: core.metrics.shed.load(Ordering::Relaxed),
+                    deadline_missed: core.metrics.deadline_missed.load(Ordering::Relaxed),
+                    partial_answers: core.metrics.partial_answers.load(Ordering::Relaxed),
+                });
                 core.metrics.completed.fetch_add(1, Ordering::Relaxed);
                 Ok(QueryOutput { result, queue_wait, execution: started.elapsed() })
             }
@@ -1024,6 +1232,206 @@ mod tests {
             "EXPLAIN must surface the kernel the query sorted with:\n{explain}"
         );
         assert!(explain.contains(" ns/t"), "per-phase rates must render:\n{explain}");
+    }
+
+    /// A query whose `filter_r` blocks until the gate opens, pinning
+    /// the coordinator it runs on.
+    fn gated_query(
+        r: &Arc<Relation>,
+        s: &Arc<Relation>,
+        gate: &Arc<(Mutex<bool>, Condvar)>,
+    ) -> QuerySpec {
+        let gate = Arc::clone(gate);
+        QuerySpec::join(r, s).filter_r(move |_| {
+            let (open, cv) = &*gate;
+            let mut open = open.lock().expect("gate poisoned");
+            while !*open {
+                open = cv.wait(open).expect("gate poisoned");
+            }
+            true
+        })
+    }
+
+    fn open_gate(gate: &Arc<(Mutex<bool>, Condvar)>) {
+        let (open, cv) = &**gate;
+        *open.lock().expect("gate poisoned") = true;
+        cv.notify_all();
+    }
+
+    #[test]
+    fn backlog_pops_by_priority_class_fifo_within() {
+        let r = rel("R", 40);
+        let s = rel("S", 40);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let scheduler = Scheduler::new(SchedulerConfig::new(1).max_in_flight(1).queue_capacity(8));
+        let blocker = scheduler.submit(gated_query(&r, &s, &gate)).expect("admitted");
+        while blocker.status() != QueryStatus::Running {
+            std::thread::yield_now();
+        }
+        // Queue 5 queries while the lone coordinator is pinned; each
+        // records its pop order from inside its selection.
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mark = |name: &'static str, priority: Priority| {
+            let order = Arc::clone(&order);
+            scheduler
+                .submit(QuerySpec::join(&r, &s).priority(priority).filter_r(move |t| {
+                    if t.key == 0 {
+                        order.lock().expect("order poisoned").push(name);
+                    }
+                    true
+                }))
+                .expect("admitted")
+        };
+        let tickets = vec![
+            mark("batch-1", Priority::Batch),
+            mark("normal-1", Priority::Normal),
+            mark("interactive-1", Priority::Interactive),
+            mark("normal-2", Priority::Normal),
+            mark("interactive-2", Priority::Interactive),
+        ];
+        open_gate(&gate);
+        blocker.wait().expect("blocker failed");
+        for t in tickets {
+            t.wait().expect("query failed");
+        }
+        assert_eq!(
+            *order.lock().expect("order poisoned"),
+            vec!["interactive-1", "interactive-2", "normal-1", "normal-2", "batch-1"],
+            "highest class first, FIFO within a class"
+        );
+    }
+
+    #[test]
+    fn overflow_sheds_the_youngest_lower_priority_query() {
+        let r = rel("R", 40);
+        let s = rel("S", 40);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let scheduler = Scheduler::new(SchedulerConfig::new(1).max_in_flight(1).queue_capacity(1));
+        let blocker = scheduler.submit(gated_query(&r, &s, &gate)).expect("admitted");
+        while blocker.status() != QueryStatus::Running {
+            std::thread::yield_now();
+        }
+        let batch =
+            scheduler.submit(QuerySpec::join(&r, &s).priority(Priority::Batch)).expect("one slot");
+        // A same-class arrival is still rejected (pre-SLA behaviour)...
+        let same = scheduler.submit(QuerySpec::join(&r, &s).priority(Priority::Batch));
+        assert_eq!(same.err(), Some(SubmitError::QueueFull { capacity: 1 }));
+        // ...but a higher class evicts the queued Batch query.
+        let interactive = scheduler
+            .submit(QuerySpec::join(&r, &s).priority(Priority::Interactive))
+            .expect("sheds the batch query instead of rejecting");
+        assert_eq!(batch.wait().err(), Some(QueryError::Shed));
+        assert_eq!(scheduler.metrics().shed, 1);
+        assert_eq!(scheduler.metrics().rejected, 1);
+        open_gate(&gate);
+        assert!(blocker.wait().is_ok());
+        let out = interactive.wait().expect("query failed");
+        // The survivor's plan carries the SLA counters.
+        let explain = out.result.plan.explain();
+        assert!(explain.contains("shed=1"), "{explain}");
+    }
+
+    #[test]
+    fn infeasible_deadlines_are_rejected_at_submit() {
+        let r = rel("R", 10);
+        let s = rel("S", 10);
+        let scheduler = Scheduler::new(
+            SchedulerConfig::new(1).min_feasible_deadline(Duration::from_millis(10)),
+        );
+        let below = scheduler.submit(QuerySpec::join(&r, &s).deadline(Duration::from_millis(2)));
+        assert_eq!(
+            below.err(),
+            Some(SubmitError::DeadlineInfeasible { deadline: Duration::from_millis(2) })
+        );
+        // A zero deadline is infeasible even with no configured floor.
+        let zero_floor = Scheduler::new(SchedulerConfig::new(1));
+        let zero = zero_floor.submit(QuerySpec::join(&r, &s).deadline(Duration::ZERO));
+        assert_eq!(zero.err(), Some(SubmitError::DeadlineInfeasible { deadline: Duration::ZERO }));
+        assert_eq!(scheduler.metrics().rejected, 1);
+        // At or above the floor, admission proceeds.
+        let ok = scheduler.submit(QuerySpec::join(&r, &s).deadline(Duration::from_secs(3600)));
+        assert!(ok.expect("feasible deadline admitted").wait().is_ok());
+    }
+
+    #[test]
+    fn deadline_expired_in_queue_returns_an_empty_partial() {
+        let r = rel("R", 40);
+        let s = rel("S", 40);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let scheduler = Scheduler::new(SchedulerConfig::new(1).max_in_flight(1));
+        let blocker = scheduler.submit(gated_query(&r, &s, &gate)).expect("admitted");
+        while blocker.status() != QueryStatus::Running {
+            std::thread::yield_now();
+        }
+        let sla = scheduler
+            .submit(QuerySpec::join(&r, &s).deadline(Duration::from_millis(10)).collect_rows(100))
+            .expect("admitted");
+        // Let the SLA expire while the query is still queued.
+        std::thread::sleep(Duration::from_millis(30));
+        open_gate(&gate);
+        assert!(blocker.wait().is_ok());
+        let out = sla.wait().expect("an SLA miss degrades, it does not fail");
+        let anytime = out.result.plan.anytime.as_ref().expect("anytime row");
+        assert!(!anytime.complete);
+        assert_eq!(anytime.coverage, 0.0);
+        assert_eq!(out.result.max_payload_sum, None);
+        assert_eq!(out.result.rows.as_deref(), Some(&[][..]), "empty row prefix");
+        let m = scheduler.metrics();
+        assert_eq!(m.deadline_missed, 1);
+        assert_eq!(m.partial_answers, 1);
+        let explain = out.result.plan.explain();
+        assert!(explain.contains("Anytime [coverage=0.0%, runs=0/0, partial]"), "{explain}");
+        assert!(explain.contains("deadline_missed=1"), "{explain}");
+    }
+
+    #[test]
+    fn generous_deadline_completes_with_full_coverage() {
+        let r = rel("R", 80);
+        let s = rel("S", 80);
+        let scheduler = Scheduler::new(SchedulerConfig::new(2));
+        let out = scheduler
+            .submit(QuerySpec::join(&r, &s).deadline(Duration::from_secs(3600)).collect_rows(5))
+            .expect("admitted")
+            .wait()
+            .expect("query failed");
+        let anytime = out.result.plan.anytime.as_ref().expect("anytime row");
+        assert!(anytime.complete);
+        assert!((anytime.coverage - 1.0).abs() < 1e-12);
+        // The aggregate is computed before the row cap truncates.
+        assert_eq!(out.result.max_payload_sum, Some(79 + 79));
+        let rows = out.result.rows.as_ref().expect("collected rows");
+        assert_eq!(rows.as_slice(), &[(0, 0, 0), (1, 1, 1), (2, 2, 2), (3, 3, 3), (4, 4, 4)]);
+        let m = scheduler.metrics();
+        assert_eq!(m.deadline_missed, 0);
+        assert_eq!(m.partial_answers, 0);
+    }
+
+    #[test]
+    fn drop_drain_is_bounded_when_a_coordinator_wedges() {
+        let r = rel("R", 40);
+        let s = rel("S", 40);
+        // The gate never opens: the lone coordinator wedges inside the
+        // query forever. Drop must still return within the configured
+        // drain timeout (plus scheduling slack), abandoning the thread.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let scheduler = Scheduler::new(
+            SchedulerConfig::new(1).max_in_flight(1).drain_timeout(Duration::from_millis(100)),
+        );
+        let parked = scheduler.submit(gated_query(&r, &s, &gate)).expect("admitted");
+        while parked.status() != QueryStatus::Running {
+            std::thread::yield_now();
+        }
+        let start = Instant::now();
+        drop(scheduler);
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "bounded drain must not hang on a wedged coordinator (took {elapsed:?})"
+        );
+        // The wedged query never completed; its ticket is still live.
+        assert_ne!(parked.status(), QueryStatus::Done);
+        // Unblock the abandoned thread so the test process exits clean.
+        open_gate(&gate);
     }
 
     #[test]

@@ -73,7 +73,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use std::time::Duration;
+
 use mpsm_core::context::ExecContext;
+use mpsm_core::join::anytime::AnytimeToken;
 use mpsm_core::join::delta::{materialize, DeltaOp};
 use mpsm_core::join::p_mpsm::PMpsmJoin;
 use mpsm_core::join::runs::build_run_set;
@@ -82,11 +85,13 @@ use mpsm_core::stats::{JoinStats, Phase};
 use mpsm_core::Tuple;
 
 use crate::plan::SnapshotInfo;
-use crate::query::{paper_query_cached, paper_query_in, paper_query_snapshot, PaperQueryResult};
+use crate::query::{
+    paper_query_anytime, paper_query_cached, paper_query_in, paper_query_snapshot, PaperQueryResult,
+};
 use crate::run_cache::{splitter_fingerprint, Lookup, RunCache, RunCacheConfig, RunKey};
 use crate::scan::Relation;
 use crate::sched::{
-    CompactionConfig, CompactionTask, QueryError, QueryOutput, QueryTicket, Scheduler,
+    CompactionConfig, CompactionTask, Priority, QueryError, QueryOutput, QueryTicket, Scheduler,
     SchedulerConfig, SubmitError,
 };
 use crate::snapshot::{DeltaLog, RelationState, Snapshot};
@@ -159,14 +164,35 @@ impl JoinSpec {
     ///
     /// Routing, most specific first:
     ///
-    /// 1. A side whose captured snapshot has pending delta ops sends
+    /// 1. A spec carrying a deadline or a row collection cap takes the
+    ///    **anytime** path: a run-oriented execution (P-MPSM-style
+    ///    regardless of the configured algorithm) whose merge is
+    ///    interruptible by `token` and reports coverage on the plan's
+    ///    `Anytime` row.
+    /// 2. A side whose captured snapshot has pending delta ops sends
     ///    the whole query down the snapshot-merge path (base runs —
     ///    cache-served when possible — plus the sorted delta run, with
     ///    masked base keys skipped in the merge).
-    /// 2. Otherwise, with a run cache attached and at least one
+    /// 3. Otherwise, with a run cache attached and at least one
     ///    cacheable side — unfiltered and catalog-registered — the
     ///    run-set path consults and populates the cache.
-    /// 3. Otherwise the plain four-phase path runs.
+    /// 4. Otherwise the plain four-phase path runs.
+    pub(crate) fn run_with_token(
+        &self,
+        cx: &ExecContext,
+        spec: &QuerySpec,
+        token: &AnytimeToken,
+    ) -> PaperQueryResult {
+        if spec.deadline.is_some() || spec.rows_cap.is_some() {
+            let mut result = paper_query_anytime(cx, spec, token);
+            Self::append_snapshot_rows(&mut result, spec);
+            return result;
+        }
+        self.run(cx, spec)
+    }
+
+    /// [`JoinSpec::run_with_token`] without the anytime routing (a
+    /// token-free spec never consults one).
     pub(crate) fn run(&self, cx: &ExecContext, spec: &QuerySpec) -> PaperQueryResult {
         // A side needs the snapshot path when its snapshot carries
         // pending delta ops, or when compaction moved the lineage past
@@ -199,9 +225,14 @@ impl JoinSpec {
                 JoinSpec::BMpsm(cfg) => go(cx, spec, &BMpsmJoin::new(cfg.clone())),
             }
         };
-        // Every catalog-resolved side reports the snapshot it was
-        // pinned to — also when the delta was empty and execution took
-        // a clean path.
+        Self::append_snapshot_rows(&mut result, spec);
+        result
+    }
+
+    /// Every catalog-resolved side reports the snapshot it was pinned
+    /// to — also when the delta was empty and execution took a clean
+    /// path.
+    fn append_snapshot_rows(result: &mut PaperQueryResult, spec: &QuerySpec) {
         for (side, snapshot) in [("R", &spec.r_snapshot), ("S", &spec.s_snapshot)] {
             if let Some(snapshot) = snapshot {
                 result.plan.snapshots.push(SnapshotInfo {
@@ -211,7 +242,6 @@ impl JoinSpec {
                 });
             }
         }
-        result
     }
 }
 
@@ -236,6 +266,14 @@ pub struct QuerySpec {
     pub(crate) r_snapshot: Option<Snapshot>,
     /// Consistent snapshot of `s`.
     pub(crate) s_snapshot: Option<Snapshot>,
+    /// SLA deadline, measured from submit (so queue wait counts
+    /// against it). Routes the query down the anytime path.
+    pub(crate) deadline: Option<Duration>,
+    /// Admission class (default [`Priority::Normal`]).
+    pub(crate) priority: Priority,
+    /// Collect up to this many joined rows (key order) alongside the
+    /// aggregate. Routes the query down the anytime path.
+    pub(crate) rows_cap: Option<usize>,
 }
 
 impl QuerySpec {
@@ -252,6 +290,9 @@ impl QuerySpec {
             cache: None,
             r_snapshot: None,
             s_snapshot: None,
+            deadline: None,
+            priority: Priority::Normal,
+            rows_cap: None,
         }
     }
 
@@ -272,6 +313,29 @@ impl QuerySpec {
     /// Choose the join algorithm (default: P-MPSM).
     pub fn algorithm(mut self, join: JoinSpec) -> Self {
         self.join = join;
+        self
+    }
+
+    /// Set an SLA deadline, measured from submission. A deadline-hit
+    /// query returns best-so-far rows plus a coverage estimate instead
+    /// of failing (the plan's `Anytime` row reports both).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the admission class (default [`Priority::Normal`]). On
+    /// queue overflow an arrival may shed a strictly-lower-priority
+    /// queued query instead of being rejected.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Collect joined `(key, r_payload, s_payload)` rows — in key
+    /// order, up to `cap` — alongside the aggregate.
+    pub fn collect_rows(mut self, cap: usize) -> Self {
+        self.rows_cap = Some(cap);
         self
     }
 }

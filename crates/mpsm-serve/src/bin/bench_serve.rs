@@ -1,0 +1,459 @@
+//! `bench_serve` — closed-loop load generator against the query
+//! service's real TCP socket.
+//!
+//! Registers two closed-form relations (every key in `0..scale`
+//! exactly once, payload = key, so every query's full answer is
+//! `max = 2 * (scale - 1)` and the full join is exactly `scale` rows),
+//! then:
+//!
+//! 1. **Anytime demonstration** — one client measures the full-query
+//!    latency, then retries with descending deadlines until the server
+//!    returns a partial answer; the partial's rows are checked to be a
+//!    key-order prefix of the full join's rows, and its coverage is
+//!    reported.
+//! 2. **Client sweep** — for each client count, that many closed-loop
+//!    clients hammer the server for a fixed duration with a mix of
+//!    priority classes and occasional deadline-carrying queries.
+//!    Reports p50/p99/p999 latency, throughput, shed/rejected counts,
+//!    and mean partial-answer coverage per point.
+//!
+//! Every complete answer is checked against the closed form and every
+//! partial against `max <= closed form` — a torn result fails the run.
+//! Any transport or protocol error fails the run. `BENCH_9.json` at
+//! the repo root records the committed trajectory point.
+//!
+//! ```text
+//! cargo run --release -p mpsm-serve --bin bench_serve
+//!     [--addr HOST:PORT] [--scale N] [--threads N] [--in-flight N]
+//!     [--queue N] [--duration-ms N] [--seed N] [--quick] [--out PATH]
+//! ```
+//!
+//! Without `--addr` the harness spawns its own server in-process —
+//! still over a real TCP socket on `127.0.0.1`. `--quick` shrinks the
+//! scale, client counts, and duration for CI smoke runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use mpsm_exec::{RunCacheConfig, SchedulerConfig, Session};
+use mpsm_serve::protocol::code;
+use mpsm_serve::{Client, QueryRequest, Server, ServiceError};
+
+struct Args {
+    addr: Option<String>,
+    scale: usize,
+    threads: usize,
+    in_flight: usize,
+    queue: usize,
+    duration_ms: u64,
+    seed: u64,
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        scale: 1 << 15,
+        threads: 4,
+        in_flight: 2,
+        queue: 16,
+        duration_ms: 1000,
+        seed: 42,
+        quick: false,
+        out: "BENCH_9.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    let num = |it: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
+        it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| panic!("{flag} needs a number"))
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => {
+                args.addr = Some(it.next().unwrap_or_else(|| panic!("--addr needs HOST:PORT")))
+            }
+            "--scale" => args.scale = num(&mut it, "--scale"),
+            "--threads" => args.threads = num(&mut it, "--threads"),
+            "--in-flight" => args.in_flight = num(&mut it, "--in-flight"),
+            "--queue" => args.queue = num(&mut it, "--queue"),
+            "--duration-ms" => args.duration_ms = num(&mut it, "--duration-ms") as u64,
+            "--seed" => args.seed = num(&mut it, "--seed") as u64,
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next().unwrap_or_else(|| panic!("--out needs a path")),
+            other => panic!(
+                "unknown flag {other}; supported: --addr --scale --threads --in-flight --queue \
+                 --duration-ms --seed --quick --out"
+            ),
+        }
+    }
+    if args.quick {
+        args.scale /= 8;
+        args.duration_ms = args.duration_ms.min(300);
+    }
+    assert!(args.scale > 64 && args.threads > 0 && args.duration_ms > 0);
+    args
+}
+
+fn finite(label: &str, v: f64) -> f64 {
+    assert!(v.is_finite(), "{label} is not finite: {v}");
+    v
+}
+
+fn lcg(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed | 1;
+    move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 32
+    }
+}
+
+/// Every key in `0..scale` exactly once (shuffled), payload = key.
+fn tuples(scale: usize, seed: u64) -> Vec<(u64, u64)> {
+    let mut keys: Vec<u64> = (0..scale as u64).collect();
+    let mut next = lcg(seed);
+    for i in (1..keys.len()).rev() {
+        keys.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+    keys.into_iter().map(|k| (k, k)).collect()
+}
+
+/// Latency percentile over a sorted sample (nearest-rank on the
+/// inclusive index scale).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let idx = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Per-sweep-point tallies, shared across that point's client threads.
+#[derive(Default)]
+struct Tally {
+    ok: AtomicU64,
+    partial: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    torn: AtomicU64,
+    protocol_errors: AtomicU64,
+    /// Sum of coverage over successful queries, in millionths.
+    coverage_ppm: AtomicU64,
+}
+
+struct SweepPoint {
+    clients: usize,
+    queries: u64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    shed: u64,
+    rejected: u64,
+    partial_answers: u64,
+    mean_coverage: f64,
+}
+
+/// One client's closed loop: query until `deadline_wall`, classifying
+/// every outcome. Returns this client's latency samples (ms).
+fn client_loop(
+    addr: &str,
+    scale: usize,
+    client_idx: usize,
+    deadline_wall: Instant,
+    tight_deadline_micros: u64,
+    tally: &Tally,
+) -> Vec<f64> {
+    let closed_form = 2 * (scale as u64 - 1);
+    let mut latencies = Vec::new();
+    let Ok(mut client) = Client::connect(addr) else {
+        tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        return latencies;
+    };
+    let mut request = QueryRequest::new("R", "S");
+    request.priority = (client_idx % 3) as u8;
+    let mut q = 0u64;
+    while Instant::now() < deadline_wall {
+        // Every 4th query carries a tight SLA, exercising the anytime
+        // path (and deadline_missed accounting) under load.
+        request.deadline_micros = if q % 4 == 3 { tight_deadline_micros } else { 0 };
+        let start = Instant::now();
+        match client.query(&request) {
+            Ok(reply) => {
+                latencies.push(start.elapsed().as_secs_f64() * 1e3);
+                tally.ok.fetch_add(1, Ordering::Relaxed);
+                tally.coverage_ppm.fetch_add((reply.coverage * 1e6) as u64, Ordering::Relaxed);
+                if reply.complete {
+                    // Torn-result tripwire: a complete answer must be
+                    // the closed form exactly.
+                    if reply.max_payload_sum != Some(closed_form) {
+                        tally.torn.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    tally.partial.fetch_add(1, Ordering::Relaxed);
+                    // A partial covers a prefix: its max can never
+                    // exceed the full answer.
+                    if reply.max_payload_sum.is_some_and(|m| m > closed_form) {
+                        tally.torn.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(ServiceError::Server { code: code::SHED, .. }) => {
+                tally.shed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ServiceError::Server { code: code::REJECTED, .. }) => {
+                tally.rejected.fetch_add(1, Ordering::Relaxed);
+                // Back off instead of hammering a full queue.
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(_) => {
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return latencies;
+            }
+        }
+        q += 1;
+    }
+    latencies
+}
+
+fn sweep_point(addr: &str, args: &Args, clients: usize, tight_deadline_micros: u64) -> SweepPoint {
+    let tally = Tally::default();
+    let duration = Duration::from_millis(args.duration_ms);
+    let started = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let deadline_wall = Instant::now() + duration;
+        let handles: Vec<_> = (0..clients)
+            .map(|idx| {
+                let tally = &tally;
+                scope.spawn(move || {
+                    client_loop(addr, args.scale, idx, deadline_wall, tight_deadline_micros, tally)
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(
+        tally.protocol_errors.load(Ordering::Relaxed),
+        0,
+        "protocol/transport errors at {clients} clients"
+    );
+    assert_eq!(tally.torn.load(Ordering::Relaxed), 0, "torn results at {clients} clients");
+    let ok = tally.ok.load(Ordering::Relaxed);
+    assert!(ok > 0, "no queries completed at {clients} clients");
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let label = format!("{clients} clients");
+    SweepPoint {
+        clients,
+        queries: ok,
+        qps: finite(&label, ok as f64 / elapsed),
+        p50_ms: finite(&label, percentile(&latencies, 50.0)),
+        p99_ms: finite(&label, percentile(&latencies, 99.0)),
+        p999_ms: finite(&label, percentile(&latencies, 99.9)),
+        shed: tally.shed.load(Ordering::Relaxed),
+        rejected: tally.rejected.load(Ordering::Relaxed),
+        partial_answers: tally.partial.load(Ordering::Relaxed),
+        mean_coverage: finite(
+            &label,
+            tally.coverage_ppm.load(Ordering::Relaxed) as f64 / 1e6 / ok as f64,
+        ),
+    }
+}
+
+struct AnytimeDemo {
+    full_latency_ms: f64,
+    deadline_micros: u64,
+    coverage: f64,
+    partial_rows: usize,
+    full_rows: usize,
+    prefix_verified: bool,
+}
+
+/// Measure the full query, then shrink the deadline until the server
+/// degrades to a partial answer; verify the prefix contract over the
+/// wire.
+fn anytime_demo(addr: &str, scale: usize) -> AnytimeDemo {
+    let closed_form = 2 * (scale as u64 - 1);
+    let mut client = Client::connect(addr).expect("connect");
+    let mut full_req = QueryRequest::new("R", "S");
+    full_req.rows_cap = scale as u32;
+    // Warm (pays the run-cache misses), then measure.
+    let full = client.query(&full_req).expect("full query");
+    assert!(full.complete && full.max_payload_sum == Some(closed_form), "full answer wrong");
+    let full_rows = full.rows.clone();
+    assert_eq!(full_rows.len(), scale, "1:1 join returns exactly |R| rows");
+    let start = Instant::now();
+    let timed = client.query(&full_req).expect("timed full query");
+    let full_latency_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(timed.complete, "unconstrained query must complete");
+
+    // Descend from just under the measured latency until a deadline
+    // hit produces a partial. Prefer a partial with nonzero coverage
+    // (the merge got to run some blocks) but accept coverage 0 — the
+    // prefix contract holds for the empty prefix too, and at a 1 us
+    // deadline the query is always expired by the time the
+    // coordinator pops it (dispatch alone takes longer), so the
+    // descent is guaranteed to terminate with a partial even on a
+    // box fast enough to finish the quick-scale merge inside any
+    // larger deadline.
+    // (deadline_micros, coverage, partial rows) of the best partial seen.
+    type DemoPartial = (u64, f64, Vec<(u64, u64, u64)>);
+    let mut demo: Option<DemoPartial> = None;
+    let mut deadline_micros = (((full_latency_ms * 1e3) * 0.8) as u64).max(1);
+    for _ in 0..48 {
+        let mut req = full_req.clone();
+        req.deadline_micros = deadline_micros;
+        match client.query(&req) {
+            Ok(reply) if !reply.complete => {
+                let better = match &demo {
+                    Some((_, best, _)) => reply.coverage > *best || *best >= 1.0,
+                    None => true,
+                };
+                if better || demo.is_none() {
+                    demo = Some((deadline_micros, reply.coverage, reply.rows.clone()));
+                }
+                if reply.coverage > 0.0 {
+                    break;
+                }
+            }
+            Ok(_) => {}
+            Err(err) => panic!("anytime demo query failed: {err}"),
+        }
+        if deadline_micros == 1 {
+            break;
+        }
+        deadline_micros = ((deadline_micros * 7) / 10).max(1);
+    }
+    let (deadline_micros, coverage, partial_rows) =
+        demo.expect("no deadline produced a partial answer");
+    assert!(
+        partial_rows.as_slice() == &full_rows[..partial_rows.len()],
+        "partial rows are not a key-order prefix of the full join"
+    );
+    AnytimeDemo {
+        full_latency_ms,
+        deadline_micros,
+        coverage,
+        partial_rows: partial_rows.len(),
+        full_rows: full_rows.len(),
+        prefix_verified: true,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    // Spawn an in-process server (over a real TCP socket) unless the
+    // harness was pointed at an external one.
+    let (addr, handle) = match &args.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let config = SchedulerConfig::new(args.threads)
+                .max_in_flight(args.in_flight)
+                .queue_capacity(args.queue);
+            let session = Session::with_run_cache(config, RunCacheConfig::default());
+            let server = Server::bind("127.0.0.1:0", session).expect("bind");
+            let handle = server.spawn().expect("spawn accept loop");
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+    eprintln!(
+        "bench_serve: server at {addr}, |R| = |S| = {}, duration = {} ms/point, seed = {}",
+        args.scale, args.duration_ms, args.seed
+    );
+
+    let mut setup = Client::connect(addr.as_str()).expect("connect for setup");
+    setup.ping().expect("server alive");
+    setup.register("R", tuples(args.scale, args.seed)).expect("register R");
+    setup.register("S", tuples(args.scale, args.seed ^ 1)).expect("register S");
+
+    eprintln!("anytime demonstration:");
+    let demo = anytime_demo(&addr, args.scale);
+    eprintln!(
+        "  full = {:.3} ms ({} rows); deadline {} us -> coverage {:.1}% ({} rows), prefix ok",
+        demo.full_latency_ms,
+        demo.full_rows,
+        demo.deadline_micros,
+        demo.coverage * 100.0,
+        demo.partial_rows
+    );
+    let tight_deadline_micros = ((demo.full_latency_ms * 1e3) as u64 / 2).max(100);
+
+    let client_counts: &[usize] = if args.quick { &[2, 8, 32] } else { &[8, 64, 256] };
+    let mut points = Vec::new();
+    eprintln!("client sweep:");
+    for &clients in client_counts {
+        let point = sweep_point(&addr, &args, clients, tight_deadline_micros);
+        eprintln!(
+            "  {:4} clients: {:8.1} q/s, p50 {:7.3} ms, p99 {:7.3} ms, p999 {:7.3} ms, \
+             shed {}, rejected {}, partial {} (mean coverage {:.3})",
+            point.clients,
+            point.qps,
+            point.p50_ms,
+            point.p99_ms,
+            point.p999_ms,
+            point.shed,
+            point.rejected,
+            point.partial_answers,
+            point.mean_coverage
+        );
+        points.push(point);
+    }
+
+    let server_metrics =
+        Client::connect(addr.as_str()).expect("connect for metrics").metrics().expect("metrics");
+    drop(handle);
+
+    let sweep_rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"clients\": {}, \"queries\": {}, \"qps\": {:.3}, \"p50_ms\": {:.4}, \
+                 \"p99_ms\": {:.4}, \"p999_ms\": {:.4}, \"shed\": {}, \"rejected\": {}, \
+                 \"partial_answers\": {}, \"mean_coverage\": {:.6}}}",
+                p.clients,
+                p.queries,
+                p.qps,
+                p.p50_ms,
+                p.p99_ms,
+                p.p999_ms,
+                p.shed,
+                p.rejected,
+                p.partial_answers,
+                p.mean_coverage
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"config\": {{\"scale\": {}, \"pool_threads\": {}, \"in_flight\": {}, \
+         \"queue_capacity\": {}, \"duration_ms\": {}, \"seed\": {}, \"quick\": {}, \
+         \"external_server\": {}}},\n  \
+         \"unit\": \"per-query wall latency in ms over the real TCP socket; coverage is the \
+         anytime key-domain fraction\",\n  \"sweep\": [\n{}\n  ],\n  \
+         \"anytime\": {{\"full_latency_ms\": {:.4}, \"deadline_micros\": {}, \
+         \"coverage\": {:.6}, \"partial_rows\": {}, \"full_rows\": {}, \
+         \"prefix_verified\": {}}},\n  \
+         \"server\": {{\"submitted\": {}, \"completed\": {}, \"rejected\": {}, \"shed\": {}, \
+         \"deadline_missed\": {}, \"partial_answers\": {}}}\n}}\n",
+        args.scale,
+        args.threads,
+        args.in_flight,
+        args.queue,
+        args.duration_ms,
+        args.seed,
+        args.quick,
+        args.addr.is_some(),
+        sweep_rows.join(",\n"),
+        demo.full_latency_ms,
+        demo.deadline_micros,
+        demo.coverage,
+        demo.partial_rows,
+        demo.full_rows,
+        demo.prefix_verified,
+        server_metrics.submitted,
+        server_metrics.completed,
+        server_metrics.rejected,
+        server_metrics.shed,
+        server_metrics.deadline_missed,
+        server_metrics.partial_answers,
+    );
+    assert!(!json.to_ascii_lowercase().contains("nan"), "NaN leaked into the report");
+    std::fs::write(&args.out, &json).expect("write report");
+    eprintln!("wrote {} (protocol errors: 0, torn results: 0)", args.out);
+}

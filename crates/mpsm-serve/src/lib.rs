@@ -1,0 +1,36 @@
+//! The MPSM query service: a long-lived TCP layer over an
+//! [`mpsm_exec::Session`].
+//!
+//! Three pieces:
+//!
+//! * [`protocol`] — the length-prefixed wire format: `Register`,
+//!   `Query`, `Explain`, `Write`, `Ping`, and `Metrics` request frames
+//!   with typed responses, plus an `Error` frame carrying a stable
+//!   numeric code. Framing survives malformed bodies: a frame that
+//!   parses as garbage draws an `Error` response, not a dropped
+//!   connection.
+//! * [`server`] — the accept loop: one [`mpsm_exec::Session`] (and
+//!   therefore one [`mpsm_exec::Scheduler`] with its shared worker
+//!   pool) serves every connection, thread-per-connection, with
+//!   queries admitted under the scheduler's SLA rules — priority
+//!   classes, deadline feasibility, shed-on-overload.
+//! * [`client`] — a small blocking client used by the `bench_serve`
+//!   load harness and the protocol tests.
+//!
+//! Deadline-carrying queries execute on the **anytime** path
+//! ([`mpsm_core::join::anytime`]): a deadline hit returns the joined
+//! rows accumulated so far — always a key-order prefix of the full
+//! answer — plus a coverage estimate, in the response frame and on the
+//! plan's `Anytime` row. Load shedding therefore degrades answers
+//! instead of erroring the client whenever the query got to run at
+//! all.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, QueryReply, QueryRequest, ServiceError};
+pub use protocol::{DecodeError, Frame};
+pub use server::{Server, ServerHandle};

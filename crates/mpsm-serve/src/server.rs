@@ -1,0 +1,238 @@
+//! The accept loop: one [`Session`] serving many TCP connections.
+//!
+//! Thread-per-connection over a shared `Arc<Session>`: every
+//! connection's queries funnel into the one scheduler, so its
+//! admission rules — priority classes, deadline feasibility,
+//! shed-on-overload — arbitrate *between clients*, which is the whole
+//! point of serving from a single engine. Responses are written back
+//! on the same connection in request order (the protocol is strictly
+//! request/response; pipelining is the client's affair).
+//!
+//! A malformed frame body draws a [`Frame::Error`] with
+//! [`code::MALFORMED`] and the connection survives; only transport
+//! errors (including an oversized length prefix, after which the
+//! stream cannot be resynced) end a connection.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mpsm_core::Tuple;
+use mpsm_exec::{Priority, QueryError, QuerySpec, Relation, Session, SubmitError};
+
+use crate::protocol::{
+    code, read_frame, write_frame, Frame, MetricsBody, QueryBody, QueryResultBody,
+};
+
+/// A bound-but-not-yet-serving query service.
+pub struct Server {
+    session: Arc<Session>,
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) over a
+    /// fresh handle to `session`.
+    pub fn bind(addr: impl ToSocketAddrs, session: Session) -> io::Result<Server> {
+        Ok(Server { session: Arc::new(session), listener: TcpListener::bind(addr)? })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve on the calling thread until the process exits. The server
+    /// binary's entry point.
+    pub fn run(self) -> io::Result<()> {
+        let stop = Arc::new(AtomicBool::new(false));
+        self.accept_loop(&stop)
+    }
+
+    /// Serve on a background thread; the returned handle shuts the
+    /// accept loop down when asked (or dropped).
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            let _ = self.accept_loop(&accept_stop);
+        });
+        Ok(ServerHandle { addr, stop, thread: Some(thread) })
+    }
+
+    fn accept_loop(&self, stop: &AtomicBool) -> io::Result<()> {
+        for conn in self.listener.incoming() {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let session = Arc::clone(&self.session);
+            // Connection threads are detached: they exit when their
+            // client closes. Shutdown stops *accepting*; draining the
+            // engine is the Session/Scheduler drop contract (which is
+            // itself bounded by the scheduler's drain timeout).
+            std::thread::spawn(move || {
+                let _ = serve_connection(&session, stream);
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Handle to a [`Server::spawn`]ed accept loop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server accepts on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept thread.
+    /// Established connections keep being served until their clients
+    /// close.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+/// Serve one connection until the peer closes or the transport fails.
+fn serve_connection(session: &Session, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(frame) = read_frame(&mut reader)? {
+        let response = match frame {
+            Ok(frame) => dispatch(session, frame),
+            Err(err) => Frame::Error { code: code::MALFORMED, message: err.to_string() },
+        };
+        write_frame(&mut writer, &response)?;
+    }
+    Ok(())
+}
+
+/// Execute one request frame against the session.
+fn dispatch(session: &Session, frame: Frame) -> Frame {
+    match frame {
+        Frame::Ping => Frame::Pong,
+        Frame::Register { name, tuples } => {
+            let tuples = tuples.into_iter().map(|(k, p)| Tuple::new(k, p)).collect();
+            let handle = session.register(Relation::new(&name, tuples));
+            Frame::Registered { rows: handle.len() as u64, version: handle.version() }
+        }
+        Frame::Write { name, tuples } => {
+            match session.append(&name, tuples.into_iter().map(|(k, p)| Tuple::new(k, p))) {
+                Ok(watermark) => Frame::Written { delta_len: watermark as u64 },
+                Err(err) => Frame::Error { code: code::UNKNOWN_RELATION, message: err.to_string() },
+            }
+        }
+        Frame::Query(q) => match run_query(session, &q) {
+            Ok(result) => Frame::QueryResult(result),
+            Err(err) => err,
+        },
+        Frame::Explain(q) => match explain_query(session, &q) {
+            Ok(text) => Frame::Explained { text },
+            Err(err) => err,
+        },
+        Frame::Metrics => {
+            let m = session.scheduler().metrics();
+            Frame::MetricsReport(MetricsBody {
+                submitted: m.submitted,
+                completed: m.completed,
+                rejected: m.rejected,
+                shed: m.shed,
+                deadline_missed: m.deadline_missed,
+                partial_answers: m.partial_answers,
+            })
+        }
+        // Server-tagged frames are well-formed but not servable.
+        other => Frame::Error {
+            code: code::UNSUPPORTED,
+            message: format!("server cannot serve frame {other:?}"),
+        },
+    }
+}
+
+/// Build the [`QuerySpec`] a [`QueryBody`] describes, or the `Error`
+/// frame explaining why it cannot run.
+fn spec_of(session: &Session, q: &QueryBody) -> Result<QuerySpec, Frame> {
+    let resolve = |name: &str| {
+        session.relation(name).ok_or_else(|| Frame::Error {
+            code: code::UNKNOWN_RELATION,
+            message: format!("no relation named {name:?} is registered"),
+        })
+    };
+    let r = resolve(&q.r)?;
+    let s = resolve(&q.s)?;
+    let mut spec = QuerySpec::join(&r, &s).priority(match q.priority {
+        0 => Priority::Batch,
+        2 => Priority::Interactive,
+        _ => Priority::Normal,
+    });
+    if q.deadline_micros > 0 {
+        spec = spec.deadline(Duration::from_micros(q.deadline_micros));
+    }
+    if q.rows_cap > 0 {
+        spec = spec.collect_rows(q.rows_cap as usize);
+    }
+    Ok(spec)
+}
+
+fn error_of(err: QueryError) -> Frame {
+    let (code, message) = match &err {
+        QueryError::Rejected(SubmitError::DeadlineInfeasible { .. }) => {
+            (code::INFEASIBLE, err.to_string())
+        }
+        QueryError::Rejected(_) => (code::REJECTED, err.to_string()),
+        QueryError::Shed => (code::SHED, err.to_string()),
+        QueryError::Panicked(_) => (code::PANICKED, err.to_string()),
+    };
+    Frame::Error { code, message }
+}
+
+fn run_query(session: &Session, q: &QueryBody) -> Result<QueryResultBody, Frame> {
+    let out = session.query(spec_of(session, q)?).map_err(error_of)?;
+    let result = out.result;
+    // A query that never entered the anytime path (no deadline, no row
+    // cap) is complete by construction.
+    let (complete, coverage) = match &result.plan.anytime {
+        Some(a) => (a.complete, a.coverage),
+        None => (true, 1.0),
+    };
+    Ok(QueryResultBody {
+        max_payload_sum: result.max_payload_sum,
+        r_selected: result.r_selected as u64,
+        s_selected: result.s_selected as u64,
+        complete,
+        coverage,
+        rows: result.rows.unwrap_or_default(),
+    })
+}
+
+fn explain_query(session: &Session, q: &QueryBody) -> Result<String, Frame> {
+    let out = session.query(spec_of(session, q)?).map_err(error_of)?;
+    Ok(out.result.plan.explain())
+}
