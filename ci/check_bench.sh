@@ -34,6 +34,7 @@ SCHEMAS = {
     "BENCH_7.json": ["config", "unit", "contenders", "ablations", "sort_kernels"],
     "BENCH_8.json": ["config", "unit", "delta_sweep", "sustained"],
     "BENCH_9.json": ["config", "unit", "sweep", "anytime", "server"],
+    "BENCH_10.json": ["config", "unit", "sweep", "anytime", "capped", "server"],
 }
 
 def walk(value, path, errors):

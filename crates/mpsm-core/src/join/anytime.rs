@@ -24,7 +24,15 @@
 //! Coverage is reported as merged private tuples over total private
 //! tuples. Runs are equi-height (built from the relation's own
 //! histogram), so the tuple fraction is the natural estimator of the
-//! key-domain fraction covered.
+//! key-domain fraction covered. Alongside the scalar, the outcome
+//! carries a per-key-range histogram ([`KeyRangeCoverage`], one entry
+//! per non-empty private run) that shows *where* in the key domain the
+//! merge stopped.
+//!
+//! [`merge_run_sets_anytime_capped`] adds a row cap for materializing
+//! sinks: once at least `rows_cap` rows exist the merge stops between
+//! blocks, so `LIMIT`-style queries stop paying for rows their caller
+//! will discard.
 
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
@@ -96,6 +104,22 @@ impl AnytimeToken {
     }
 }
 
+/// Coverage of one private key range (one non-empty private run) in an
+/// anytime merge: how much of the run's `[lo, hi]` key span was merged
+/// before the merge stopped. Runs cover ascending disjoint ranges, so
+/// the vector of these reads as a small histogram over the key domain —
+/// fully merged ranges at 1.0, the in-progress range somewhere between,
+/// unreached ranges at 0.0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyRangeCoverage {
+    /// Smallest key in the range.
+    pub lo: u64,
+    /// Largest key in the range.
+    pub hi: u64,
+    /// Fraction of the range's tuples merged, in `[0, 1]`.
+    pub fraction: f64,
+}
+
 /// What an interruptible merge produced: the (possibly partial) sink
 /// result plus exactly how much of the private input it covered.
 #[derive(Debug, Clone)]
@@ -112,6 +136,13 @@ pub struct AnytimeOutcome<R> {
     pub total_tuples: usize,
     /// Whether the merge ran to completion (`coverage() == 1.0`).
     pub complete: bool,
+    /// Per-key-range coverage, one entry per non-empty private run in
+    /// ascending key order (see [`KeyRangeCoverage`]).
+    pub ranges: Vec<KeyRangeCoverage>,
+    /// Whether the merge stopped early because a `rows_cap` was
+    /// satisfied (see [`merge_run_sets_anytime_capped`]) rather than
+    /// because the token expired.
+    pub capped: bool,
 }
 
 impl<R> AnytimeOutcome<R> {
@@ -163,6 +194,25 @@ pub fn merge_run_sets_anytime<S: JoinSink>(
     token: &AnytimeToken,
     stats: &mut JoinStats,
 ) -> AnytimeOutcome<S::Result> {
+    merge_run_sets_anytime_capped::<S>(cx, r_runs, s_runs, token, None, stats)
+}
+
+/// [`merge_run_sets_anytime`] with a row cap: the merge additionally
+/// stops — between blocks, preserving the prefix contract — once the
+/// sink has materialized at least `rows_cap` rows, so a capped query
+/// stops paying for rows its caller will discard. The cap is only
+/// consulted for sinks whose [`JoinSink::result_len`] reports a count;
+/// aggregating sinks ignore it. A cap-stopped outcome has
+/// [`AnytimeOutcome::capped`] set and reports the coverage actually
+/// merged, exactly like a token expiry.
+pub fn merge_run_sets_anytime_capped<S: JoinSink>(
+    cx: &ExecContext,
+    r_runs: &super::runs::RunSet,
+    s_runs: &super::runs::RunSet,
+    token: &AnytimeToken,
+    rows_cap: Option<usize>,
+    stats: &mut JoinStats,
+) -> AnytimeOutcome<S::Result> {
     let t = cx.threads();
     let pool = cx.pool();
     let total_runs = r_runs.parts();
@@ -172,6 +222,17 @@ pub fn merge_run_sets_anytime<S: JoinSink>(
     let mut merged_runs = 0;
     let mut merged_tuples = 0;
     let mut expired = false;
+    let mut capped = false;
+    let mut produced_rows = 0usize;
+    // One histogram slot per non-empty run, ascending; fractions are
+    // filled in as blocks merge and stay 0.0 for unreached ranges.
+    let mut ranges: Vec<KeyRangeCoverage> = r_runs
+        .runs()
+        .iter()
+        .filter(|run| !run.is_empty())
+        .map(|run| KeyRangeCoverage { lo: run[0].key, hi: run[run.len() - 1].key, fraction: 0.0 })
+        .collect();
+    let mut range_idx = 0;
 
     'runs: for run in r_runs.runs() {
         if run.is_empty() {
@@ -211,13 +272,26 @@ pub fn merge_run_sets_anytime<S: JoinSink>(
                 *acc += *d;
             }
             cx.record(Phase::Four, c_block);
-            partials.push(S::combine_all(block_partials));
+            let combined = S::combine_all(block_partials);
+            if let Some(n) = S::result_len(&combined) {
+                produced_rows += n;
+            }
+            partials.push(combined);
             merged_tuples += block.len();
+            ranges[range_idx].fraction = (end as f64) / (run.len() as f64);
             start = end;
+            if rows_cap.is_some_and(|cap| produced_rows >= cap) {
+                capped = true;
+                if start == run.len() {
+                    merged_runs += 1;
+                }
+                break 'runs;
+            }
         }
         if start == run.len() {
             merged_runs += 1;
         }
+        range_idx += 1;
     }
 
     stats.record_phase(Phase::Four, &d4);
@@ -228,6 +302,8 @@ pub fn merge_run_sets_anytime<S: JoinSink>(
         merged_tuples,
         total_tuples,
         complete: !expired && merged_tuples == total_tuples,
+        ranges,
+        capped,
     }
 }
 
@@ -421,6 +497,113 @@ mod tests {
         // A single giant key group becomes one block.
         let dup: Vec<Tuple> = (0..100).map(|i| Tuple::new(7, i)).collect();
         assert_eq!(key_aligned_block_ends(&dup, 8), vec![100]);
+    }
+
+    #[test]
+    fn range_histogram_tracks_where_the_merge_stopped() {
+        let r = random(6000, 400, 29);
+        let s = random(3000, 400, 31);
+        let cx = ExecContext::flat(3);
+        let (r_runs, s_runs) = sets(&r, &s, &cx);
+        // Full merge: every range at 1.0, ascending and disjoint.
+        let mut stats = JoinStats::new(3);
+        let full = merge_run_sets_anytime::<CountSink>(
+            &cx,
+            &r_runs,
+            &s_runs,
+            &AnytimeToken::never(),
+            &mut stats,
+        );
+        assert!(!full.ranges.is_empty());
+        assert!(full.ranges.iter().all(|kr| (kr.fraction - 1.0).abs() < 1e-12));
+        assert!(full.ranges.iter().all(|kr| kr.lo <= kr.hi));
+        assert!(
+            full.ranges.windows(2).all(|w| w[0].hi <= w[1].lo),
+            "ranges cover ascending disjoint key spans: {:?}",
+            full.ranges
+        );
+        assert!(!full.capped);
+        // An interrupted merge: fully merged ranges first, then at most
+        // one partially merged range, then zeros — a downward-closed
+        // key prefix, in histogram form.
+        let mut stats = JoinStats::new(3);
+        let part = merge_run_sets_anytime::<CountSink>(
+            &cx,
+            &r_runs,
+            &s_runs,
+            &AnytimeToken::budget(2),
+            &mut stats,
+        );
+        assert!(!part.complete);
+        assert_eq!(part.ranges.len(), full.ranges.len());
+        let mut seen_partial = false;
+        for kr in &part.ranges {
+            if seen_partial {
+                assert_eq!(kr.fraction, 0.0, "nothing merges past the stop point: {kr:?}");
+            } else if kr.fraction < 1.0 {
+                seen_partial = true;
+            }
+        }
+        let scalar = part.coverage();
+        let from_hist: f64 = part
+            .ranges
+            .iter()
+            .zip(r_runs.runs().iter().filter(|run| !run.is_empty()))
+            .map(|(kr, run)| kr.fraction * run.len() as f64)
+            .sum::<f64>()
+            / r.len() as f64;
+        assert!((scalar - from_hist).abs() < 1e-9, "histogram refines the scalar");
+    }
+
+    #[test]
+    fn rows_cap_stops_the_merge_between_blocks() {
+        // Enough tuples for several blocks per run.
+        let r = random(20_000, 5_000, 37);
+        let s = random(20_000, 5_000, 41);
+        let cx = ExecContext::flat(2);
+        let (r_runs, s_runs) = sets(&r, &s, &cx);
+        let mut stats = JoinStats::new(2);
+        let full = merge_run_sets_anytime::<CollectSink>(
+            &cx,
+            &r_runs,
+            &s_runs,
+            &AnytimeToken::never(),
+            &mut stats,
+        );
+        let full_rows = sorted_rows(full.result);
+        let cap = 64;
+        let mut stats = JoinStats::new(2);
+        let out = merge_run_sets_anytime_capped::<CollectSink>(
+            &cx,
+            &r_runs,
+            &s_runs,
+            &AnytimeToken::never(),
+            Some(cap),
+            &mut stats,
+        );
+        assert!(out.capped, "cap must trigger before the merge finishes");
+        assert!(
+            out.merged_tuples < out.total_tuples,
+            "the cap stops merge work early: {}/{}",
+            out.merged_tuples,
+            out.total_tuples
+        );
+        assert!(out.result.len() >= cap, "cap satisfied before stopping");
+        // Sorted-and-truncated, the capped rows are a prefix of the
+        // full join: every merged block is complete, in key order.
+        let rows = sorted_rows(out.result);
+        assert_eq!(&rows[..cap], &full_rows[..cap]);
+        // Aggregating sinks never cap.
+        let mut stats = JoinStats::new(2);
+        let agg = merge_run_sets_anytime_capped::<CountSink>(
+            &cx,
+            &r_runs,
+            &s_runs,
+            &AnytimeToken::never(),
+            Some(cap),
+            &mut stats,
+        );
+        assert!(agg.complete && !agg.capped, "a counting sink reports no rows to cap on");
     }
 
     #[test]

@@ -53,6 +53,16 @@ pub trait JoinSink: Default + Send {
         };
         iter.fold(first, Self::combine)
     }
+
+    /// Rows materialized in a partial result, when the sink produces
+    /// countable rows at all. `None` (the default) means the sink
+    /// aggregates instead of materializing; cap-aware drivers (the
+    /// anytime merge's `rows_cap` early stop) can only stop early on
+    /// sinks that report a count.
+    fn result_len(result: &Self::Result) -> Option<usize> {
+        let _ = result;
+        None
+    }
 }
 
 /// Counts join matches — the cheapest way to validate cardinality.
@@ -145,6 +155,10 @@ impl JoinSink for CollectSink {
     fn combine(mut a: Self::Result, mut b: Self::Result) -> Self::Result {
         a.append(&mut b);
         a
+    }
+
+    fn result_len(result: &Self::Result) -> Option<usize> {
+        Some(result.len())
     }
 }
 

@@ -131,17 +131,45 @@ pub struct AnytimeInfo {
     pub total_runs: usize,
     /// Whether the merge ran to completion before the token expired.
     pub complete: bool,
+    /// Whether the merge stopped early because a `rows_cap` was
+    /// satisfied. A capped stop is voluntary — the caller got every row
+    /// it asked for — so it is not an SLA miss and not a partial answer
+    /// even though `complete` is false and coverage is below 100%.
+    pub capped: bool,
+    /// Per-key-range coverage histogram (one entry per non-empty
+    /// private run, ascending key order). Empty when the execution
+    /// predates the histogram or never reached the merge.
+    pub ranges: Vec<mpsm_core::join::anytime::KeyRangeCoverage>,
 }
 
 impl AnytimeInfo {
     fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "Anytime [coverage={:.1}%, runs={}/{}, {}]",
             self.coverage * 100.0,
             self.merged_runs,
             self.total_runs,
-            if self.complete { "complete" } else { "partial" },
-        )
+            if self.complete {
+                "complete"
+            } else if self.capped {
+                "capped"
+            } else {
+                "partial"
+            },
+        );
+        if !self.ranges.is_empty() {
+            // Render at most 8 key ranges so wide machines stay on one
+            // readable line; the elided tail is summarized by count.
+            let shown = self.ranges.iter().take(8);
+            let body = shown
+                .map(|kr| format!("{}..{}={:.0}%", kr.lo, kr.hi, kr.fraction * 100.0))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let elided = self.ranges.len().saturating_sub(8);
+            let tail = if elided > 0 { format!(" +{elided}") } else { String::new() };
+            label.push_str(&format!(" ranges[{body}{tail}]"));
+        }
+        label
     }
 }
 
@@ -150,12 +178,16 @@ impl AnytimeInfo {
 /// pre-existing) plans render exactly as before.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueCounters {
-    /// Queued queries evicted by higher-priority arrivals.
+    /// Queued queries evicted by higher-priority arrivals (always 0
+    /// since degrade-don't-reject; kept for label stability).
     pub shed: u64,
     /// Queries that finished past their deadline (partial or late).
     pub deadline_missed: u64,
     /// Queries that returned a partial (coverage < 100%) answer.
     pub partial_answers: u64,
+    /// Queries admitted in degraded mode (forced tight anytime budget)
+    /// under overload.
+    pub degraded: u64,
 }
 
 /// What the run cache did for one join input.
@@ -362,8 +394,8 @@ impl QueryPlan {
             Some(wait) => {
                 let counters = self.queue_counters.map_or(String::new(), |c| {
                     format!(
-                        "; shed={}, deadline_missed={}, partial={}",
-                        c.shed, c.deadline_missed, c.partial_answers
+                        "; shed={}, deadline_missed={}, partial={}, degraded={}",
+                        c.shed, c.deadline_missed, c.partial_answers, c.degraded
                     )
                 });
                 Node::new(format!("Queue [wait = {wait:.3} ms{counters}]")).child(aggregate)
@@ -523,10 +555,13 @@ Aggregate [max(R.payload + S.payload)]
         // exact-output expectations stay valid.
         let mut p = sample();
         p.queue_wait_ms = Some(0.75);
-        p.queue_counters = Some(QueueCounters { shed: 2, deadline_missed: 1, partial_answers: 3 });
+        p.queue_counters =
+            Some(QueueCounters { shed: 2, deadline_missed: 1, partial_answers: 3, degraded: 4 });
         let text = p.explain();
         assert!(
-            text.starts_with("Queue [wait = 0.750 ms; shed=2, deadline_missed=1, partial=3]\n"),
+            text.starts_with(
+                "Queue [wait = 0.750 ms; shed=2, deadline_missed=1, partial=3, degraded=4]\n"
+            ),
             "{text}"
         );
         // Counters without a queue wait never render: the Queue row
@@ -538,8 +573,14 @@ Aggregate [max(R.payload + S.payload)]
     #[test]
     fn anytime_node_renders_exactly() {
         let mut p = sample();
-        p.anytime =
-            Some(AnytimeInfo { coverage: 0.625, merged_runs: 5, total_runs: 8, complete: false });
+        p.anytime = Some(AnytimeInfo {
+            coverage: 0.625,
+            merged_runs: 5,
+            total_runs: 8,
+            complete: false,
+            capped: false,
+            ranges: vec![],
+        });
         let expected = "\
 Aggregate [max(R.payload + S.payload)]
 └─ Join [P-MPSM; T = 8; out = 2000 rows]
@@ -552,13 +593,71 @@ Aggregate [max(R.payload + S.payload)]
          └─ Scan lineitem [4000 rows]
 ";
         assert_eq!(p.explain(), expected);
-        p.anytime =
-            Some(AnytimeInfo { coverage: 1.0, merged_runs: 8, total_runs: 8, complete: true });
+        p.anytime = Some(AnytimeInfo {
+            coverage: 1.0,
+            merged_runs: 8,
+            total_runs: 8,
+            complete: true,
+            capped: false,
+            ranges: vec![],
+        });
         assert!(
             p.explain().contains("Anytime [coverage=100.0%, runs=8/8, complete]"),
             "{}",
             p.explain()
         );
+        // A rows_cap stop renders as "capped", not "partial": the
+        // caller got every row it asked for.
+        p.anytime = Some(AnytimeInfo {
+            coverage: 0.4,
+            merged_runs: 3,
+            total_runs: 8,
+            complete: false,
+            capped: true,
+            ranges: vec![],
+        });
+        assert!(
+            p.explain().contains("Anytime [coverage=40.0%, runs=3/8, capped]"),
+            "{}",
+            p.explain()
+        );
+    }
+
+    #[test]
+    fn anytime_key_range_histogram_renders_on_the_anytime_row() {
+        use mpsm_core::join::anytime::KeyRangeCoverage;
+
+        let kr = |lo: u64, hi: u64, fraction: f64| KeyRangeCoverage { lo, hi, fraction };
+        let mut p = sample();
+        p.anytime = Some(AnytimeInfo {
+            coverage: 0.5,
+            merged_runs: 1,
+            total_runs: 3,
+            complete: false,
+            capped: false,
+            ranges: vec![kr(0, 99, 1.0), kr(100, 199, 0.5), kr(200, 299, 0.0)],
+        });
+        assert!(
+            p.explain().contains(
+                "Anytime [coverage=50.0%, runs=1/3, partial] \
+                 ranges[0..99=100% 100..199=50% 200..299=0%]"
+            ),
+            "{}",
+            p.explain()
+        );
+        // A wide machine elides the histogram tail instead of wrapping
+        // the row.
+        p.anytime = Some(AnytimeInfo {
+            coverage: 1.0,
+            merged_runs: 10,
+            total_runs: 10,
+            complete: true,
+            capped: false,
+            ranges: (0..10u64).map(|i| kr(i * 10, i * 10 + 9, 1.0)).collect(),
+        });
+        let text = p.explain();
+        assert!(!text.contains("90..99=100%"), "tail elided: {text}");
+        assert!(text.contains(" +2]"), "elision count renders: {text}");
     }
 
     #[test]

@@ -14,7 +14,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mpsm_core::context::ExecContext;
-use mpsm_core::join::anytime::{merge_run_sets_anytime, AnytimeOutcome, AnytimeToken};
+use mpsm_core::join::anytime::{
+    merge_run_sets_anytime, merge_run_sets_anytime_capped, AnytimeOutcome, AnytimeToken,
+};
 use mpsm_core::join::delta::{merge_delta_sides_in, DeltaSide};
 use mpsm_core::join::runs::{build_run_set, join_runs_in, RunsInput, SharedRunSet};
 use mpsm_core::join::{JoinAlgorithm, PooledJoin};
@@ -447,9 +449,11 @@ fn prep_snapshot_side(
 /// With [`QuerySpec::collect_rows`](crate::session::QuerySpec::collect_rows)
 /// set, the joined rows come back sorted by `(key, r_payload,
 /// s_payload)` and truncated to the cap; a partial answer's rows are a
-/// key-order prefix of the full join's (the anytime contract). The
-/// aggregate is computed from the *untruncated* row set, so it agrees
-/// with the aggregate-only path at equal coverage.
+/// key-order prefix of the full join's (the anytime contract). The cap
+/// is *streaming*: the merge stops between blocks once enough rows
+/// exist, so a capped query never pays for rows its caller discards —
+/// its coverage (and its aggregate, computed over the merged-so-far
+/// rows before truncation) reflects the key prefix actually merged.
 pub fn paper_query_anytime(
     cx: &ExecContext,
     spec: &QuerySpec,
@@ -491,15 +495,23 @@ pub fn paper_query_anytime(
             merged_runs: out.merged_runs,
             total_runs: out.total_runs,
             complete: out.complete,
+            capped: out.capped,
+            ranges: out.ranges.clone(),
         }
     }
     let (anytime, rows, max) = match spec.rows_cap {
         Some(cap) => {
-            let out = merge_run_sets_anytime::<CollectSink>(
+            // Streaming cap: the merge itself stops (between key-aligned
+            // blocks) once at least `cap` rows exist, instead of
+            // materializing the whole join and truncating. The coverage
+            // on the Anytime row therefore reports how little of the
+            // input a capped query actually had to merge.
+            let out = merge_run_sets_anytime_capped::<CollectSink>(
                 cx,
                 &r_side.runs,
                 &s_side.runs,
                 token,
+                Some(cap),
                 &mut stats,
             );
             let anytime = info(&out);
@@ -560,8 +572,14 @@ pub(crate) fn expired_in_queue_result(cx: &ExecContext, spec: &QuerySpec) -> Pap
     let stats = JoinStats::new(cx.threads());
     let mut result = assemble(spec.join.name(), cx.threads(), &spec.r, &spec.s, 0, 0, None, stats);
     result.rows = spec.rows_cap.map(|_| Vec::new());
-    result.plan.anytime =
-        Some(AnytimeInfo { coverage: 0.0, merged_runs: 0, total_runs: 0, complete: false });
+    result.plan.anytime = Some(AnytimeInfo {
+        coverage: 0.0,
+        merged_runs: 0,
+        total_runs: 0,
+        complete: false,
+        capped: false,
+        ranges: vec![],
+    });
     result
 }
 

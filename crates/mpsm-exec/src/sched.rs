@@ -8,11 +8,19 @@
 //! that: it provisions **one** [`SharedWorkerPool`] and admits
 //! queries against it.
 //!
-//! * **Admission control** — at most `max_in_flight` queries execute
-//!   concurrently (one lightweight coordinator thread each); up to
-//!   `queue_capacity` more wait in a FIFO queue; beyond that,
-//!   [`Scheduler::submit`] rejects with [`SubmitError::QueueFull`]
-//!   instead of letting backlog grow without bound.
+//! * **Batched admission** — [`Scheduler::submit`] never touches the
+//!   scheduler's main queue lock: it appends to a cheap pending buffer
+//!   and returns. Coordinators drain up to
+//!   [`SchedulerConfig::admission_batch`] pending submissions per main
+//!   lock acquisition, so a thundering herd of submitters amortizes the
+//!   admission scan instead of serializing on it.
+//! * **Degrade, don't reject** — at most `max_in_flight` queries
+//!   execute concurrently and up to `queue_capacity` more wait at full
+//!   service; beyond that, admission *degrades* instead of rejecting: an
+//!   overflow query (or the youngest queued query of a strictly lower
+//!   [`Priority`] class, when the arrival outranks it) is admitted with
+//!   a forced tight anytime budget, so it returns a coverage-stamped
+//!   partial answer instead of an error.
 //! * **Phase-granular fairness** — an executing query submits its
 //!   selections and join phases to the shared pool one at a time; the
 //!   pool's FIFO turnstile admits competitors between those phases, so
@@ -74,9 +82,10 @@ use crate::session::QuerySpec;
 
 /// Admission priority class of a query. Orders the backlog: a
 /// coordinator always pops the highest class first (FIFO within a
-/// class), and when the queue overflows an arriving query may *shed*
-/// the youngest queued query of a strictly lower class instead of being
-/// rejected — load degrades batch work before interactive work.
+/// class), and when the queue overflows an arriving query may *degrade*
+/// the youngest queued query of a strictly lower class instead of
+/// being degraded itself — load degrades batch work before interactive
+/// work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Priority {
     /// Bulk/background work: popped last, shed first under overload.
@@ -131,6 +140,18 @@ pub struct SchedulerConfig {
     /// queued behind a wedged coordinator never complete their tickets
     /// in that case — bounded shutdown is the contract a server needs.
     pub drain_timeout: Duration,
+    /// Pending submissions a coordinator admits per main-lock
+    /// acquisition. Submitters only touch the cheap pending buffer, so
+    /// this is the batching factor between submission concurrency and
+    /// the admission scan.
+    pub admission_batch: usize,
+    /// Anytime block budget forced onto a query admitted in *degraded*
+    /// mode (overflow beyond `max_in_flight + queue_capacity`). Each
+    /// unit is one key-aligned merge block
+    /// ([`mpsm_core::join::anytime::ANYTIME_BLOCK_TUPLES`] tuples), so
+    /// the budget bounds a degraded query's phase-4 work while
+    /// guaranteeing a non-empty, coverage-stamped prefix answer.
+    pub degraded_budget: u64,
 }
 
 impl SchedulerConfig {
@@ -146,6 +167,8 @@ impl SchedulerConfig {
             auto_tune_sort: false,
             min_feasible_deadline: Duration::ZERO,
             drain_timeout: Duration::from_secs(60),
+            admission_batch: 32,
+            degraded_budget: 4,
         }
     }
 
@@ -185,6 +208,20 @@ impl SchedulerConfig {
     /// Builder-style override of the drop-time drain bound.
     pub fn drain_timeout(mut self, timeout: Duration) -> Self {
         self.drain_timeout = timeout;
+        self
+    }
+
+    /// Builder-style override of the per-lock admission batch.
+    pub fn admission_batch(mut self, n: usize) -> Self {
+        assert!(n > 0, "admission must make progress");
+        self.admission_batch = n;
+        self
+    }
+
+    /// Builder-style override of the degraded-mode anytime budget.
+    pub fn degraded_budget(mut self, blocks: u64) -> Self {
+        assert!(blocks > 0, "a degraded query must be allowed at least one block");
+        self.degraded_budget = blocks;
         self
     }
 }
@@ -275,15 +312,11 @@ pub trait CompactionTask: Send + Sync {
     fn compact_pending(&self, cx: &ExecContext, config: &CompactionConfig) -> usize;
 }
 
-/// Why a submission was not admitted.
+/// Why a submission was not admitted. Overload is *not* a reason:
+/// since degrade-don't-reject, a full queue admits the query in
+/// degraded mode (forced tight anytime budget) instead of rejecting it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
-    /// In-flight work already exceeds the configured budget
-    /// (`max_in_flight` executing + `queue_capacity` queued).
-    QueueFull {
-        /// The configured queue bound that was hit.
-        capacity: usize,
-    },
     /// The scheduler is shutting down and accepts no new work.
     ShuttingDown,
     /// The submitted deadline is below the scheduler's
@@ -299,9 +332,6 @@ pub enum SubmitError {
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SubmitError::QueueFull { capacity } => {
-                write!(f, "admission queue full ({capacity} waiting queries)")
-            }
             SubmitError::ShuttingDown => write!(f, "scheduler is shutting down"),
             SubmitError::DeadlineInfeasible { deadline } => {
                 write!(f, "deadline of {deadline:?} is below the feasibility floor")
@@ -322,9 +352,11 @@ pub enum QueryError {
     /// phase); other queries are unaffected.
     Panicked(String),
     /// The query was evicted from the admission queue by a
-    /// higher-priority arrival while the backlog was full (the
-    /// shed-on-overload policy; only queued, never running, queries are
-    /// shed).
+    /// higher-priority arrival while the backlog was full. The
+    /// scheduler no longer produces this — overload *degrades* queries
+    /// (forced tight anytime budget) instead of shedding them — but the
+    /// variant (and its stable wire code) is kept so old clients still
+    /// decode it.
     Shed,
 }
 
@@ -454,13 +486,18 @@ pub struct SchedulerMetrics {
     /// [`crate::session::Session::compact`] calls alike).
     pub compactions: u64,
     /// Queued queries evicted by higher-priority arrivals under
-    /// overload (their tickets fail with [`QueryError::Shed`]).
+    /// overload. Always 0 since degrade-don't-reject (kept for metric
+    /// stability; see [`SchedulerMetrics::degraded`]).
     pub shed: u64,
     /// Queries that finished past their deadline — returned a partial
     /// answer, or a complete one later than promised.
     pub deadline_missed: u64,
     /// Queries that returned a partial (coverage < 100%) answer.
     pub partial_answers: u64,
+    /// Queries admitted in degraded mode under overload: instead of a
+    /// rejection or a shed, the query ran with a forced tight anytime
+    /// budget and returned a coverage-stamped partial.
+    pub degraded: u64,
 }
 
 #[derive(Default)]
@@ -474,6 +511,7 @@ struct AtomicMetrics {
     shed: AtomicU64,
     deadline_missed: AtomicU64,
     partial_answers: AtomicU64,
+    degraded: AtomicU64,
 }
 
 struct QueuedQuery {
@@ -485,6 +523,10 @@ struct QueuedQuery {
     /// Absolute deadline, fixed at submit time — the SLA covers queue
     /// wait, not just execution.
     deadline_at: Option<Instant>,
+    /// Admitted under overload: the coordinator forces the configured
+    /// tight anytime budget so the query returns a coverage-stamped
+    /// partial instead of occupying the pool at full service.
+    degraded: bool,
 }
 
 #[derive(Default)]
@@ -495,16 +537,34 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// Submission staging buffer. [`Scheduler::submit`] only ever touches
+/// this (cheap, short-hold) lock; coordinators drain it into the main
+/// queue in batches. `shutdown` is set here first on drop, so a submit
+/// serialized after it can never strand a ticket in a buffer nobody
+/// will drain.
+#[derive(Default)]
+struct PendingState {
+    queue: VecDeque<QueuedQuery>,
+    shutdown: bool,
+}
+
 struct SchedCore {
     queue: Mutex<QueueState>,
+    /// Submissions staged by [`Scheduler::submit`], waiting for a
+    /// coordinator to admit them in a batch. Lock order where both are
+    /// held: `queue` before `pending` (submit and drop hold only one at
+    /// a time).
+    pending: Mutex<PendingState>,
     work_cv: Condvar,
     metrics: AtomicMetrics,
-    /// Admission budget: `backlog + running` may not exceed
-    /// `max_in_flight + queue_capacity`.
+    /// Full-service budget: `backlog + running` beyond
+    /// `max_in_flight + queue_capacity` admits in degraded mode.
     max_in_flight: usize,
     queue_capacity: usize,
     min_feasible_deadline: Duration,
     drain_timeout: Duration,
+    admission_batch: usize,
+    degraded_budget: u64,
     /// Coordinator threads still alive, with a condvar `Drop` waits on
     /// (bounded) for the drain to finish.
     live_coordinators: Mutex<usize>,
@@ -542,6 +602,48 @@ impl SchedCore {
         if let Some(node) = node {
             self.node_load.lock().expect("node load poisoned")[node.0 as usize] -= 1;
         }
+    }
+
+    /// Drain up to `admission_batch` staged submissions into the main
+    /// backlog — one pending-lock acquisition, one pass of admission
+    /// decisions, amortized over the whole batch. Called with the main
+    /// queue lock held (the `queue → pending` side of the lock order).
+    ///
+    /// Overload policy, per drained query: while `backlog + running`
+    /// is at the full-service budget, the arrival either *degrades* the
+    /// youngest queued query of a strictly lower class (keeping its
+    /// queue position) and is admitted at full service, or — when
+    /// nothing outranks — is admitted degraded itself. Nothing is ever
+    /// rejected or shed.
+    fn admit_pending(&self, queue: &mut QueueState) {
+        let batch: Vec<QueuedQuery> = {
+            let mut pending = self.pending.lock().expect("pending buffer poisoned");
+            let k = self.admission_batch.min(pending.queue.len());
+            pending.queue.drain(..k).collect()
+        };
+        let budget = self.max_in_flight + self.queue_capacity;
+        for mut job in batch {
+            if queue.backlog.len() + queue.running >= budget {
+                let victim = queue
+                    .backlog
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(_, q)| !q.degraded && q.priority < job.priority)
+                    .min_by_key(|(i, q)| (q.priority, std::cmp::Reverse(*i)))
+                    .map(|(_, q)| q);
+                match victim {
+                    Some(victim) => victim.degraded = true,
+                    None => job.degraded = true,
+                }
+                self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            queue.backlog.push_back(job);
+        }
+    }
+
+    /// Whether any staged submissions are waiting for admission.
+    fn has_pending(&self) -> bool {
+        !self.pending.lock().expect("pending buffer poisoned").queue.is_empty()
     }
 }
 
@@ -596,12 +698,15 @@ impl Scheduler {
         let nodes = if config.topology.nodes > 1 { config.topology.nodes as usize } else { 0 };
         let core = Arc::new(SchedCore {
             queue: Mutex::new(QueueState::default()),
+            pending: Mutex::new(PendingState::default()),
             work_cv: Condvar::new(),
             metrics: AtomicMetrics::default(),
             max_in_flight: config.max_in_flight,
             queue_capacity: config.queue_capacity,
             min_feasible_deadline: config.min_feasible_deadline,
             drain_timeout: config.drain_timeout,
+            admission_batch: config.admission_batch,
+            degraded_budget: config.degraded_budget,
             live_coordinators: Mutex::new(config.max_in_flight),
             drained_cv: Condvar::new(),
             next_id: AtomicU64::new(1),
@@ -681,18 +786,19 @@ impl Scheduler {
         self.core.metrics.compactions.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Submit a query. Returns a ticket immediately, or rejects when
-    /// the backlog already holds `queue_capacity` queries.
+    /// Submit a query. Returns a ticket immediately; the submission is
+    /// staged in a cheap pending buffer and admitted by a coordinator
+    /// in a batch (see [`SchedulerConfig::admission_batch`]).
     ///
     /// SLA admission: a deadline below the configured feasibility floor
     /// (or zero) is rejected outright with
-    /// [`SubmitError::DeadlineInfeasible`]. On overflow, an arrival may
-    /// **shed** the youngest queued query of a strictly lower
-    /// [`Priority`] — that victim's ticket fails with
-    /// [`QueryError::Shed`] — instead of being rejected; equal or
-    /// higher-priority backlog still means [`SubmitError::QueueFull`].
-    /// The absolute deadline is fixed here, so queue wait counts
-    /// against the SLA.
+    /// [`SubmitError::DeadlineInfeasible`] — the only load-independent
+    /// refusal left. Overload never rejects: beyond the full-service
+    /// budget a query is admitted in *degraded* mode (forced tight
+    /// anytime budget, coverage-stamped partial answer), with
+    /// higher-priority arrivals degrading lower-class backlog before
+    /// themselves. The absolute deadline is fixed here, so queue wait
+    /// counts against the SLA.
     pub fn submit(&self, mut spec: QuerySpec) -> Result<QueryTicket, SubmitError> {
         if spec.cache.is_none() {
             spec.cache = self.run_cache.clone();
@@ -705,50 +811,29 @@ impl Scheduler {
         }
         let priority = spec.priority;
         let deadline_at = spec.deadline.map(|d| Instant::now() + d);
-        let mut queue = self.core.queue.lock().expect("scheduler queue poisoned");
-        if queue.shutdown {
-            return Err(SubmitError::ShuttingDown);
-        }
-        let mut shed_victim = None;
-        if queue.backlog.len() + queue.running >= self.core.max_in_flight + self.core.queue_capacity
-        {
-            // Shed the youngest queued query of the lowest class — but
-            // only if that class is strictly below the arrival's (a
-            // Normal arrival never sheds Normal backlog, so pre-SLA
-            // behaviour is unchanged).
-            let victim = queue
-                .backlog
-                .iter()
-                .enumerate()
-                .min_by_key(|(i, q)| (q.priority, std::cmp::Reverse(*i)))
-                .filter(|(_, q)| q.priority < priority)
-                .map(|(i, _)| i);
-            match victim {
-                Some(i) => shed_victim = queue.backlog.remove(i),
-                None => {
-                    drop(queue);
-                    self.core.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-                    return Err(SubmitError::QueueFull { capacity: self.core.queue_capacity });
-                }
-            }
-        }
         let id = self.core.next_id.fetch_add(1, Ordering::Relaxed);
         let cell =
             Arc::new(TicketCell { state: Mutex::new(TicketState::Queued), cv: Condvar::new() });
-        queue.backlog.push_back(QueuedQuery {
-            id,
-            spec,
-            cell: Arc::clone(&cell),
-            submitted_at: Instant::now(),
-            priority,
-            deadline_at,
-        });
-        drop(queue);
-        if let Some(victim) = shed_victim {
-            self.core.metrics.shed.fetch_add(1, Ordering::Relaxed);
-            victim.cell.set(TicketState::Done(Box::new(Err(QueryError::Shed))));
+        {
+            let mut pending = self.core.pending.lock().expect("pending buffer poisoned");
+            if pending.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            pending.queue.push_back(QueuedQuery {
+                id,
+                spec,
+                cell: Arc::clone(&cell),
+                submitted_at: Instant::now(),
+                priority,
+                deadline_at,
+                degraded: false,
+            });
         }
         self.core.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        // A brief main-lock acquisition (no admission work) before the
+        // notify: it serializes with a coordinator between its
+        // empty-check and its wait, so the wakeup cannot be lost.
+        drop(self.core.queue.lock().expect("scheduler queue poisoned"));
         self.core.work_cv.notify_one();
         Ok(QueryTicket { id, cell })
     }
@@ -783,12 +868,15 @@ impl Scheduler {
             shed: m.shed.load(Ordering::Relaxed),
             deadline_missed: m.deadline_missed.load(Ordering::Relaxed),
             partial_answers: m.partial_answers.load(Ordering::Relaxed),
+            degraded: m.degraded.load(Ordering::Relaxed),
         }
     }
 
-    /// Queries currently waiting in the admission queue.
+    /// Queries currently waiting for execution (staged for admission or
+    /// already in the admission queue).
     pub fn queued(&self) -> usize {
-        self.core.queue.lock().expect("scheduler queue poisoned").backlog.len()
+        let backlog = self.core.queue.lock().expect("scheduler queue poisoned").backlog.len();
+        backlog + self.core.pending.lock().expect("pending buffer poisoned").queue.len()
     }
 
     /// Queries currently executing on the shared pool.
@@ -815,6 +903,10 @@ impl Drop for Scheduler {
             compactor.ctl.cv.notify_all();
             let _ = compactor.thread.join();
         }
+        // Pending buffer first: a submit serialized after this point
+        // fails with ShuttingDown instead of staging a ticket the
+        // draining coordinators might miss.
+        self.core.pending.lock().expect("pending buffer poisoned").shutdown = true;
         self.core.queue.lock().expect("scheduler queue poisoned").shutdown = true;
         self.core.work_cv.notify_all();
         let deadline = Instant::now() + self.core.drain_timeout;
@@ -873,6 +965,9 @@ fn coordinator_loop(core: &SchedCore, cx: &ExecContext) {
         let job = {
             let mut queue = core.queue.lock().expect("scheduler queue poisoned");
             loop {
+                // Admit a batch of staged submissions first — up to
+                // `admission_batch` per acquisition of this lock.
+                core.admit_pending(&mut queue);
                 // Pop the highest priority class; FIFO within a class
                 // (the earliest index wins a tie).
                 let next = queue
@@ -885,6 +980,11 @@ fn coordinator_loop(core: &SchedCore, cx: &ExecContext) {
                     let job = queue.backlog.remove(i).expect("index from enumerate");
                     queue.running += 1;
                     break job;
+                }
+                if core.has_pending() {
+                    // More staged than one batch: admit again without
+                    // waiting.
+                    continue;
                 }
                 if queue.shutdown {
                     return;
@@ -909,9 +1009,18 @@ fn coordinator_loop(core: &SchedCore, cx: &ExecContext) {
             Some(node) => owned.pinned_to(node),
             None => owned,
         };
-        let token = match job.deadline_at {
-            Some(at) => AnytimeToken::at(at),
-            None => AnytimeToken::never(),
+        // Degraded admission forces a deterministic block budget: the
+        // query merges at least one key-aligned block (so its answer
+        // carries coverage > 0) and at most `degraded_budget`, however
+        // late it starts. A client deadline, if any, still governs the
+        // expired-in-queue fast path below.
+        let token = if job.degraded {
+            AnytimeToken::budget(core.degraded_budget)
+        } else {
+            match job.deadline_at {
+                Some(at) => AnytimeToken::at(at),
+                None => AnytimeToken::never(),
+            }
         };
         let started = Instant::now();
         // Deadline already blown while queued: skip execution entirely
@@ -929,7 +1038,11 @@ fn coordinator_loop(core: &SchedCore, cx: &ExecContext) {
         core.release_node(node);
         let done = match outcome {
             Ok(mut result) => {
-                let partial = result.plan.anytime.as_ref().is_some_and(|a| !a.complete);
+                // A rows_cap stop (`capped`) is a voluntary early exit —
+                // the caller got every row it asked for — so it counts
+                // as neither a partial answer nor an SLA miss.
+                let partial =
+                    result.plan.anytime.as_ref().is_some_and(|a| !a.complete && !a.capped);
                 if partial {
                     core.metrics.partial_answers.fetch_add(1, Ordering::Relaxed);
                 }
@@ -941,6 +1054,7 @@ fn coordinator_loop(core: &SchedCore, cx: &ExecContext) {
                     shed: core.metrics.shed.load(Ordering::Relaxed),
                     deadline_missed: core.metrics.deadline_missed.load(Ordering::Relaxed),
                     partial_answers: core.metrics.partial_answers.load(Ordering::Relaxed),
+                    degraded: core.metrics.degraded.load(Ordering::Relaxed),
                 });
                 core.metrics.completed.fetch_add(1, Ordering::Relaxed);
                 Ok(QueryOutput { result, queue_wait, execution: started.elapsed() })
@@ -1041,43 +1155,50 @@ mod tests {
     }
 
     #[test]
-    fn admission_control_rejects_beyond_budget() {
-        let r = rel("R", 40);
-        let s = rel("S", 40);
-        // One coordinator, zero queue slots beyond it; block the
-        // coordinator with a gated query, then overflow.
+    fn overflow_admits_degraded_instead_of_rejecting() {
+        // Large enough that the join spans several anytime blocks, so
+        // a one-block degraded budget yields a strict partial.
+        let r = rel("R", 20_000);
+        let s = rel("S", 20_000);
         let gate = Arc::new((Mutex::new(false), Condvar::new()));
-        let scheduler = Scheduler::new(SchedulerConfig::new(1).max_in_flight(1).queue_capacity(1));
-        let blocker = {
-            let gate = Arc::clone(&gate);
-            QuerySpec::join(&r, &s).filter_r(move |_| {
-                let (open, cv) = &*gate;
-                let mut open = open.lock().expect("gate poisoned");
-                while !*open {
-                    open = cv.wait(open).expect("gate poisoned");
-                }
-                true
-            })
-        };
-        let t1 = scheduler.submit(blocker).expect("first query admitted");
-        // Wait until it is actually running (occupying the coordinator).
-        while t1.status() != QueryStatus::Running {
+        let scheduler = Scheduler::new(
+            SchedulerConfig::new(2).max_in_flight(1).queue_capacity(0).degraded_budget(1),
+        );
+        let blocker = scheduler.submit(gated_query(&r, &s, &gate)).expect("admitted");
+        while blocker.status() != QueryStatus::Running {
             std::thread::yield_now();
         }
-        let t2 = scheduler.submit(QuerySpec::join(&r, &s)).expect("one backlog slot");
-        let rejected = scheduler.submit(QuerySpec::join(&r, &s));
-        assert_eq!(rejected.err(), Some(SubmitError::QueueFull { capacity: 1 }));
-        assert_eq!(scheduler.metrics().rejected, 1);
-        assert_eq!(scheduler.in_flight(), 1);
-        assert_eq!(scheduler.queued(), 1);
-        // Open the gate; both admitted queries complete.
-        {
-            let (open, cv) = &*gate;
-            *open.lock().expect("gate poisoned") = true;
-            cv.notify_all();
-        }
-        assert!(t1.wait().is_ok());
-        assert!(t2.wait().is_ok());
+        // Stage two arrivals while the lone slot is occupied. When the
+        // coordinator drains the pending buffer, the first fills the
+        // only budget slot (max_in_flight=1, capacity=0) and the
+        // second — with no lower-class victim queued — is admitted in
+        // degraded mode instead of being rejected.
+        let full =
+            scheduler.submit(QuerySpec::join(&r, &s).collect_rows(50_000)).expect("admitted");
+        let degraded = scheduler
+            .submit(QuerySpec::join(&r, &s).collect_rows(50_000))
+            .expect("degrade, don't reject");
+        assert_eq!(scheduler.queued(), 2, "both staged, neither rejected");
+        open_gate(&gate);
+        assert!(blocker.wait().is_ok());
+        let full = full.wait().expect("query failed").result;
+        let full_rows = full.rows.expect("collected rows");
+        let out = degraded.wait().expect("a degraded query still answers").result;
+        let anytime = out.plan.anytime.as_ref().expect("anytime row");
+        assert!(!anytime.complete, "the forced budget must stop the merge early");
+        assert!(anytime.coverage > 0.0, "degraded answers always carry >0 coverage");
+        assert!(anytime.coverage < 1.0, "coverage {}", anytime.coverage);
+        let rows = out.rows.expect("collected rows");
+        assert!(!rows.is_empty(), "at least one block merges before the budget expires");
+        assert_eq!(
+            rows.as_slice(),
+            &full_rows[..rows.len()],
+            "degraded rows are a key-order prefix of the full answer"
+        );
+        let m = scheduler.metrics();
+        assert_eq!(m.rejected, 0, "overload never rejects");
+        assert_eq!(m.degraded, 1);
+        assert_eq!(m.partial_answers, 1);
     }
 
     #[test]
@@ -1117,7 +1238,7 @@ mod tests {
         let r = rel("R", 10);
         let s = rel("S", 10);
         let scheduler = Scheduler::new(SchedulerConfig::new(1));
-        scheduler.core.queue.lock().expect("queue").shutdown = true;
+        scheduler.core.pending.lock().expect("pending").shutdown = true;
         assert_eq!(
             scheduler.submit(QuerySpec::join(&r, &s)).err(),
             Some(SubmitError::ShuttingDown)
@@ -1302,33 +1423,83 @@ mod tests {
     }
 
     #[test]
-    fn overflow_sheds_the_youngest_lower_priority_query() {
-        let r = rel("R", 40);
-        let s = rel("S", 40);
+    fn overflow_degrades_a_lower_class_queued_query_in_place() {
+        let r = rel("R", 20_000);
+        let s = rel("S", 20_000);
         let gate = Arc::new((Mutex::new(false), Condvar::new()));
-        let scheduler = Scheduler::new(SchedulerConfig::new(1).max_in_flight(1).queue_capacity(1));
+        let scheduler = Scheduler::new(
+            SchedulerConfig::new(2).max_in_flight(1).queue_capacity(0).degraded_budget(1),
+        );
         let blocker = scheduler.submit(gated_query(&r, &s, &gate)).expect("admitted");
         while blocker.status() != QueryStatus::Running {
             std::thread::yield_now();
         }
-        let batch =
-            scheduler.submit(QuerySpec::join(&r, &s).priority(Priority::Batch)).expect("one slot");
-        // A same-class arrival is still rejected (pre-SLA behaviour)...
-        let same = scheduler.submit(QuerySpec::join(&r, &s).priority(Priority::Batch));
-        assert_eq!(same.err(), Some(SubmitError::QueueFull { capacity: 1 }));
-        // ...but a higher class evicts the queued Batch query.
+        // A Batch query fills the only budget slot; the Interactive
+        // arrival overflows. Instead of shedding or rejecting anyone,
+        // admission picks the youngest strictly-lower-class queued
+        // query — the Batch one — and degrades *it*, in place: it
+        // keeps its queue position and still answers, just under a
+        // forced tight budget. The Interactive query runs at full
+        // service.
+        let batch = scheduler
+            .submit(QuerySpec::join(&r, &s).priority(Priority::Batch).collect_rows(50_000))
+            .expect("admitted");
         let interactive = scheduler
-            .submit(QuerySpec::join(&r, &s).priority(Priority::Interactive))
-            .expect("sheds the batch query instead of rejecting");
-        assert_eq!(batch.wait().err(), Some(QueryError::Shed));
-        assert_eq!(scheduler.metrics().shed, 1);
-        assert_eq!(scheduler.metrics().rejected, 1);
+            .submit(QuerySpec::join(&r, &s).priority(Priority::Interactive).collect_rows(50_000))
+            .expect("admitted at full service");
         open_gate(&gate);
         assert!(blocker.wait().is_ok());
-        let out = interactive.wait().expect("query failed");
-        // The survivor's plan carries the SLA counters.
-        let explain = out.result.plan.explain();
-        assert!(explain.contains("shed=1"), "{explain}");
+        let full = interactive.wait().expect("query failed").result;
+        assert!(full.plan.anytime.as_ref().expect("anytime row").complete);
+        let full_rows = full.rows.expect("collected rows");
+        let out = batch.wait().expect("degraded, not shed").result;
+        let anytime = out.plan.anytime.as_ref().expect("anytime row");
+        assert!(!anytime.complete, "the victim ran under the degraded budget");
+        assert!(anytime.coverage > 0.0);
+        let rows = out.rows.expect("collected rows");
+        assert_eq!(rows.as_slice(), &full_rows[..rows.len()], "prefix contract holds");
+        let m = scheduler.metrics();
+        assert_eq!(m.shed, 0, "nothing is ever shed outright");
+        assert_eq!(m.rejected, 0);
+        assert_eq!(m.degraded, 1);
+        // The plan carries the SLA counters, including the new one.
+        let explain = out.plan.explain();
+        assert!(explain.contains("degraded=1"), "{explain}");
+        assert!(explain.contains("shed=0"), "{explain}");
+    }
+
+    #[test]
+    fn admission_drains_in_bounded_batches() {
+        let r = rel("R", 30);
+        let s = rel("S", 30);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let scheduler = Scheduler::new(
+            SchedulerConfig::new(1).max_in_flight(1).queue_capacity(16).admission_batch(2),
+        );
+        let blocker = scheduler.submit(gated_query(&r, &s, &gate)).expect("admitted");
+        while blocker.status() != QueryStatus::Running {
+            std::thread::yield_now();
+        }
+        let tickets: Vec<_> =
+            (0..5).map(|_| scheduler.submit(QuerySpec::join(&r, &s)).expect("admitted")).collect();
+        // submit() only stages into the pending buffer; each drain call
+        // moves at most `admission_batch` entries into the queue proper.
+        {
+            let mut queue = scheduler.core.queue.lock().expect("queue");
+            assert_eq!(queue.backlog.len(), 0, "submissions stage in the pending buffer");
+            scheduler.core.admit_pending(&mut queue);
+            assert_eq!(queue.backlog.len(), 2);
+            scheduler.core.admit_pending(&mut queue);
+            assert_eq!(queue.backlog.len(), 4);
+            scheduler.core.admit_pending(&mut queue);
+            assert_eq!(queue.backlog.len(), 5, "the final short batch drains the rest");
+        }
+        assert_eq!(scheduler.metrics().degraded, 0, "capacity was never exceeded");
+        open_gate(&gate);
+        assert!(blocker.wait().is_ok());
+        for t in tickets {
+            t.wait().expect("query failed");
+        }
     }
 
     #[test]
@@ -1390,20 +1561,49 @@ mod tests {
         let s = rel("S", 80);
         let scheduler = Scheduler::new(SchedulerConfig::new(2));
         let out = scheduler
-            .submit(QuerySpec::join(&r, &s).deadline(Duration::from_secs(3600)).collect_rows(5))
+            .submit(QuerySpec::join(&r, &s).deadline(Duration::from_secs(3600)))
             .expect("admitted")
             .wait()
             .expect("query failed");
         let anytime = out.result.plan.anytime.as_ref().expect("anytime row");
         assert!(anytime.complete);
         assert!((anytime.coverage - 1.0).abs() < 1e-12);
-        // The aggregate is computed before the row cap truncates.
         assert_eq!(out.result.max_payload_sum, Some(79 + 79));
-        let rows = out.result.rows.as_ref().expect("collected rows");
-        assert_eq!(rows.as_slice(), &[(0, 0, 0), (1, 1, 1), (2, 2, 2), (3, 3, 3), (4, 4, 4)]);
         let m = scheduler.metrics();
         assert_eq!(m.deadline_missed, 0);
         assert_eq!(m.partial_answers, 0);
+    }
+
+    #[test]
+    fn rows_cap_stops_the_merge_without_an_sla_miss() {
+        let r = rel("R", 80);
+        let s = rel("S", 80);
+        let scheduler = Scheduler::new(SchedulerConfig::new(2));
+        let out = scheduler
+            .submit(QuerySpec::join(&r, &s).deadline(Duration::from_secs(3600)).collect_rows(5))
+            .expect("admitted")
+            .wait()
+            .expect("query failed");
+        let anytime = out.result.plan.anytime.as_ref().expect("anytime row");
+        assert!(anytime.capped, "the merge stops once the cap is satisfied");
+        assert!(!anytime.complete);
+        assert!(
+            anytime.coverage > 0.0 && anytime.coverage < 1.0,
+            "a capped query merges only a key prefix, coverage {}",
+            anytime.coverage
+        );
+        // The rows are the exact key-order prefix the caller asked for…
+        let rows = out.result.rows.as_ref().expect("collected rows");
+        assert_eq!(rows.as_slice(), &[(0, 0, 0), (1, 1, 1), (2, 2, 2), (3, 3, 3), (4, 4, 4)]);
+        // …and the aggregate covers only the merged prefix — evidence
+        // the merge really stopped rather than materializing the full
+        // join and truncating afterwards.
+        let merged_max = out.result.max_payload_sum.expect("non-empty join");
+        assert!(merged_max < 79 + 79, "merge must stop at the cap, got max {merged_max}");
+        let m = scheduler.metrics();
+        assert_eq!(m.deadline_missed, 0, "a cap stop is not an SLA miss");
+        assert_eq!(m.partial_answers, 0, "a capped answer satisfied its request");
+        assert!(out.result.plan.explain().contains("capped]"), "{}", out.result.plan.explain());
     }
 
     #[test]

@@ -164,11 +164,12 @@ impl JoinSpec {
     ///
     /// Routing, most specific first:
     ///
-    /// 1. A spec carrying a deadline or a row collection cap takes the
-    ///    **anytime** path: a run-oriented execution (P-MPSM-style
-    ///    regardless of the configured algorithm) whose merge is
-    ///    interruptible by `token` and reports coverage on the plan's
-    ///    `Anytime` row.
+    /// 1. A spec carrying a deadline or a row collection cap — or a
+    ///    live `token` (degraded admission hands plain queries a block
+    ///    budget too) — takes the **anytime** path: a run-oriented
+    ///    execution (P-MPSM-style regardless of the configured
+    ///    algorithm) whose merge is interruptible by `token` and
+    ///    reports coverage on the plan's `Anytime` row.
     /// 2. A side whose captured snapshot has pending delta ops sends
     ///    the whole query down the snapshot-merge path (base runs —
     ///    cache-served when possible — plus the sorted delta run, with
@@ -183,7 +184,8 @@ impl JoinSpec {
         spec: &QuerySpec,
         token: &AnytimeToken,
     ) -> PaperQueryResult {
-        if spec.deadline.is_some() || spec.rows_cap.is_some() {
+        let live_token = !matches!(token, AnytimeToken::Never);
+        if spec.deadline.is_some() || spec.rows_cap.is_some() || live_token {
             let mut result = paper_query_anytime(cx, spec, token);
             Self::append_snapshot_rows(&mut result, spec);
             return result;
@@ -350,25 +352,75 @@ impl std::fmt::Debug for QuerySpec {
     }
 }
 
+/// One lineage of a name: the identity record of every epoch it ever
+/// produced, plus the epoch states still retained.
+///
+/// The two grow differently on purpose. `versions` — two `u64`s per
+/// compaction — is kept forever so `resolve` can place any handle ever
+/// returned. The epoch `Arc`s themselves are garbage collected by
+/// [`Lineage::gc`]: under steady writes-plus-compaction the retained
+/// set stays O(live snapshots) instead of growing by one epoch per
+/// fold.
+struct Lineage {
+    /// `(id, version)` of every epoch, oldest → newest; never shrinks.
+    versions: Vec<(u64, u64)>,
+    /// Epoch states still retained, oldest → newest. The newest is
+    /// always present; older ones survive only while pinned.
+    epochs: Vec<Arc<RelationState>>,
+}
+
+impl Lineage {
+    fn root(state: Arc<RelationState>) -> Self {
+        let base = state.base();
+        Lineage { versions: vec![(base.id(), base.version())], epochs: vec![state] }
+    }
+
+    fn newest(&self) -> &Arc<RelationState> {
+        self.epochs.last().expect("a lineage always retains its newest epoch")
+    }
+
+    fn push(&mut self, state: Arc<RelationState>) {
+        let base = state.base();
+        self.versions.push((base.id(), base.version()));
+        self.epochs.push(state);
+    }
+
+    fn owns(&self, id: u64, version: u64) -> bool {
+        self.versions.iter().any(|&(i, v)| i == id && v == version)
+    }
+
+    /// Drop retained epochs nothing outside the catalog pins. The
+    /// newest epoch always survives — it is the live read/write target
+    /// and what every handle of this lineage resolves to; an older one
+    /// survives only while a [`Snapshot`] (or an in-flight compaction)
+    /// still holds its `Arc`.
+    fn gc(&mut self) {
+        let newest = self.epochs.len().saturating_sub(1);
+        let mut idx = 0;
+        self.epochs.retain(|state| {
+            let keep = idx == newest || Arc::strong_count(state) > 1;
+            idx += 1;
+            keep
+        });
+    }
+}
+
 /// One catalog slot: the name's history as **lineages** of
 /// [`RelationState`] epochs. `register` starts a new lineage (new
 /// contents — handles from older lineages must keep their old world);
 /// compaction appends an epoch *within* the current lineage (same
 /// logical contents, new base version — handles keep tracking live
-/// writes right through it). All epochs stay retained so any handle
-/// ever returned still resolves.
+/// writes right through it). Epoch identities stay recorded forever so
+/// any handle ever returned still resolves; the epoch *states* are
+/// garbage collected once nothing pins them.
 #[derive(Default)]
 struct MutableEntry {
-    lineages: Vec<Vec<Arc<RelationState>>>,
+    lineages: Vec<Lineage>,
 }
 
 impl MutableEntry {
     fn current(&self) -> &Arc<RelationState> {
-        self.current_lineage().last().expect("a lineage always holds at least one state")
-    }
-
-    fn current_lineage(&self) -> &[Arc<RelationState>] {
-        self.lineages.last().expect("an entry always holds at least one lineage")
+        self.lineages.last().expect("an entry always holds at least one lineage").newest()
     }
 
     /// Resolve a handle's `(id, version)` to the state its queries
@@ -378,13 +430,14 @@ impl MutableEntry {
     /// since); across lineages a re-registration replaced the data,
     /// so older handles stay pinned to their lineage's final world.
     fn resolve(&self, id: u64, version: u64) -> Option<&Arc<RelationState>> {
-        self.lineages
-            .iter()
-            .rev()
-            .find(|lineage| {
-                lineage.iter().any(|st| st.base().id() == id && st.base().version() == version)
-            })
-            .and_then(|lineage| lineage.last())
+        self.lineages.iter().rev().find(|lineage| lineage.owns(id, version)).map(Lineage::newest)
+    }
+
+    /// Run the epoch GC across every lineage of this name.
+    fn gc(&mut self) {
+        for lineage in &mut self.lineages {
+            lineage.gc();
+        }
     }
 }
 
@@ -451,6 +504,11 @@ impl SessionShared {
                 .last_mut()
                 .expect("an entry always holds at least one lineage")
                 .push(Arc::new(RelationState::with_delta(Arc::clone(&new_base), tail)));
+            // Release our own pin on the superseded epoch before
+            // collecting — with it held that epoch would always look
+            // snapshot-pinned and survive one sweep too many.
+            drop(state);
+            entry.gc();
         }
         if let Some(cache) = &self.run_cache {
             // The version bump retires every older cached run set …
@@ -580,11 +638,9 @@ impl Session {
             None => (self.shared.next_id.fetch_add(1, Ordering::Relaxed), 1),
         };
         let handle = Arc::new(relation.with_identity(id, version));
-        catalog
-            .entry(handle.name().to_string())
-            .or_default()
-            .lineages
-            .push(vec![Arc::new(RelationState::new(Arc::clone(&handle)))]);
+        let entry = catalog.entry(handle.name().to_string()).or_default();
+        entry.lineages.push(Lineage::root(Arc::new(RelationState::new(Arc::clone(&handle)))));
+        entry.gc();
         drop(catalog);
         if let Some(cache) = &self.shared.run_cache {
             cache.invalidate_relation(id, version);
@@ -647,6 +703,17 @@ impl Session {
     pub fn delta_len(&self, name: &str) -> Option<usize> {
         let catalog = self.shared.catalog.lock().expect("catalog poisoned");
         catalog.get(name).map(|entry| entry.current().delta().len())
+    }
+
+    /// Epoch states the catalog still retains for `name`, across all
+    /// of its lineages (`None` for unknown names). Compaction appends
+    /// an epoch per fold and the epoch GC drops the ones no live
+    /// snapshot pins, so under steady writes-plus-compaction this
+    /// stays proportional to the number of live snapshots rather than
+    /// the number of folds ever performed.
+    pub fn retained_epochs(&self, name: &str) -> Option<usize> {
+        let catalog = self.shared.catalog.lock().expect("catalog poisoned");
+        catalog.get(name).map(|entry| entry.lineages.iter().map(|l| l.epochs.len()).sum())
     }
 
     /// Fold a relation's pending delta into a new base version right
@@ -929,5 +996,47 @@ mod tests {
         assert_eq!(session.delta_len("R"), Some(100));
         assert!(session.compact("R"), "manual fold still works");
         assert_eq!(session.relation("R").expect("resolves").version(), 2);
+    }
+
+    #[test]
+    fn epoch_gc_retains_only_pinned_and_newest_epochs() {
+        let session = Session::with_compaction(
+            SchedulerConfig::new(1),
+            RunCacheConfig::default(),
+            CompactionConfig::manual(),
+        );
+        let orders = session.register(rel("orders", 64));
+        // Pin the version-1 world the way a long-running query would.
+        let pinned = session.shared.snapshot_for(&orders).expect("registered");
+
+        for round in 0..16u64 {
+            session.append("orders", [Tuple::new(1000 + round, round)]).expect("write");
+            assert!(session.compact("orders"), "round {round} folds one op");
+        }
+        // 16 folds produced 16 new epochs, but the catalog retains
+        // exactly two states: the pinned v1 epoch and the newest one.
+        assert_eq!(session.retained_epochs("orders"), Some(2));
+        assert_eq!(session.relation("orders").expect("resolves").version(), 17);
+        // The pinned snapshot still reads its captured world …
+        assert_eq!(pinned.materialize().len(), 64, "pinned epoch survives the GC");
+        // … and identity outlives the collected epochs: the original
+        // v1 handle still resolves (to the newest epoch's state).
+        let snap = session.shared.snapshot_for(&orders).expect("identity kept forever");
+        assert_eq!(snap.base_version(), 17);
+        assert_eq!(snap.materialize().len(), 64 + 16);
+        drop(snap);
+
+        // Dropping the pin lets the next fold's sweep collect v1.
+        drop(pinned);
+        session.append("orders", [Tuple::new(9999, 0)]).expect("write");
+        assert!(session.compact("orders"));
+        assert_eq!(session.retained_epochs("orders"), Some(1), "only the newest epoch remains");
+
+        // Re-registration starts a new lineage; the old lineage keeps
+        // its final epoch so old handles still answer.
+        session.register(rel("orders", 8));
+        assert_eq!(session.retained_epochs("orders"), Some(2));
+        let old = session.shared.snapshot_for(&orders).expect("old lineage resolves");
+        assert_eq!(old.materialize().len(), 64 + 17);
     }
 }

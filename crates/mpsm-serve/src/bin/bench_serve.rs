@@ -11,15 +11,23 @@
 //!    returns a partial answer; the partial's rows are checked to be a
 //!    key-order prefix of the full join's rows, and its coverage is
 //!    reported.
-//! 2. **Client sweep** — for each client count, that many closed-loop
+//! 2. **Capped demonstration** — a `rows_cap` far below the join's
+//!    size shows the streaming cap: the merge stops the moment the cap
+//!    is satisfied (coverage < 1 proves it did not run to the end) and
+//!    the returned rows are the exact key-order prefix.
+//! 3. **Client sweep** — for each client count, that many closed-loop
 //!    clients hammer the server for a fixed duration with a mix of
 //!    priority classes and occasional deadline-carrying queries.
-//!    Reports p50/p99/p999 latency, throughput, shed/rejected counts,
-//!    and mean partial-answer coverage per point.
+//!    Reports p50/p99/p999 latency, throughput, shed/rejected/degraded
+//!    counts, and mean answer coverage per point. Under
+//!    degrade-don't-reject admission the rejected and shed columns are
+//!    expected to read zero at every point: overload degrades queries
+//!    (tight anytime budget, coverage-stamped partial answer) instead
+//!    of turning clients away.
 //!
 //! Every complete answer is checked against the closed form and every
 //! partial against `max <= closed form` — a torn result fails the run.
-//! Any transport or protocol error fails the run. `BENCH_9.json` at
+//! Any transport or protocol error fails the run. `BENCH_10.json` at
 //! the repo root records the committed trajectory point.
 //!
 //! ```text
@@ -61,7 +69,7 @@ fn parse_args() -> Args {
         duration_ms: 1000,
         seed: 42,
         quick: false,
-        out: "BENCH_9.json".to_string(),
+        out: "BENCH_10.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     let num = |it: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
@@ -148,6 +156,9 @@ struct SweepPoint {
     shed: u64,
     rejected: u64,
     partial_answers: u64,
+    /// Server-side count of queries admitted in degraded mode during
+    /// this point (delta of the scheduler's lifetime counter).
+    degraded: u64,
     mean_coverage: f64,
 }
 
@@ -250,6 +261,7 @@ fn sweep_point(addr: &str, args: &Args, clients: usize, tight_deadline_micros: u
         shed: tally.shed.load(Ordering::Relaxed),
         rejected: tally.rejected.load(Ordering::Relaxed),
         partial_answers: tally.partial.load(Ordering::Relaxed),
+        degraded: 0, // filled in by the caller from the server's counter delta
         mean_coverage: finite(
             &label,
             tally.coverage_ppm.load(Ordering::Relaxed) as f64 / 1e6 / ok as f64,
@@ -337,6 +349,45 @@ fn anytime_demo(addr: &str, scale: usize) -> AnytimeDemo {
     }
 }
 
+struct CappedDemo {
+    rows_cap: usize,
+    rows_returned: usize,
+    coverage: f64,
+    stopped_early: bool,
+}
+
+/// A `rows_cap` far below the join's size: the streaming cap stops the
+/// merge the moment the cap is satisfied. Coverage < 1 proves the
+/// merge did not run to the end, and the rows are checked against the
+/// closed form (the first `cap` keys, in order).
+fn capped_demo(addr: &str, scale: usize) -> CappedDemo {
+    let cap = 64usize.min(scale / 4);
+    let mut client = Client::connect(addr).expect("connect");
+    let mut req = QueryRequest::new("R", "S");
+    req.rows_cap = cap as u32;
+    let reply = client.query(&req).expect("capped query");
+    assert!(
+        reply.complete,
+        "a capped stop reports complete: the caller got every row it asked for"
+    );
+    assert_eq!(reply.rows.len(), cap, "exactly rows_cap rows come back");
+    assert!(
+        reply.rows == (0..cap as u64).map(|k| (k, k, k)).collect::<Vec<_>>(),
+        "capped rows are the key-order prefix of the closed form"
+    );
+    assert!(
+        reply.coverage < 1.0,
+        "coverage {} must be < 1: the merge stopped at the cap instead of running to the end",
+        reply.coverage
+    );
+    CappedDemo {
+        rows_cap: cap,
+        rows_returned: reply.rows.len(),
+        coverage: reply.coverage,
+        stopped_early: reply.coverage < 1.0,
+    }
+}
+
 fn main() {
     let args = parse_args();
     // Spawn an in-process server (over a real TCP socket) unless the
@@ -375,14 +426,27 @@ fn main() {
     );
     let tight_deadline_micros = ((demo.full_latency_ms * 1e3) as u64 / 2).max(100);
 
+    eprintln!("rows_cap demonstration:");
+    let capped = capped_demo(&addr, args.scale);
+    eprintln!(
+        "  cap {} -> {} rows, coverage {:.3}% (merge stopped at the cap)",
+        capped.rows_cap,
+        capped.rows_returned,
+        capped.coverage * 100.0
+    );
+
+    let mut metrics_client = Client::connect(addr.as_str()).expect("connect for metrics");
     let client_counts: &[usize] = if args.quick { &[2, 8, 32] } else { &[8, 64, 256] };
     let mut points = Vec::new();
     eprintln!("client sweep:");
     for &clients in client_counts {
-        let point = sweep_point(&addr, &args, clients, tight_deadline_micros);
+        let before = metrics_client.metrics().expect("metrics before point");
+        let mut point = sweep_point(&addr, &args, clients, tight_deadline_micros);
+        let after = metrics_client.metrics().expect("metrics after point");
+        point.degraded = after.degraded - before.degraded;
         eprintln!(
             "  {:4} clients: {:8.1} q/s, p50 {:7.3} ms, p99 {:7.3} ms, p999 {:7.3} ms, \
-             shed {}, rejected {}, partial {} (mean coverage {:.3})",
+             shed {}, rejected {}, degraded {}, partial {} (mean coverage {:.3})",
             point.clients,
             point.qps,
             point.p50_ms,
@@ -390,6 +454,7 @@ fn main() {
             point.p999_ms,
             point.shed,
             point.rejected,
+            point.degraded,
             point.partial_answers,
             point.mean_coverage
         );
@@ -406,7 +471,7 @@ fn main() {
             format!(
                 "    {{\"clients\": {}, \"queries\": {}, \"qps\": {:.3}, \"p50_ms\": {:.4}, \
                  \"p99_ms\": {:.4}, \"p999_ms\": {:.4}, \"shed\": {}, \"rejected\": {}, \
-                 \"partial_answers\": {}, \"mean_coverage\": {:.6}}}",
+                 \"degraded\": {}, \"partial_answers\": {}, \"mean_coverage\": {:.6}}}",
                 p.clients,
                 p.queries,
                 p.qps,
@@ -415,6 +480,7 @@ fn main() {
                 p.p999_ms,
                 p.shed,
                 p.rejected,
+                p.degraded,
                 p.partial_answers,
                 p.mean_coverage
             )
@@ -429,8 +495,10 @@ fn main() {
          \"anytime\": {{\"full_latency_ms\": {:.4}, \"deadline_micros\": {}, \
          \"coverage\": {:.6}, \"partial_rows\": {}, \"full_rows\": {}, \
          \"prefix_verified\": {}}},\n  \
+         \"capped\": {{\"rows_cap\": {}, \"rows_returned\": {}, \"coverage\": {:.6}, \
+         \"stopped_early\": {}}},\n  \
          \"server\": {{\"submitted\": {}, \"completed\": {}, \"rejected\": {}, \"shed\": {}, \
-         \"deadline_missed\": {}, \"partial_answers\": {}}}\n}}\n",
+         \"deadline_missed\": {}, \"partial_answers\": {}, \"degraded\": {}}}\n}}\n",
         args.scale,
         args.threads,
         args.in_flight,
@@ -446,12 +514,17 @@ fn main() {
         demo.partial_rows,
         demo.full_rows,
         demo.prefix_verified,
+        capped.rows_cap,
+        capped.rows_returned,
+        capped.coverage,
+        capped.stopped_early,
         server_metrics.submitted,
         server_metrics.completed,
         server_metrics.rejected,
         server_metrics.shed,
         server_metrics.deadline_missed,
         server_metrics.partial_answers,
+        server_metrics.degraded,
     );
     assert!(!json.to_ascii_lowercase().contains("nan"), "NaN leaked into the report");
     std::fs::write(&args.out, &json).expect("write report");

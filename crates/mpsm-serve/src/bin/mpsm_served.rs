@@ -4,7 +4,8 @@
 //! ```text
 //! cargo run --release -p mpsm-serve --bin mpsm_served
 //!     [--addr HOST:PORT] [--threads N] [--in-flight N] [--queue N]
-//!     [--min-deadline-micros N] [--drain-timeout-ms N]
+//!     [--min-deadline-micros N] [--drain-timeout-ms N] [--workers N]
+//!     [--idle-timeout-ms N] [--read-deadline-ms N]
 //! ```
 //!
 //! Prints `mpsm_served listening on ADDR` once the socket accepts —
@@ -15,7 +16,7 @@
 use std::time::Duration;
 
 use mpsm_exec::{RunCacheConfig, SchedulerConfig, Session};
-use mpsm_serve::Server;
+use mpsm_serve::{Server, ServerConfig};
 
 struct Args {
     addr: String,
@@ -24,6 +25,9 @@ struct Args {
     queue: usize,
     min_deadline_micros: u64,
     drain_timeout_ms: u64,
+    workers: usize,
+    idle_timeout_ms: u64,
+    read_deadline_ms: u64,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +38,9 @@ fn parse_args() -> Args {
         queue: 16,
         min_deadline_micros: 0,
         drain_timeout_ms: 10_000,
+        workers: 4,
+        idle_timeout_ms: 60_000,
+        read_deadline_ms: 10_000,
     };
     let mut it = std::env::args().skip(1);
     let num = |it: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
@@ -51,13 +58,19 @@ fn parse_args() -> Args {
             "--drain-timeout-ms" => {
                 args.drain_timeout_ms = num(&mut it, "--drain-timeout-ms") as u64
             }
+            "--workers" => args.workers = num(&mut it, "--workers"),
+            "--idle-timeout-ms" => args.idle_timeout_ms = num(&mut it, "--idle-timeout-ms") as u64,
+            "--read-deadline-ms" => {
+                args.read_deadline_ms = num(&mut it, "--read-deadline-ms") as u64
+            }
             other => panic!(
                 "unknown flag {other}; supported: --addr --threads --in-flight --queue \
-                 --min-deadline-micros --drain-timeout-ms"
+                 --min-deadline-micros --drain-timeout-ms --workers --idle-timeout-ms \
+                 --read-deadline-ms"
             ),
         }
     }
-    assert!(args.threads > 0 && args.in_flight > 0);
+    assert!(args.threads > 0 && args.in_flight > 0 && args.workers > 0);
     args
 }
 
@@ -69,12 +82,17 @@ fn main() {
         .min_feasible_deadline(Duration::from_micros(args.min_deadline_micros))
         .drain_timeout(Duration::from_millis(args.drain_timeout_ms));
     let session = Session::with_run_cache(config, RunCacheConfig::default());
-    let server = Server::bind(args.addr.as_str(), session).expect("bind");
+    let server_config = ServerConfig::default()
+        .workers(args.workers)
+        .idle_timeout(Duration::from_millis(args.idle_timeout_ms))
+        .read_deadline(Duration::from_millis(args.read_deadline_ms));
+    let server = Server::bind_with(args.addr.as_str(), session, server_config).expect("bind");
     let addr = server.local_addr().expect("bound address");
     println!("mpsm_served listening on {addr}");
     eprintln!(
-        "pool = {} workers, {} in flight, queue = {}, deadline floor = {} us",
-        args.threads, args.in_flight, args.queue, args.min_deadline_micros
+        "pool = {} exec threads, {} in flight, queue = {}, deadline floor = {} us, \
+         {} connection workers",
+        args.threads, args.in_flight, args.queue, args.min_deadline_micros, args.workers
     );
     server.run().expect("accept loop");
 }

@@ -167,6 +167,11 @@ pub struct QueryResultBody {
     /// Joined `(key, r_payload, s_payload)` rows, capped by the
     /// request's `rows_cap`.
     pub rows: Vec<(u64, u64, u64)>,
+    /// Per-key-range coverage histogram: `(lo, hi, fraction)` per
+    /// private run, ascending and disjoint. Tells a client *which*
+    /// part of the key space a partial answer covers, not just how
+    /// much. Empty when the query never ran the anytime merge.
+    pub range_coverage: Vec<(u64, u64, f64)>,
 }
 
 /// Scheduler lifetime counters, as served to clients.
@@ -184,6 +189,9 @@ pub struct MetricsBody {
     pub deadline_missed: u64,
     /// Queries that returned partial (coverage < 100%) answers.
     pub partial_answers: u64,
+    /// Queries admitted in degraded mode (forced tight anytime budget)
+    /// under overload, instead of being rejected.
+    pub degraded: u64,
 }
 
 const TAG_PING: u8 = 0x01;
@@ -284,6 +292,17 @@ impl<'a> Dec<'a> {
             })
             .collect())
     }
+    fn ranges(&mut self) -> Result<Vec<(u64, u64, f64)>, DecodeError> {
+        let n = self.u32()?;
+        let bytes = self.counted(n, 24)?;
+        Ok(bytes
+            .chunks_exact(24)
+            .map(|c| {
+                let (lo, hi) = pair_of(&c[..16]);
+                (lo, hi, f64::from_bits(u64::from_le_bytes(c[16..24].try_into().expect("chunk"))))
+            })
+            .collect())
+    }
     /// Take `count * item_bytes`, rejecting counts the body cannot
     /// hold *before* allocating (a hostile count must not OOM the
     /// server).
@@ -354,6 +373,12 @@ impl Frame {
                     e.u64(rp);
                     e.u64(sp);
                 }
+                e.u32(r.range_coverage.len() as u32);
+                for &(lo, hi, fraction) in &r.range_coverage {
+                    e.u64(lo);
+                    e.u64(hi);
+                    e.f64(fraction);
+                }
             }
             Frame::Explained { text } => {
                 e.u8(TAG_EXPLAINED);
@@ -372,6 +397,7 @@ impl Frame {
                     m.shed,
                     m.deadline_missed,
                     m.partial_answers,
+                    m.degraded,
                 ] {
                     e.u64(v);
                 }
@@ -407,6 +433,7 @@ impl Frame {
                     complete: d.u8()? != 0,
                     coverage: d.f64()?,
                     rows: d.triples()?,
+                    range_coverage: d.ranges()?,
                 })
             }
             TAG_EXPLAINED => Frame::Explained { text: d.string()? },
@@ -418,6 +445,7 @@ impl Frame {
                 shed: d.u64()?,
                 deadline_missed: d.u64()?,
                 partial_answers: d.u64()?,
+                degraded: d.u64()?,
             }),
             TAG_ERROR => Frame::Error { code: d.u16()?, message: d.string()? },
             tag => return Err(DecodeError::UnknownTag(tag)),
@@ -526,6 +554,7 @@ mod tests {
             complete: false,
             coverage: 0.625,
             rows: vec![(1, 2, 3), (4, 5, 6)],
+            range_coverage: vec![(0, 99, 1.0), (100, 199, 0.25)],
         }));
         roundtrip(Frame::QueryResult(QueryResultBody {
             max_payload_sum: None,
@@ -534,6 +563,7 @@ mod tests {
             complete: true,
             coverage: 1.0,
             rows: vec![],
+            range_coverage: vec![],
         }));
         roundtrip(Frame::Explained { text: "Queue [wait = 0.1 ms]\n".to_string() });
         roundtrip(Frame::Written { delta_len: 12 });
@@ -544,6 +574,7 @@ mod tests {
             shed: 4,
             deadline_missed: 5,
             partial_answers: 6,
+            degraded: 7,
         }));
         roundtrip(Frame::Error { code: code::MALFORMED, message: "nope".to_string() });
     }

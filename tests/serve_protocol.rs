@@ -57,14 +57,20 @@ fn every_frame_type_round_trips_over_a_real_socket() {
     assert!(version > 0);
     client.register("S", closed_form_tuples(n, 11)).expect("register S");
 
-    // Query / QueryResult (no SLA: complete, full coverage).
+    // Query / QueryResult with a rows cap: the merge stops as soon as
+    // the cap is satisfied, so the reply reports complete (the caller
+    // got every row it asked for) while coverage and the per-range
+    // histogram say how much of the key space the merge visited.
     let mut request = QueryRequest::new("R", "S");
     request.rows_cap = 8;
     let reply = client.query(&request).expect("query");
-    assert_eq!(reply.max_payload_sum, Some(2 * (n - 1)));
     assert_eq!(reply.r_selected, n);
-    assert!(reply.complete);
-    assert!((reply.coverage - 1.0).abs() < 1e-12);
+    assert!(reply.complete, "a capped stop is complete on the wire");
+    assert!(reply.coverage > 0.0 && reply.coverage <= 1.0);
+    assert!(!reply.range_coverage.is_empty(), "per-range histogram rides the reply");
+    if let Some(max) = reply.max_payload_sum {
+        assert!(max <= 2 * (n - 1), "aggregate over a prefix never exceeds the full join");
+    }
     assert_eq!(
         reply.rows,
         (0..8).map(|k| (k, k, k)).collect::<Vec<_>>(),
@@ -74,7 +80,7 @@ fn every_frame_type_round_trips_over_a_real_socket() {
     // Explain / Explained carries the plan (with the service rows).
     let explain = client.explain(&request).expect("explain");
     assert!(explain.contains("Join [P-MPSM"), "{explain}");
-    assert!(explain.contains("Anytime [coverage=100.0%"), "{explain}");
+    assert!(explain.contains("Anytime [coverage="), "{explain}");
     assert!(explain.contains("Queue [wait ="), "{explain}");
     assert!(explain.contains("shed="), "{explain}");
 
